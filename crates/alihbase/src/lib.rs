@@ -1,0 +1,30 @@
+//! # titant-alihbase — the online feature store
+//!
+//! A laptop-scale analogue of Ali-HBase (paper §4.4), the Bigtable-style
+//! store the Model Server reads at prediction time. Data is organised
+//! exactly as the paper's Figure 7: rows keyed by user, a `basic` column
+//! family with one qualifier per profile feature (`age`, `gender`,
+//! `trans_city`, …) and an `embedding` column family with one qualifier per
+//! embedding dimension; every offline training run uploads a new **version**
+//! (the date-time stamp) so the serving layer always reads "the latest
+//! version of user node embeddings and basic features".
+//!
+//! The engine is a classic LSM tree:
+//!
+//! * writes land in a write-ahead [`wal`] (CRC-framed, replayed on open)
+//!   and a sorted [`memtable`];
+//! * full memtables flush to immutable sorted [`sstable`] runs;
+//! * reads merge memtable + runs newest-first; background-style
+//!   [`store::Store::compact`] merges runs and discards superseded versions;
+//! * [`region`] shards a table by row-key range, HBase-style.
+
+pub mod memtable;
+pub mod region;
+pub mod sstable;
+pub mod store;
+pub mod types;
+pub mod wal;
+
+pub use region::RegionedTable;
+pub use store::{Store, StoreConfig};
+pub use types::{Cell, CellKey, ColumnFamily, Qualifier, RowKey, Version};

@@ -1,0 +1,136 @@
+//! In-memory sorted write buffer.
+
+use crate::types::{Cell, CellKey, Version};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Sorted buffer of recent writes. Each cell key holds its versions newest
+/// first; lookups are O(log n).
+#[derive(Debug, Default)]
+pub struct MemTable {
+    /// Cell key -> versions sorted descending by version.
+    entries: BTreeMap<CellKey, Vec<Cell>>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a cell (value or tombstone).
+    pub fn put(&mut self, key: CellKey, version: Version, value: Option<Bytes>) {
+        self.approx_bytes += key.row.0.len()
+            + key.family.0.len()
+            + key.qualifier.0.len()
+            + value.as_ref().map_or(0, |v| v.len())
+            + 24;
+        let versions = self.entries.entry(key).or_default();
+        let pos = versions
+            .binary_search_by(|c| version.cmp(&c.version))
+            .unwrap_or_else(|p| p);
+        // Same version overwrites (last write wins).
+        if pos < versions.len() && versions[pos].version == version {
+            versions[pos].value = value;
+        } else {
+            versions.insert(pos, Cell { version, value });
+        }
+    }
+
+    /// Latest cell at or below `as_of` (tombstones included).
+    pub fn get(&self, key: &CellKey, as_of: Version) -> Option<&Cell> {
+        self.entries
+            .get(key)?
+            .iter()
+            .find(|c| c.version <= as_of)
+    }
+
+    /// Approximate memory footprint, used for flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Number of distinct cell keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no writes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drain into a sorted `(key, cells)` stream for flushing.
+    pub fn drain_sorted(&mut self) -> Vec<(CellKey, Vec<Cell>)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+
+    /// Iterate entries in key order (scans).
+    pub fn iter(&self) -> impl Iterator<Item = (&CellKey, &Vec<Cell>)> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(row: &str, q: &str) -> CellKey {
+        CellKey::new(row, "basic", q)
+    }
+
+    #[test]
+    fn put_get_latest_version() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 1, Some(Bytes::from_static(b"30")));
+        m.put(key("u1", "age"), 3, Some(Bytes::from_static(b"31")));
+        m.put(key("u1", "age"), 2, Some(Bytes::from_static(b"30.5")));
+        let c = m.get(&key("u1", "age"), u64::MAX).unwrap();
+        assert_eq!(c.version, 3);
+        assert_eq!(c.value.as_deref(), Some(b"31".as_ref()));
+    }
+
+    #[test]
+    fn versioned_read_sees_the_past() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 10, Some(Bytes::from_static(b"a")));
+        m.put(key("u1", "age"), 20, Some(Bytes::from_static(b"b")));
+        assert_eq!(m.get(&key("u1", "age"), 15).unwrap().version, 10);
+        assert!(m.get(&key("u1", "age"), 5).is_none());
+    }
+
+    #[test]
+    fn same_version_overwrites() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 7, Some(Bytes::from_static(b"x")));
+        m.put(key("u1", "age"), 7, Some(Bytes::from_static(b"y")));
+        let c = m.get(&key("u1", "age"), u64::MAX).unwrap();
+        assert_eq!(c.value.as_deref(), Some(b"y".as_ref()));
+        assert_eq!(m.entries[&key("u1", "age")].len(), 1);
+    }
+
+    #[test]
+    fn tombstone_is_returned() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 1, Some(Bytes::from_static(b"x")));
+        m.put(key("u1", "age"), 2, None);
+        let c = m.get(&key("u1", "age"), u64::MAX).unwrap();
+        assert!(c.value.is_none(), "expected tombstone");
+    }
+
+    #[test]
+    fn drain_produces_sorted_keys_and_resets() {
+        let mut m = MemTable::new();
+        m.put(key("u2", "a"), 1, Some(Bytes::from_static(b"1")));
+        m.put(key("u1", "b"), 1, Some(Bytes::from_static(b"2")));
+        m.put(key("u1", "a"), 1, Some(Bytes::from_static(b"3")));
+        assert!(m.approx_bytes() > 0);
+        let drained = m.drain_sorted();
+        assert_eq!(drained.len(), 3);
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(m.is_empty());
+        assert_eq!(m.approx_bytes(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Row-key-range sharding, HBase-style regions.
+//!
+//! A [`RegionedTable`] splits the row-key space at fixed boundaries and
+//! routes every read/write to the owning region's [`Store`]. In production
+//! HBase the regions live on different region servers; here they give the
+//! model server independent shards (and the serving bench a realistic
+//! routing step).
+
+use crate::store::{Store, StoreConfig};
+use crate::types::{CellKey, RowKey, Version};
+use bytes::Bytes;
+
+/// A table split into `splits.len() + 1` regions.
+pub struct RegionedTable {
+    /// Sorted split points; region `i` owns `[splits[i-1], splits[i])`.
+    splits: Vec<RowKey>,
+    regions: Vec<Store>,
+}
+
+impl RegionedTable {
+    /// Create a table with the given split points (must be sorted and
+    /// distinct). Each region gets its own store configured by `config`
+    /// (per-region subdirectories when a directory is set).
+    pub fn new(splits: Vec<RowKey>, config: StoreConfig) -> std::io::Result<Self> {
+        assert!(
+            splits.windows(2).all(|w| w[0] < w[1]),
+            "split points must be sorted and distinct"
+        );
+        let n_regions = splits.len() + 1;
+        let mut regions = Vec::with_capacity(n_regions);
+        for i in 0..n_regions {
+            let mut cfg = config.clone();
+            if let Some(dir) = &config.dir {
+                cfg.dir = Some(dir.join(format!("region-{i:04}")));
+            }
+            regions.push(Store::open(cfg)?);
+        }
+        Ok(Self { splits, regions })
+    }
+
+    /// A single-region table.
+    pub fn single(config: StoreConfig) -> std::io::Result<Self> {
+        Self::new(Vec::new(), config)
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Which region owns a row key.
+    pub fn region_of(&self, row: &RowKey) -> usize {
+        self.splits.partition_point(|s| s <= row)
+    }
+
+    /// Write a cell.
+    pub fn put(&self, key: CellKey, version: Version, value: Bytes) -> std::io::Result<()> {
+        self.regions[self.region_of(&key.row)].put(key, version, value)
+    }
+
+    /// Delete a cell.
+    pub fn delete(&self, key: CellKey, version: Version) -> std::io::Result<()> {
+        self.regions[self.region_of(&key.row)].delete(key, version)
+    }
+
+    /// Read the latest value.
+    pub fn get(&self, key: &CellKey) -> Option<Bytes> {
+        self.regions[self.region_of(&key.row)].get(key)
+    }
+
+    /// Read the latest value at or below a version.
+    pub fn get_versioned(&self, key: &CellKey, as_of: Version) -> Option<Bytes> {
+        self.regions[self.region_of(&key.row)].get_versioned(key, as_of)
+    }
+
+    /// Flush every region.
+    pub fn flush(&self) -> std::io::Result<()> {
+        for r in &self.regions {
+            r.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Compact every region.
+    pub fn compact(&self) -> std::io::Result<()> {
+        for r in &self.regions {
+            r.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Scan rows across regions in key order.
+    pub fn scan_rows(&self, start: &RowKey, end: &RowKey) -> Vec<(CellKey, Bytes)> {
+        let mut out = Vec::new();
+        for r in &self.regions {
+            out.extend(r.scan_rows(start, end));
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> RegionedTable {
+        RegionedTable::new(
+            vec![RowKey::from_str("m"), RowKey::from_str("t")],
+            StoreConfig::default(),
+        )
+        .unwrap()
+    }
+
+    fn key(row: &str) -> CellKey {
+        CellKey::new(row, "basic", "age")
+    }
+
+    #[test]
+    fn routing_respects_split_points() {
+        let t = table();
+        assert_eq!(t.region_count(), 3);
+        assert_eq!(t.region_of(&RowKey::from_str("a")), 0);
+        assert_eq!(t.region_of(&RowKey::from_str("m")), 1);
+        assert_eq!(t.region_of(&RowKey::from_str("s")), 1);
+        assert_eq!(t.region_of(&RowKey::from_str("z")), 2);
+    }
+
+    #[test]
+    fn cross_region_put_get() {
+        let t = table();
+        for row in ["alpha", "mike", "zulu"] {
+            t.put(key(row), 1, Bytes::from(row.as_bytes().to_vec()))
+                .unwrap();
+        }
+        for row in ["alpha", "mike", "zulu"] {
+            assert_eq!(t.get(&key(row)).as_deref(), Some(row.as_bytes()));
+        }
+    }
+
+    #[test]
+    fn scan_merges_regions_in_order() {
+        let t = table();
+        for row in ["zulu", "alpha", "mike"] {
+            t.put(key(row), 1, Bytes::from_static(b"x")).unwrap();
+        }
+        let rows = t.scan_rows(&RowKey::from_str("a"), &RowKey::from_str("zz"));
+        let keys: Vec<String> = rows.iter().map(|(k, _)| k.row.to_string()).collect();
+        assert_eq!(keys, vec!["alpha", "mike", "zulu"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and distinct")]
+    fn unsorted_splits_rejected() {
+        RegionedTable::new(
+            vec![RowKey::from_str("t"), RowKey::from_str("m")],
+            StoreConfig::default(),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,313 @@
+//! Immutable sorted runs — the flushed on-disk representation.
+//!
+//! A run stores `(CellKey, Cell)` pairs sorted by key then by version
+//! descending, with binary-search point reads. Runs can be persisted to a
+//! length-prefixed file format (same framing as the WAL, one frame per run)
+//! and loaded back, giving the store durability beyond the WAL.
+
+use crate::types::{Cell, CellKey, Version};
+use crate::wal::crc32;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// One immutable sorted run.
+#[derive(Debug, Clone, Default)]
+pub struct SsTable {
+    /// Sorted by key asc; per key versions sorted desc. Flat for cache
+    /// locality and binary search.
+    entries: Vec<(CellKey, Cell)>,
+}
+
+impl SsTable {
+    /// Build from the drain of a memtable (already sorted by key, versions
+    /// descending).
+    pub fn from_sorted(drained: Vec<(CellKey, Vec<Cell>)>) -> Self {
+        let mut entries = Vec::new();
+        for (key, cells) in drained {
+            for cell in cells {
+                entries.push((key.clone(), cell));
+            }
+        }
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1.version > w[1].1.version)));
+        Self { entries }
+    }
+
+    /// Number of stored cells (all versions).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the run holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Latest cell for `key` at or below `as_of`.
+    pub fn get(&self, key: &CellKey, as_of: Version) -> Option<&Cell> {
+        // First entry with this key (versions descend after it).
+        let start = self.entries.partition_point(|(k, _)| k < key);
+        self.entries[start..]
+            .iter()
+            .take_while(|(k, _)| k == key)
+            .map(|(_, c)| c)
+            .find(|c| c.version <= as_of)
+    }
+
+    /// Iterate all `(key, cell)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &(CellKey, Cell)> {
+        self.entries.iter()
+    }
+
+    /// Merge several runs (newest first) into one, keeping at most
+    /// `max_versions` of each cell and dropping tombstones older than the
+    /// newest surviving value (full-compaction semantics).
+    pub fn merge(runs: &[&SsTable], max_versions: usize) -> SsTable {
+        let mut all: Vec<(CellKey, Cell, usize)> = Vec::new();
+        for (rank, run) in runs.iter().enumerate() {
+            for (k, c) in run.iter() {
+                all.push((k.clone(), c.clone(), rank));
+            }
+        }
+        // Key asc, version desc, then newest run wins ties.
+        all.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(b.1.version.cmp(&a.1.version))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut entries: Vec<(CellKey, Cell)> = Vec::with_capacity(all.len());
+        let mut cur_key: Option<CellKey> = None;
+        let mut kept_for_key = 0usize;
+        let mut last_version: Option<Version> = None;
+        for (k, c, _) in all {
+            if cur_key.as_ref() == Some(&k) {
+                if Some(c.version) == last_version {
+                    continue; // duplicate version: newer run already won
+                }
+                if kept_for_key >= max_versions {
+                    continue;
+                }
+            } else {
+                cur_key = Some(k.clone());
+                kept_for_key = 0;
+            }
+            // Full compaction drops tombstones entirely once they are the
+            // newest version (nothing older survives a full merge) — but a
+            // tombstone must still shadow older versions, so we keep it out
+            // of the output while counting it as "seen".
+            if c.value.is_none() && kept_for_key == 0 {
+                // Newest version of this key is a delete: skip the key's
+                // remaining versions by pretending we kept the maximum.
+                kept_for_key = max_versions;
+                last_version = Some(c.version);
+                continue;
+            }
+            last_version = Some(c.version);
+            kept_for_key += 1;
+            entries.push((k, c));
+        }
+        SsTable { entries }
+    }
+
+    /// Persist to a file (length-prefixed CRC frame).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut payload = BytesMut::new();
+        payload.put_u64_le(self.entries.len() as u64);
+        for (k, c) in &self.entries {
+            put_slice(&mut payload, &k.row.0);
+            put_slice(&mut payload, k.family.0.as_bytes());
+            put_slice(&mut payload, k.qualifier.0.as_bytes());
+            payload.put_u64_le(c.version);
+            match &c.value {
+                Some(v) => {
+                    payload.put_u8(1);
+                    put_slice(&mut payload, v);
+                }
+                None => payload.put_u8(0),
+            }
+        }
+        let mut f = File::create(path)?;
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        header[4..].copy_from_slice(&crc32(&payload).to_le_bytes());
+        f.write_all(&header)?;
+        f.write_all(&payload)
+    }
+
+    /// Load from a file written by [`SsTable::save`].
+    pub fn load(path: &Path) -> std::io::Result<SsTable> {
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        if data.len() < 8 {
+            return Err(corrupt("truncated header"));
+        }
+        let len = u32::from_le_bytes(data[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if data.len() < 8 + len {
+            return Err(corrupt("truncated payload"));
+        }
+        let payload = &data[8..8 + len];
+        if crc32(payload) != crc {
+            return Err(corrupt("crc mismatch"));
+        }
+        let mut buf = payload;
+        if buf.remaining() < 8 {
+            return Err(corrupt("missing count"));
+        }
+        let count = buf.get_u64_le() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let row = get_slice(&mut buf).ok_or_else(|| corrupt("row"))?;
+            let family = get_slice(&mut buf).ok_or_else(|| corrupt("family"))?;
+            let qualifier = get_slice(&mut buf).ok_or_else(|| corrupt("qualifier"))?;
+            if buf.remaining() < 9 {
+                return Err(corrupt("cell header"));
+            }
+            let version = buf.get_u64_le();
+            let value = if buf.get_u8() == 1 {
+                Some(Bytes::from(
+                    get_slice(&mut buf).ok_or_else(|| corrupt("value"))?,
+                ))
+            } else {
+                None
+            };
+            entries.push((
+                CellKey {
+                    row: crate::types::RowKey(row),
+                    family: crate::types::ColumnFamily(
+                        String::from_utf8(family).map_err(|_| corrupt("utf8"))?,
+                    ),
+                    qualifier: crate::types::Qualifier(
+                        String::from_utf8(qualifier).map_err(|_| corrupt("utf8"))?,
+                    ),
+                },
+                Cell { version, value },
+            ));
+        }
+        Ok(SsTable { entries })
+    }
+}
+
+fn corrupt(what: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("corrupt sstable: {what}"))
+}
+
+fn put_slice(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn get_slice(buf: &mut &[u8]) -> Option<Vec<u8>> {
+    if buf.remaining() < 4 {
+        return None;
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return None;
+    }
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memtable::MemTable;
+
+    fn key(row: &str, q: &str) -> CellKey {
+        CellKey::new(row, "basic", q)
+    }
+
+    fn table_with(rows: &[(&str, &str, u64, Option<&'static [u8]>)]) -> SsTable {
+        let mut m = MemTable::new();
+        for &(r, q, v, val) in rows {
+            m.put(key(r, q), v, val.map(Bytes::from_static));
+        }
+        SsTable::from_sorted(m.drain_sorted())
+    }
+
+    #[test]
+    fn point_reads_find_latest_version() {
+        let t = table_with(&[
+            ("u1", "age", 1, Some(b"30")),
+            ("u1", "age", 5, Some(b"31")),
+            ("u2", "age", 3, Some(b"40")),
+        ]);
+        assert_eq!(t.get(&key("u1", "age"), u64::MAX).unwrap().version, 5);
+        assert_eq!(t.get(&key("u1", "age"), 2).unwrap().version, 1);
+        assert!(t.get(&key("u3", "age"), u64::MAX).is_none());
+    }
+
+    #[test]
+    fn merge_prefers_newest_and_caps_versions() {
+        let old = table_with(&[("u1", "age", 1, Some(b"a")), ("u1", "age", 2, Some(b"b"))]);
+        let new = table_with(&[("u1", "age", 3, Some(b"c"))]);
+        let merged = SsTable::merge(&[&new, &old], 2);
+        assert_eq!(merged.get(&key("u1", "age"), u64::MAX).unwrap().version, 3);
+        // max_versions = 2 keeps versions 3 and 2, drops 1.
+        assert_eq!(merged.len(), 2);
+        assert!(merged.get(&key("u1", "age"), 1).is_none());
+    }
+
+    #[test]
+    fn merge_drops_deleted_keys() {
+        let old = table_with(&[("u1", "age", 1, Some(b"a"))]);
+        let del = table_with(&[("u1", "age", 2, None)]);
+        let merged = SsTable::merge(&[&del, &old], 3);
+        assert!(merged.get(&key("u1", "age"), u64::MAX).is_none());
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let t = table_with(&[
+            ("u1", "age", 1, Some(b"30")),
+            ("u1", "gender", 1, Some(b"f")),
+            ("u2", "age", 2, None),
+        ]);
+        let dir = std::env::temp_dir().join(format!("titant-sst-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run0.sst");
+        t.save(&path).unwrap();
+        let loaded = SsTable::load(&path).unwrap();
+        assert_eq!(loaded.len(), t.len());
+        assert_eq!(
+            loaded.get(&key("u1", "age"), u64::MAX).unwrap().value,
+            t.get(&key("u1", "age"), u64::MAX).unwrap().value
+        );
+        // Tombstones survive save/load (they only die at compaction).
+        assert!(loaded.get(&key("u2", "age"), u64::MAX).unwrap().value.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("titant-sstc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.sst");
+        let t = table_with(&[("u1", "age", 1, Some(b"x"))]);
+        t.save(&path).unwrap();
+        let mut data = std::fs::read(&path).unwrap();
+        let n = data.len();
+        data[n - 1] ^= 0xff;
+        std::fs::write(&path, &data).unwrap();
+        assert!(SsTable::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_versions_across_runs_newest_run_wins() {
+        let run_new = table_with(&[("u1", "age", 5, Some(b"new"))]);
+        let run_old = table_with(&[("u1", "age", 5, Some(b"old"))]);
+        let merged = SsTable::merge(&[&run_new, &run_old], 3);
+        assert_eq!(
+            merged.get(&key("u1", "age"), u64::MAX).unwrap().value.as_deref(),
+            Some(b"new".as_ref())
+        );
+        assert_eq!(merged.len(), 1);
+    }
+}

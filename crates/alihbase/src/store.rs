@@ -1,0 +1,365 @@
+//! The LSM store: WAL + memtable + sorted runs + compaction.
+
+use crate::memtable::MemTable;
+use crate::sstable::SsTable;
+use crate::types::{Cell, CellKey, Version};
+use crate::wal::{Wal, WalRecord};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::path::PathBuf;
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Flush the memtable once it holds roughly this many bytes.
+    pub memtable_flush_bytes: usize,
+    /// Compact once this many runs accumulate.
+    pub max_runs: usize,
+    /// Versions retained per cell at compaction (TitAnt keeps a few model
+    /// versions for rollback).
+    pub max_versions: usize,
+    /// Directory for the WAL and persisted runs; `None` = fully in-memory
+    /// (no durability, used by tests and benchmarks).
+    pub dir: Option<PathBuf>,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            memtable_flush_bytes: 4 << 20,
+            max_runs: 6,
+            max_versions: 3,
+            dir: None,
+        }
+    }
+}
+
+struct Inner {
+    memtable: MemTable,
+    /// Newest run first.
+    runs: Vec<SsTable>,
+    wal: Option<Wal>,
+    next_run_id: u64,
+}
+
+/// A single-region LSM store (one "HStore" in HBase terms). Thread-safe:
+/// reads take a shared lock, writes an exclusive one.
+pub struct Store {
+    config: StoreConfig,
+    inner: RwLock<Inner>,
+}
+
+impl Store {
+    /// Open a store. With a directory configured, replays the WAL and
+    /// loads persisted runs (crash recovery).
+    pub fn open(config: StoreConfig) -> std::io::Result<Self> {
+        let mut memtable = MemTable::new();
+        let mut runs = Vec::new();
+        let mut wal = None;
+        let mut next_run_id = 0;
+        if let Some(dir) = &config.dir {
+            std::fs::create_dir_all(dir)?;
+            // Load persisted runs, newest (highest id) first.
+            let mut run_files: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let name = e.file_name().into_string().ok()?;
+                    let id: u64 = name.strip_prefix("run-")?.strip_suffix(".sst")?.parse().ok()?;
+                    Some((id, e.path()))
+                })
+                .collect();
+            run_files.sort_by_key(|(id, _)| std::cmp::Reverse(*id));
+            next_run_id = run_files.first().map_or(0, |(id, _)| id + 1);
+            for (_, path) in run_files {
+                runs.push(SsTable::load(&path)?);
+            }
+            let (w, replayed) = Wal::open(&dir.join("wal.log"))?;
+            for r in replayed {
+                memtable.put(r.key, r.version, r.value);
+            }
+            wal = Some(w);
+        }
+        Ok(Self {
+            config,
+            inner: RwLock::new(Inner {
+                memtable,
+                runs,
+                wal,
+                next_run_id,
+            }),
+        })
+    }
+
+    /// Write a cell value.
+    pub fn put(
+        &self,
+        key: CellKey,
+        version: Version,
+        value: Bytes,
+    ) -> std::io::Result<()> {
+        self.write(key, version, Some(value))
+    }
+
+    /// Write a delete tombstone.
+    pub fn delete(&self, key: CellKey, version: Version) -> std::io::Result<()> {
+        self.write(key, version, None)
+    }
+
+    fn write(&self, key: CellKey, version: Version, value: Option<Bytes>) -> std::io::Result<()> {
+        let mut inner = self.inner.write();
+        if let Some(wal) = &mut inner.wal {
+            wal.append(&WalRecord {
+                key: key.clone(),
+                version,
+                value: value.clone(),
+            })?;
+        }
+        inner.memtable.put(key, version, value);
+        if inner.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Latest value at or below `as_of` (`Version::MAX` = newest).
+    /// Tombstones read as `None`.
+    pub fn get_versioned(&self, key: &CellKey, as_of: Version) -> Option<Bytes> {
+        let inner = self.inner.read();
+        let mut best: Option<&Cell> = inner.memtable.get(key, as_of);
+        for run in &inner.runs {
+            if let Some(c) = run.get(key, as_of) {
+                if best.is_none_or(|b| c.version > b.version) {
+                    best = Some(c);
+                }
+            }
+        }
+        best.and_then(|c| c.value.clone())
+    }
+
+    /// Latest value.
+    pub fn get(&self, key: &CellKey) -> Option<Bytes> {
+        self.get_versioned(key, Version::MAX)
+    }
+
+    /// Force-flush the memtable into a new run.
+    pub fn flush(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let run = SsTable::from_sorted(inner.memtable.drain_sorted());
+        if let Some(dir) = &self.config.dir {
+            let id = inner.next_run_id;
+            inner.next_run_id += 1;
+            run.save(&dir.join(format!("run-{id:08}.sst")))?;
+        }
+        inner.runs.insert(0, run);
+        if let Some(wal) = &mut inner.wal {
+            wal.truncate()?;
+        }
+        if inner.runs.len() > self.config.max_runs {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Merge all runs into one, dropping superseded versions and tombstones.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let mut inner = self.inner.write();
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        if inner.runs.len() <= 1 {
+            return Ok(());
+        }
+        let refs: Vec<&SsTable> = inner.runs.iter().collect();
+        let merged = SsTable::merge(&refs, self.config.max_versions);
+        if let Some(dir) = &self.config.dir {
+            let id = inner.next_run_id;
+            inner.next_run_id += 1;
+            merged.save(&dir.join(format!("run-{id:08}.sst")))?;
+            // Remove the superseded run files.
+            for entry in std::fs::read_dir(dir)?.filter_map(|e| e.ok()) {
+                let name = entry.file_name().into_string().unwrap_or_default();
+                if let Some(old) = name
+                    .strip_prefix("run-")
+                    .and_then(|s| s.strip_suffix(".sst"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    if old != id {
+                        std::fs::remove_file(entry.path())?;
+                    }
+                }
+            }
+        }
+        inner.runs = vec![merged];
+        Ok(())
+    }
+
+    /// Number of runs (diagnostics).
+    pub fn run_count(&self) -> usize {
+        self.inner.read().runs.len()
+    }
+
+    /// Scan all live cells (latest non-tombstone version per key) in key
+    /// order within `[start, end)` row-key bounds.
+    pub fn scan_rows(
+        &self,
+        start: &crate::types::RowKey,
+        end: &crate::types::RowKey,
+    ) -> Vec<(CellKey, Bytes)> {
+        let inner = self.inner.read();
+        use std::collections::BTreeMap;
+        let mut latest: BTreeMap<CellKey, Cell> = BTreeMap::new();
+        let mut consider = |k: &CellKey, c: &Cell| {
+            if k.row < *start || k.row >= *end {
+                return;
+            }
+            match latest.get(k) {
+                Some(existing) if existing.version >= c.version => {}
+                _ => {
+                    latest.insert(k.clone(), c.clone());
+                }
+            }
+        };
+        for (k, cells) in inner.memtable.iter() {
+            for c in cells {
+                consider(k, c);
+            }
+        }
+        for run in &inner.runs {
+            for (k, c) in run.iter() {
+                consider(k, c);
+            }
+        }
+        latest
+            .into_iter()
+            .filter_map(|(k, c)| c.value.map(|v| (k, v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RowKey;
+
+    fn key(row: &str, q: &str) -> CellKey {
+        CellKey::new(row, "basic", q)
+    }
+
+    fn mem_store() -> Store {
+        Store::open(StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn put_get_latest() {
+        let s = mem_store();
+        s.put(key("u1", "age"), 1, Bytes::from_static(b"30")).unwrap();
+        s.put(key("u1", "age"), 2, Bytes::from_static(b"31")).unwrap();
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"31".as_ref()));
+        assert_eq!(
+            s.get_versioned(&key("u1", "age"), 1).as_deref(),
+            Some(b"30".as_ref())
+        );
+    }
+
+    #[test]
+    fn reads_merge_memtable_and_runs() {
+        let s = mem_store();
+        s.put(key("u1", "age"), 1, Bytes::from_static(b"old")).unwrap();
+        s.flush().unwrap();
+        s.put(key("u1", "age"), 2, Bytes::from_static(b"new")).unwrap();
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"new".as_ref()));
+        assert_eq!(s.run_count(), 1);
+    }
+
+    #[test]
+    fn delete_shadows_older_versions() {
+        let s = mem_store();
+        s.put(key("u1", "age"), 1, Bytes::from_static(b"x")).unwrap();
+        s.flush().unwrap();
+        s.delete(key("u1", "age"), 2).unwrap();
+        assert!(s.get(&key("u1", "age")).is_none());
+        // Older version still reachable with a versioned read.
+        assert!(s.get_versioned(&key("u1", "age"), 1).is_some());
+    }
+
+    #[test]
+    fn compaction_collapses_runs() {
+        let s = mem_store();
+        for v in 0..5 {
+            s.put(key("u1", "age"), v, Bytes::from(format!("v{v}")))
+                .unwrap();
+            s.flush().unwrap();
+        }
+        assert_eq!(s.run_count(), 5);
+        s.compact().unwrap();
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"v4".as_ref()));
+        // max_versions = 3: version 0 and 1 are gone.
+        assert!(s.get_versioned(&key("u1", "age"), 1).is_none());
+        assert!(s.get_versioned(&key("u1", "age"), 2).is_some());
+    }
+
+    #[test]
+    fn crash_recovery_from_wal_and_runs() {
+        let dir = std::env::temp_dir().join(format!("titant-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        {
+            let s = Store::open(cfg.clone()).unwrap();
+            s.put(key("u1", "age"), 1, Bytes::from_static(b"flushed"))
+                .unwrap();
+            s.flush().unwrap();
+            s.put(key("u2", "age"), 1, Bytes::from_static(b"in-wal"))
+                .unwrap();
+            // No flush: u2 lives only in WAL + memtable. Drop = crash.
+        }
+        let s = Store::open(cfg).unwrap();
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"flushed".as_ref()));
+        assert_eq!(s.get(&key("u2", "age")).as_deref(), Some(b"in-wal".as_ref()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_flush_on_size() {
+        let s = Store::open(StoreConfig {
+            memtable_flush_bytes: 256,
+            ..Default::default()
+        })
+        .unwrap();
+        for i in 0..64 {
+            s.put(
+                key(&format!("u{i}"), "age"),
+                1,
+                Bytes::from(vec![0u8; 16]),
+            )
+            .unwrap();
+        }
+        assert!(s.run_count() >= 1, "memtable should have flushed");
+    }
+
+    #[test]
+    fn scan_rows_returns_latest_live_cells_in_order() {
+        let s = mem_store();
+        s.put(key("u1", "age"), 1, Bytes::from_static(b"a")).unwrap();
+        s.put(key("u2", "age"), 1, Bytes::from_static(b"b")).unwrap();
+        s.put(key("u2", "age"), 2, Bytes::from_static(b"b2")).unwrap();
+        s.put(key("u3", "age"), 1, Bytes::from_static(b"c")).unwrap();
+        s.delete(key("u3", "age"), 2).unwrap();
+        s.flush().unwrap();
+        let rows = s.scan_rows(&RowKey::from_str("u1"), &RowKey::from_str("u3"));
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1.as_ref(), b"a");
+        assert_eq!(rows[1].1.as_ref(), b"b2");
+    }
+}

@@ -1,0 +1,120 @@
+//! Core key/value types of the wide-column model.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A row key (in TitAnt: the user id, e.g. `"u42"` — "Zoe", "Sam" and
+/// "Liam" in the paper's Figure 7). Ordered lexicographically by bytes,
+/// exactly like HBase.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowKey(pub Vec<u8>);
+
+/// A column family name (Figure 7 uses `basic features` and
+/// `user node embeddings`; this crate abbreviates to `basic` / `embedding`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ColumnFamily(pub String);
+
+/// A qualifier within a family (e.g. `age`, `gender`, or the embedding
+/// dimension index as a string).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Qualifier(pub String);
+
+/// A cell version. TitAnt uploads one version per offline training run
+/// ("by the version of date time", §4.4); larger = newer.
+pub type Version = u64;
+
+/// Fully-qualified cell coordinate, the LSM's sort key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellKey {
+    pub row: RowKey,
+    pub family: ColumnFamily,
+    pub qualifier: Qualifier,
+}
+
+/// One versioned cell value. `None` is a delete tombstone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    pub version: Version,
+    /// `None` = tombstone.
+    pub value: Option<Bytes>,
+}
+
+impl RowKey {
+    /// From a UTF-8 string (inherent constructor, not `std::str::FromStr`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Self {
+        Self(s.as_bytes().to_vec())
+    }
+
+    /// From a numeric user id (`u{n}` — keeps human-readable keys while
+    /// clustering numerically adjacent users).
+    pub fn from_user(id: u64) -> Self {
+        Self::from_str(&format!("u{id:012}"))
+    }
+}
+
+impl fmt::Display for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) => write!(f, "{s}"),
+            Err(_) => write!(f, "{:02x?}", self.0),
+        }
+    }
+}
+
+impl CellKey {
+    /// Build a cell key from string parts.
+    pub fn new(row: impl Into<RowKey>, family: &str, qualifier: &str) -> Self {
+        Self {
+            row: row.into(),
+            family: ColumnFamily(family.to_string()),
+            qualifier: Qualifier(qualifier.to_string()),
+        }
+    }
+}
+
+impl From<&str> for RowKey {
+    fn from(s: &str) -> Self {
+        RowKey::from_str(s)
+    }
+}
+
+impl From<String> for RowKey {
+    fn from(s: String) -> Self {
+        RowKey(s.into_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_keys_order_lexicographically() {
+        assert!(RowKey::from_str("a") < RowKey::from_str("b"));
+        assert!(RowKey::from_str("a") < RowKey::from_str("aa"));
+    }
+
+    #[test]
+    fn user_row_keys_order_numerically_via_padding() {
+        assert!(RowKey::from_user(9) < RowKey::from_user(10));
+        assert!(RowKey::from_user(99) < RowKey::from_user(100));
+        assert_eq!(RowKey::from_user(7).to_string(), "u000000000007");
+    }
+
+    #[test]
+    fn cell_keys_sort_row_major() {
+        let a = CellKey::new("u1", "basic", "age");
+        let b = CellKey::new("u1", "basic", "gender");
+        let c = CellKey::new("u2", "basic", "age");
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn display_handles_binary() {
+        let k = RowKey(vec![0xff, 0x00]);
+        assert!(k.to_string().contains("ff"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Criterion micro-benches for the substrate hot paths: random walks, SGNS
+//! training, GBDT fitting, SQL execution and the alias sampler.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use titant_maxcompute::{sql, ColumnType, Schema, Table};
+use titant_models::{Dataset, GbdtConfig, LogisticRegressionConfig};
+use titant_nrl::{Word2VecConfig, Word2VecTrainer};
+use titant_txgraph::{AliasTable, TxGraphBuilder, UserId, WalkConfig, WalkEngine};
+
+fn community_graph(users: u64) -> titant_txgraph::TxGraph {
+    let mut b = TxGraphBuilder::new();
+    let mut state = 17u64;
+    let mut next = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) % m
+    };
+    for u in 0..users {
+        let comm = u / 50;
+        for _ in 0..5 {
+            let v = comm * 50 + next(50);
+            if v != u && v < users {
+                b.add_edge(UserId(u), UserId(v), 1.0 + next(5) as f32);
+            }
+        }
+    }
+    b.build()
+}
+
+fn synthetic_dataset(rows: usize, cols: usize) -> Dataset {
+    let mut d = Dataset::new(cols);
+    let mut state = 23u64;
+    let mut rand01 = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f32 / (1u64 << 31) as f32
+    };
+    for _ in 0..rows {
+        let row: Vec<f32> = (0..cols).map(|_| rand01()).collect();
+        let label = (row[0] + row[1] > 1.2) as u8 as f32;
+        d.push_row(&row, label);
+    }
+    d
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let graph = community_graph(2_000);
+    let cfg = WalkConfig {
+        walk_length: 50,
+        walks_per_node: 2,
+        threads: 1,
+        ..Default::default()
+    };
+    let tokens = (graph.node_count() * 2 * 50) as u64;
+    let mut g = c.benchmark_group("walks");
+    g.throughput(Throughput::Elements(tokens));
+    g.bench_function("random_walk_corpus_2k_nodes", |b| {
+        b.iter(|| black_box(WalkEngine::new(&graph, cfg.clone()).generate()))
+    });
+    g.finish();
+}
+
+fn bench_sgns(c: &mut Criterion) {
+    let graph = community_graph(1_000);
+    let corpus = WalkEngine::new(
+        &graph,
+        WalkConfig {
+            walk_length: 20,
+            walks_per_node: 5,
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .generate();
+    let mut g = c.benchmark_group("sgns");
+    g.throughput(Throughput::Elements(corpus.token_count() as u64));
+    g.sample_size(10);
+    g.bench_function("word2vec_one_epoch_dim32", |b| {
+        b.iter(|| {
+            black_box(
+                Word2VecTrainer::new(Word2VecConfig {
+                    dim: 32,
+                    epochs: 1,
+                    threads: 1,
+                    ..Default::default()
+                })
+                .train(&corpus, graph.node_count()),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let data = synthetic_dataset(10_000, 52);
+    let mut g = c.benchmark_group("models");
+    g.sample_size(10);
+    g.bench_function("gbdt_100_trees_10k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                GbdtConfig {
+                    n_trees: 100,
+                    ..Default::default()
+                }
+                .fit(&data),
+            )
+        })
+    });
+    g.bench_function("lr_discretized_10k_rows", |b| {
+        b.iter(|| {
+            black_box(
+                LogisticRegressionConfig {
+                    max_epochs: 20,
+                    ..Default::default()
+                }
+                .fit(&data),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut t = Table::new(Schema::new(vec![
+        ("user", ColumnType::Int),
+        ("day", ColumnType::Int),
+        ("amount", ColumnType::Float),
+    ]));
+    let mut state = 31u64;
+    let mut next = move |m: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) % m
+    };
+    for _ in 0..50_000 {
+        t.push_row(vec![
+            (next(1000) as i64).into(),
+            (next(90) as i64).into(),
+            (next(100_000) as f64).into(),
+        ]);
+    }
+    let q = sql::parse("SELECT user, COUNT(*), SUM(amount) FROM tx WHERE day >= 60 GROUP BY user")
+        .unwrap();
+    let mut g = c.benchmark_group("sql");
+    g.throughput(Throughput::Elements(50_000));
+    g.sample_size(20);
+    g.bench_function("filtered_group_by_50k_rows", |b| {
+        b.iter(|| black_box(sql::execute(&q, &t).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_alias(c: &mut Criterion) {
+    let weights: Vec<f32> = (1..=64).map(|i| i as f32).collect();
+    let table = AliasTable::new(&weights);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    c.bench_function("alias_sample", |b| {
+        b.iter(|| black_box(table.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_walks,
+    bench_sgns,
+    bench_models,
+    bench_sql,
+    bench_alias
+);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Ablations for the reproduction's key design choices (DESIGN.md §4/4b).
+//!
+//! ```sh
+//! TITANT_SCALE=small cargo run --release -p titant-bench --bin ablation walks
+//! TITANT_SCALE=small cargo run --release -p titant-bench --bin ablation mules
+//! ```
+//!
+//! * `walks` — uniform vs transfer-count-weighted random walks feeding
+//!   DeepWalk (the decision that flips DW's contribution from negative to
+//!   positive on this world).
+//! * `mules` — sweep of the outside-mule rate (the irreducible-noise knob):
+//!   more mule frauds should depress every configuration, graph-aware ones
+//!   least of all... up to the point where the receiver isn't in the
+//!   window at all.
+
+use std::fmt::Write as _;
+use titant_bench::{harness, Experiment, FeatureConfig, ModelKind, Scale};
+use titant_datagen::{DatasetSlice, World, WorldConfig};
+use titant_models::{Classifier, GbdtConfig};
+use titant_nrl::{DeepWalk, DeepWalkConfig, Word2VecConfig};
+use titant_txgraph::{WalkConfig, WalkStrategy};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "walks".into());
+    match which.as_str() {
+        "walks" => ablate_walks(),
+        "mules" => ablate_mules(),
+        other => eprintln!("unknown ablation {other}; use walks|mules"),
+    }
+}
+
+fn ablate_walks() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::new(scale, 0x0711_4a47);
+    let slice = DatasetSlice::paper(0);
+    let mut out = String::from("Ablation: walk strategy feeding DeepWalk (Basic+DW+GBDT)\n\n");
+
+    // Baseline without embeddings for reference.
+    let (train_b, test_b) = exp.datasets(&slice, FeatureConfig::BASIC, 32, 1);
+    let base = exp.train_and_eval(ModelKind::Gbdt, &train_b, &test_b);
+    let _ = writeln!(out, "{:>10}: f1 {:>6.2}%  (no embeddings)", "basic", base.f1 * 100.0);
+
+    for strategy in [WalkStrategy::Uniform, WalkStrategy::Weighted] {
+        let graph = exp.world().build_graph(slice.graph_days.clone());
+        let emb = DeepWalk::new(DeepWalkConfig {
+            walk: WalkConfig {
+                walks_per_node: scale.walks_per_node(),
+                strategy,
+                threads: scale.threads(),
+                ..Default::default()
+            },
+            word2vec: Word2VecConfig {
+                dim: 32,
+                threads: scale.threads(),
+                ..Default::default()
+            },
+        })
+        .embed(&graph);
+        let (train_idx, test_idx) = (
+            exp.world()
+                .basic_dataset(slice.train_days.clone(), slice.label_cutoff()),
+            exp.world()
+                .basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX),
+        );
+        let tr_e =
+            harness::embedding_dataset(exp.world(), &train_idx.1, &graph, &emb, "dw");
+        let te_e = harness::embedding_dataset(exp.world(), &test_idx.1, &graph, &emb, "dw");
+        let train = train_idx.0.hconcat(&tr_e);
+        let test = test_idx.0.hconcat(&te_e);
+        let m = exp.train_and_eval(ModelKind::Gbdt, &train, &test);
+        let _ = writeln!(
+            out,
+            "{:>10}: f1 {:>6.2}%  rec@1% {:>6.2}%  auc {:.3}",
+            format!("{strategy:?}"),
+            m.f1 * 100.0,
+            m.rec_at_top1pct * 100.0,
+            m.auc
+        );
+    }
+    out.push_str(
+        "\nexpected: Weighted > basic > Uniform — one-off victim edges swamp the ring\n\
+         signal under uniform transition probabilities (DESIGN.md §4)\n",
+    );
+    println!("{out}");
+    harness::save_results("ablation_walks.txt", &out);
+}
+
+fn ablate_mules() {
+    let scale = Scale::from_env();
+    let mut out = String::from("Ablation: outside-mule rate (irreducible graph-blind fraud)\n\n");
+    for mule_rate in [0.0f64, 0.15, 0.4] {
+        let world = World::generate(WorldConfig {
+            mule_rate,
+            ..scale.world_config(0x0711_4a47)
+        });
+        let slice = DatasetSlice::paper(0);
+        let graph = world.build_graph(slice.graph_days.clone());
+        let emb = DeepWalk::new(DeepWalkConfig {
+            walk: WalkConfig {
+                walks_per_node: scale.walks_per_node(),
+                strategy: WalkStrategy::Weighted,
+                threads: scale.threads(),
+                ..Default::default()
+            },
+            word2vec: Word2VecConfig {
+                dim: 32,
+                threads: scale.threads(),
+                ..Default::default()
+            },
+        })
+        .embed(&graph);
+        let (train_b, train_idx) =
+            world.basic_dataset(slice.train_days.clone(), slice.label_cutoff());
+        let (test_b, test_idx) =
+            world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+        let train = train_b.hconcat(&harness::embedding_dataset(
+            &world, &train_idx, &graph, &emb, "dw",
+        ));
+        let test = test_b.hconcat(&harness::embedding_dataset(
+            &world, &test_idx, &graph, &emb, "dw",
+        ));
+        // Direct fit/eval with the shared protocol.
+        let n = train.n_rows();
+        let val_rows: Vec<usize> = (0..(n as f64 * 0.25) as usize).collect();
+        let fit_rows: Vec<usize> = (val_rows.len()..n).collect();
+        let model = GbdtConfig::default().fit(&train.subset(&fit_rows));
+        let val = train.subset(&val_rows);
+        let (rate, _) =
+            titant_eval::best_f1_rate(&model.predict_batch(&val), val.labels());
+        let f1 = titant_eval::f1_at_rate(&model.predict_batch(&test), test.labels(), rate);
+        let _ = writeln!(out, "mule_rate {mule_rate:.2}: DW+GBDT f1 {:>6.2}%", f1 * 100.0);
+    }
+    out.push_str("\nexpected: F1 declines as more fraud routes through window-invisible mules\n");
+    println!("{out}");
+    harness::save_results("ablation_mules.txt", &out);
+}

@@ -1,0 +1,67 @@
+//! Calibration scratchpad: one-slice mini Table 1 + world diagnostics.
+//!
+//! Not a paper artefact — used to tune the synthetic world so the paper's
+//! method ordering emerges. Run with `TITANT_SCALE=small` for a quick look.
+
+use titant_bench::{Experiment, FeatureConfig, ModelKind, Scale};
+use titant_datagen::DatasetSlice;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = std::time::Instant::now();
+    let mut exp = Experiment::new(scale, 0x0711_4a47);
+    let slice = DatasetSlice::paper(0);
+
+    let w = exp.world();
+    println!(
+        "world: {} users, {} records, fraud rate {:.3}%, repeat fraudsters {:.0}%  [{:.1?}]",
+        w.profiles().len(),
+        w.records().len(),
+        w.fraud_rate(0..w.config().n_days) * 100.0,
+        w.repeat_fraudster_fraction() * 100.0,
+        t0.elapsed()
+    );
+    let test_range = w.record_range(slice.test_day..slice.test_day + 1);
+    let test_pos = test_range.clone().filter(|&i| w.is_fraud(i)).count();
+    println!(
+        "test day {}: {} tx, {} fraud ({:.2}%)",
+        slice.test_day,
+        test_range.len(),
+        test_pos,
+        100.0 * test_pos as f64 / test_range.len() as f64
+    );
+
+    let dim = 32;
+    let walks = scale.walks_per_node();
+
+    let configs: Vec<(String, FeatureConfig, ModelKind)> = vec![
+        ("IF   basic".into(), FeatureConfig::BASIC, ModelKind::IsolationForest),
+        ("ID3  basic".into(), FeatureConfig::BASIC, ModelKind::Id3),
+        ("C5.0 basic".into(), FeatureConfig::BASIC, ModelKind::C50),
+        ("LR   basic".into(), FeatureConfig::BASIC, ModelKind::LogisticRegression),
+        ("GBDT basic".into(), FeatureConfig::BASIC, ModelKind::Gbdt),
+        ("LR   +S2V".into(), FeatureConfig::S2V, ModelKind::LogisticRegression),
+        ("GBDT +S2V".into(), FeatureConfig::S2V, ModelKind::Gbdt),
+        ("LR   +DW".into(), FeatureConfig::DW, ModelKind::LogisticRegression),
+        ("GBDT +DW".into(), FeatureConfig::DW, ModelKind::Gbdt),
+        ("LR   +DW+S2V".into(), FeatureConfig::DW_S2V, ModelKind::LogisticRegression),
+        ("GBDT +DW+S2V".into(), FeatureConfig::DW_S2V, ModelKind::Gbdt),
+        ("GBDT dwONLY".into(), FeatureConfig::DW_ONLY, ModelKind::Gbdt),
+        ("GBDT s2vONLY".into(), FeatureConfig::S2V_ONLY, ModelKind::Gbdt),
+    ];
+
+    for (name, feat, model) in configs {
+        let t = std::time::Instant::now();
+        let (train, test) = exp.datasets(&slice, feat, dim, walks);
+        let m = exp.train_and_eval(model, &train, &test);
+        println!(
+            "{name:14} f1 {:6.2}%  oracle {:6.2}%  rate {:6.3}%  rec@1% {:6.2}%  auc {:.3}  [{:.1?}]",
+            m.f1 * 100.0,
+            m.oracle_f1 * 100.0,
+            m.alert_rate * 100.0,
+            m.rec_at_top1pct * 100.0,
+            m.auc,
+            t.elapsed()
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! **Figure 11** — F1 versus embedding dimensionality (8/16/32/64) for the
+//! three embedding configurations with GBDT (Dataset 1).
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin fig11
+//! ```
+//!
+//! The paper's shape: 32 is the sweet spot — too few dimensions cannot hold
+//! the topology, too many overfit.
+
+use titant_bench::{harness, Experiment, FeatureConfig, ModelKind, Scale};
+use titant_datagen::DatasetSlice;
+use titant_eval::ExperimentTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::new(scale, 0x0711_4a47);
+    let slice = DatasetSlice::paper(0);
+    let walks = scale.walks_per_node();
+
+    let dims = [8usize, 16, 32, 64];
+    let configs = [
+        ("Basic Features+S2V+GBDT", FeatureConfig::S2V),
+        ("Basic Features+DW+GBDT", FeatureConfig::DW),
+        ("Basic Features+DW+S2V+GBDT", FeatureConfig::DW_S2V),
+    ];
+
+    let mut table = ExperimentTable::new(
+        "Figure 11: F1 vs embedding dimension (Dataset 1)",
+        dims.iter().map(|d| format!("d={d}")).collect(),
+    );
+    for (name, feat) in configs {
+        let row = table.row(name);
+        for (ci, &dim) in dims.iter().enumerate() {
+            let (train, test) = exp.datasets(&slice, feat, dim, walks);
+            let m = exp.train_and_eval(ModelKind::Gbdt, &train, &test);
+            table.set(row, ci, m.f1);
+            eprintln!("{name} d={dim}: f1 {:.2}%", m.f1 * 100.0);
+        }
+    }
+    let mut out = table.render();
+    out.push_str("\npaper shape: F1 peaks at dimension 32 for every configuration\n");
+    println!("{out}");
+    harness::save_results("fig11.txt", &out);
+}

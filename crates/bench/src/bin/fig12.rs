@@ -1,0 +1,52 @@
+//! **Figure 12** — F1 versus the number of GBDT trees (100/200/400/800)
+//! for the four feature configurations (Dataset 1).
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin fig12
+//! ```
+//!
+//! The paper's shape: F1 improves to 400 trees and dips at 800
+//! (overfitting).
+
+use titant_bench::{harness, Experiment, FeatureConfig, Scale};
+use titant_datagen::DatasetSlice;
+use titant_eval::ExperimentTable;
+use titant_models::GbdtConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::new(scale, 0x0711_4a47);
+    let slice = DatasetSlice::paper(0);
+    let walks = scale.walks_per_node();
+    let dim = 32;
+
+    let tree_counts = [100usize, 200, 400, 800];
+    let configs = [
+        ("Basic Features+GBDT", FeatureConfig::BASIC),
+        ("Basic Features+S2V+GBDT", FeatureConfig::S2V),
+        ("Basic Features+DW+GBDT", FeatureConfig::DW),
+        ("Basic Features+DW+S2V+GBDT", FeatureConfig::DW_S2V),
+    ];
+
+    let mut table = ExperimentTable::new(
+        "Figure 12: F1 vs number of GBDT trees (Dataset 1)",
+        tree_counts.iter().map(|t| format!("{t} trees")).collect(),
+    );
+    for (name, feat) in configs {
+        let (train, test) = exp.datasets(&slice, feat, dim, walks);
+        let row = table.row(name);
+        for (ci, &n_trees) in tree_counts.iter().enumerate() {
+            let cfg = GbdtConfig {
+                n_trees,
+                ..Default::default()
+            };
+            let m = exp.train_and_eval_gbdt(&cfg, &train, &test);
+            table.set(row, ci, m.f1);
+            eprintln!("{name} {n_trees} trees: f1 {:.2}%", m.f1 * 100.0);
+        }
+    }
+    let mut out = table.render();
+    out.push_str("\npaper shape: F1 rises to 400 trees, then drops at 800 (overfitting)\n");
+    println!("{out}");
+    harness::save_results("fig12.txt", &out);
+}

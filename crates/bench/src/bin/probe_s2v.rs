@@ -1,0 +1,60 @@
+//! Diagnostic: S2V embedding statistics on the default world (not a paper
+//! artefact).
+
+use titant_bench::{Experiment, Scale};
+use titant_datagen::DatasetSlice;
+use titant_nrl::{Structure2Vec, Structure2VecConfig};
+
+fn main() {
+    let mut exp = Experiment::new(Scale::from_env(), 0x0711_4a47);
+    let slice = DatasetSlice::paper(0);
+    exp.graph(&slice);
+    let graph = exp.world().build_graph(slice.graph_days.clone());
+    let labels = exp
+        .world()
+        .edge_labels(&graph, slice.graph_days.clone(), slice.label_cutoff());
+    let pos = labels.iter().filter(|&&(_, _, y)| y).count();
+    println!(
+        "graph: {} nodes, {} edges, {} fraud edges ({:.3}%)",
+        graph.node_count(),
+        graph.edge_count(),
+        pos,
+        100.0 * pos as f64 / labels.len() as f64
+    );
+
+    for (epochs, rounds, lr) in [(3usize, 2usize, 0.01f32), (10, 2, 0.05), (10, 3, 0.001)] {
+        let emb = Structure2Vec::train(
+            &graph,
+            &labels,
+            &Structure2VecConfig {
+                dim: 32,
+                epochs,
+                rounds,
+                learning_rate: lr,
+                ..Default::default()
+            },
+        )
+        .into_embeddings();
+        let n = emb.node_count();
+        let vals = emb.as_slice();
+        let zeros = vals.iter().filter(|&&v| v == 0.0).count() as f64 / vals.len() as f64;
+        let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
+        let max = vals.iter().cloned().fold(f32::MIN, f32::max);
+        let finite = vals.iter().all(|v| v.is_finite());
+        // Per-dim variance: how many dims are informative?
+        let d = emb.dim();
+        let mut live_dims = 0;
+        for k in 0..d {
+            let col: Vec<f64> = (0..n).map(|i| vals[i * d + k] as f64).collect();
+            let m = col.iter().sum::<f64>() / n as f64;
+            let var = col.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / n as f64;
+            if var > 1e-9 {
+                live_dims += 1;
+            }
+        }
+        println!(
+            "ep{epochs} r{rounds} lr{lr}: zeros {:.1}%  mean {mean:.4}  max {max:.3}  finite {finite}  live_dims {live_dims}/{d}",
+            zeros * 100.0
+        );
+    }
+}

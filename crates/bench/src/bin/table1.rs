@@ -1,0 +1,74 @@
+//! **Table 1** — F1 of the eleven configurations over the seven rolling
+//! datasets (test days April 10–16).
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin table1
+//! ```
+//!
+//! Scale via `TITANT_SCALE` (tiny|small|default|paper); `default` takes
+//! roughly half an hour (seven DeepWalk + S2V trainings plus 77 model
+//! fits).
+
+use titant_bench::{harness, Experiment, FeatureConfig, ModelKind, Scale};
+use titant_datagen::{DatasetSlice, PAPER_DATASET_COUNT};
+use titant_eval::ExperimentTable;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut exp = Experiment::new(scale, 0x0711_4a47);
+    let walks = scale.walks_per_node();
+    let dim = 32;
+
+    // The paper's eleven configurations, in row order.
+    let configs: Vec<(String, FeatureConfig, ModelKind)> = vec![
+        ("Basic Features/Attributes+IF".into(), FeatureConfig::BASIC, ModelKind::IsolationForest),
+        ("Basic Features/Rules+ID3".into(), FeatureConfig::BASIC, ModelKind::Id3),
+        ("Basic Features/Rules+C5.0".into(), FeatureConfig::BASIC, ModelKind::C50),
+        ("Basic Features+LR".into(), FeatureConfig::BASIC, ModelKind::LogisticRegression),
+        ("Basic Features+GBDT".into(), FeatureConfig::BASIC, ModelKind::Gbdt),
+        ("Basic Features+S2V+LR".into(), FeatureConfig::S2V, ModelKind::LogisticRegression),
+        ("Basic Features+S2V+GBDT".into(), FeatureConfig::S2V, ModelKind::Gbdt),
+        ("Basic Features+DW+LR".into(), FeatureConfig::DW, ModelKind::LogisticRegression),
+        ("Basic Features+DW+GBDT".into(), FeatureConfig::DW, ModelKind::Gbdt),
+        ("Basic Features+DW+S2V+LR".into(), FeatureConfig::DW_S2V, ModelKind::LogisticRegression),
+        ("Basic Features+DW+S2V+GBDT".into(), FeatureConfig::DW_S2V, ModelKind::Gbdt),
+    ];
+
+    let columns: Vec<String> = (0..PAPER_DATASET_COUNT)
+        .map(|k| DatasetSlice::paper(k).test_day_name())
+        .collect();
+    let mut table = ExperimentTable::new(
+        "Table 1: F1 under the eleven configurations (paper Table 1)",
+        columns,
+    );
+
+    let t0 = std::time::Instant::now();
+    for k in 0..PAPER_DATASET_COUNT {
+        let slice = DatasetSlice::paper(k);
+        eprintln!(
+            "[{:.0?}] dataset {} (test {})…",
+            t0.elapsed(),
+            k + 1,
+            slice.test_day_name()
+        );
+        for (name, feat, model) in &configs {
+            let (train, test) = exp.datasets(&slice, *feat, dim, walks);
+            let m = exp.train_and_eval(*model, &train, &test);
+            let row = table.row(name.clone());
+            table.set(row, k, m.f1);
+        }
+        // Print incrementally so partial runs are still useful.
+        eprintln!("{}", table.render());
+    }
+
+    let mut out = table.render();
+    out.push('\n');
+    for (i, name) in table.row_names().to_vec().iter().enumerate() {
+        if let Some(mean) = table.row_mean(i) {
+            out.push_str(&format!("{name:32} mean F1 {:.2}%\n", mean * 100.0));
+        }
+    }
+    println!("{out}");
+    harness::save_results("table1.txt", &out);
+    harness::save_results("table1.csv", &table.to_csv());
+}

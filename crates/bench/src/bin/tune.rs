@@ -1,0 +1,153 @@
+//! Hyperparameter tuning scratchpad for LR and S2V (not a paper artefact).
+//!
+//! The paper itself reports "only the best performance of LR is shown"
+//! after tuning discretization — this binary performs the analogous sweep
+//! on the synthetic world.
+
+use titant_bench::{Experiment, FeatureConfig, Scale};
+use titant_datagen::DatasetSlice;
+use titant_eval as eval;
+use titant_models::{Classifier, GbdtConfig, LogisticRegressionConfig};
+use titant_nrl::{Structure2Vec, Structure2VecConfig};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "lr".into());
+    let mut exp = Experiment::new(Scale::from_env(), 0x0711_4a47);
+    let slice = DatasetSlice::paper(0);
+
+    match which.as_str() {
+        "lr" => tune_lr(&mut exp, &slice),
+        "s2v" => tune_s2v(&mut exp, &slice),
+        other => eprintln!("unknown target {other}; use lr|s2v"),
+    }
+}
+
+fn eval_scores(
+    val_scores: &[f32],
+    val_labels: &[f32],
+    test_scores: &[f32],
+    test_labels: &[f32],
+) -> (f64, f64, f64) {
+    let (rate, _) = eval::best_f1_rate(val_scores, val_labels);
+    let f1 = eval::f1_at_rate(test_scores, test_labels, rate);
+    let oracle = eval::best_f1_threshold(test_scores, test_labels).1;
+    let auc = eval::roc_auc(test_scores, test_labels);
+    (f1, oracle, auc)
+}
+
+fn tune_lr(exp: &mut Experiment, slice: &DatasetSlice) {
+    for feat in [FeatureConfig::BASIC, FeatureConfig::DW] {
+        let (train, test) = exp.datasets(slice, feat, 32, exp.scale().walks_per_node());
+        let n = train.n_rows();
+        let val_rows: Vec<usize> = (0..(n as f64 * 0.25) as usize).collect();
+        let fit_rows: Vec<usize> = (val_rows.len()..n).collect();
+        let fit = train.subset(&fit_rows);
+        let val = train.subset(&val_rows);
+        println!("== LR grid, features 'Basic{}'", feat.label());
+        for bins in [50usize, 100, 200] {
+            for l1 in [0.0, 1e-5, 2e-4, 1e-3] {
+                for lr in [0.1f64, 0.3] {
+                    let t = std::time::Instant::now();
+                    let model = LogisticRegressionConfig {
+                        bins,
+                        l1,
+                        learning_rate: lr,
+                        ..Default::default()
+                    }
+                    .fit(&fit);
+                    let (f1, oracle, auc) = eval_scores(
+                        &model.predict_batch(&val),
+                        val.labels(),
+                        &model.predict_batch(&test),
+                        test.labels(),
+                    );
+                    println!(
+                        "bins {bins:3}  l1 {l1:7.0e}  lr {lr:.1}: f1 {:6.2}%  oracle {:6.2}%  auc {:.3}  sparsity {:.2} [{:.1?}]",
+                        f1 * 100.0,
+                        oracle * 100.0,
+                        auc,
+                        model.sparsity(),
+                        t.elapsed()
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn tune_s2v(exp: &mut Experiment, slice: &DatasetSlice) {
+    // Materialise world pieces.
+    let world_labels;
+    let graph;
+    {
+        exp.graph(slice);
+        graph = exp.world().build_graph(slice.graph_days.clone());
+        world_labels =
+            exp.world()
+                .edge_labels(&graph, slice.graph_days.clone(), slice.label_cutoff());
+    }
+    let (train_basic, train_idx) = exp
+        .world()
+        .basic_dataset(slice.train_days.clone(), slice.label_cutoff());
+    let (test_basic, test_idx) = exp
+        .world()
+        .basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+
+    for epochs in [3usize, 10] {
+        for rounds in [2usize, 3] {
+            for pos_weight in [1.0f32, 5.0, 20.0] {
+                for lr in [0.01f32, 0.05] {
+                    let t = std::time::Instant::now();
+                    let emb = Structure2Vec::train(
+                        &graph,
+                        &world_labels,
+                        &Structure2VecConfig {
+                            dim: 32,
+                            epochs,
+                            rounds,
+                            pos_weight,
+                            learning_rate: lr,
+                            ..Default::default()
+                        },
+                    )
+                    .into_embeddings();
+                    // Assemble basic+s2v datasets manually.
+                    let tr_e = titant_bench::harness::embedding_dataset(
+                        exp.world(),
+                        &train_idx,
+                        &graph,
+                        &emb,
+                        "s2v",
+                    );
+                    let te_e = titant_bench::harness::embedding_dataset(
+                        exp.world(),
+                        &test_idx,
+                        &graph,
+                        &emb,
+                        "s2v",
+                    );
+                    let train = train_basic.hconcat(&tr_e);
+                    let test = test_basic.hconcat(&te_e);
+                    let n = train.n_rows();
+                    let val_rows: Vec<usize> = (0..(n as f64 * 0.25) as usize).collect();
+                    let fit_rows: Vec<usize> = (val_rows.len()..n).collect();
+                    let model = GbdtConfig::default().fit(&train.subset(&fit_rows));
+                    let val = train.subset(&val_rows);
+                    let (f1, oracle, auc) = eval_scores(
+                        &model.predict_batch(&val),
+                        val.labels(),
+                        &model.predict_batch(&test),
+                        test.labels(),
+                    );
+                    println!(
+                        "ep {epochs:2} rounds {rounds} posw {pos_weight:4.1} lr {lr:.2}: GBDT+S2V f1 {:6.2}%  oracle {:6.2}%  auc {:.3} [{:.1?}]",
+                        f1 * 100.0,
+                        oracle * 100.0,
+                        auc,
+                        t.elapsed()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Dataset assembly for a rolling dataset slice: basic features ⊕ node
+//! embeddings for both transfer parties, labelled as-of the T+1 cutoff.
+
+use titant_datagen::{DatasetSlice, World};
+use titant_models::Dataset;
+use titant_nrl::EmbeddingMatrix;
+use titant_txgraph::{TxGraph, UserId};
+
+/// Which embeddings a configuration appends to the basic features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmbeddingChoice {
+    /// Basic features only.
+    None,
+    /// Basic + DeepWalk.
+    DeepWalk,
+    /// Basic + Structure2Vec.
+    Structure2Vec,
+    /// Basic + both.
+    Both,
+}
+
+/// Unlabelled dataset of embedding columns (`2 * dim` wide: transferor then
+/// transferee) for the given records. Users outside the network window get
+/// zero vectors — the production cold-start.
+pub fn embedding_columns(
+    world: &World,
+    record_idx: &[usize],
+    graph: &TxGraph,
+    emb: &EmbeddingMatrix,
+    tag: &str,
+) -> Dataset {
+    let d = emb.dim();
+    let mut names = Vec::with_capacity(2 * d);
+    for side in ["p", "r"] {
+        for k in 0..d {
+            names.push(format!("{tag}_{side}{k}"));
+        }
+    }
+    let mut data = Dataset::new(2 * d).with_feature_names(names);
+    let mut row = vec![0f32; 2 * d];
+    for &i in record_idx {
+        let rec = &world.records()[i];
+        fill(&mut row[..d], graph, emb, rec.transferor);
+        fill(&mut row[d..], graph, emb, rec.transferee);
+        data.push_unlabeled_row(&row);
+    }
+    data
+}
+
+#[inline]
+fn fill(out: &mut [f32], graph: &TxGraph, emb: &EmbeddingMatrix, user: UserId) {
+    match graph.node_of(user) {
+        None => out.iter_mut().for_each(|v| *v = 0.0),
+        Some(node) => out.copy_from_slice(emb.row(node)),
+    }
+}
+
+/// Assemble labelled train/test datasets for a slice.
+///
+/// * `embeddings` — `(tag, matrix)` pairs to append, in order (the Table 1
+///   "+DW+S2V" configuration passes both).
+/// * Train labels use reports received by the slice's label cutoff; test
+///   labels are evaluation-time.
+pub fn slice_datasets(
+    world: &World,
+    slice: &DatasetSlice,
+    graph: &TxGraph,
+    embeddings: &[(&str, &EmbeddingMatrix)],
+) -> (Dataset, Dataset) {
+    let (mut train, train_idx) = world.basic_dataset(slice.train_days.clone(), slice.label_cutoff());
+    let (mut test, test_idx) =
+        world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+    for (tag, emb) in embeddings {
+        train = train.hconcat(&embedding_columns(world, &train_idx, graph, emb, tag));
+        test = test.hconcat(&embedding_columns(world, &test_idx, graph, emb, tag));
+    }
+    (train, test)
+}
+
+/// Chronological fit/validation split: the oldest `val_fraction` of rows
+/// become the validation set (their labels have matured; the newest rows
+/// are systematically under-labelled because fraud reports lag).
+pub fn fit_val_split(train: &Dataset, val_fraction: f64) -> (Dataset, Dataset) {
+    assert!((0.0..1.0).contains(&val_fraction), "fraction in [0,1)");
+    let n = train.n_rows();
+    let val_end = (n as f64 * val_fraction) as usize;
+    let val_rows: Vec<usize> = (0..val_end).collect();
+    let fit_rows: Vec<usize> = (val_end..n).collect();
+    (train.subset(&fit_rows), train.subset(&val_rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titant_datagen::WorldConfig;
+    use titant_nrl::{DeepWalk, DeepWalkConfig, Word2VecConfig};
+    use titant_txgraph::WalkConfig;
+
+    fn tiny_world() -> World {
+        World::generate(WorldConfig::tiny(3))
+    }
+
+    fn tiny_slice(world: &World) -> DatasetSlice {
+        let start = world.config().feature_start_day;
+        DatasetSlice {
+            index: 0,
+            graph_days: 0..start,
+            train_days: start..world.config().n_days - 1,
+            test_day: world.config().n_days - 1,
+        }
+    }
+
+    #[test]
+    fn datasets_have_expected_widths() {
+        let world = tiny_world();
+        let slice = tiny_slice(&world);
+        let graph = world.build_graph(slice.graph_days.clone());
+        let emb = DeepWalk::new(DeepWalkConfig {
+            walk: WalkConfig {
+                walk_length: 6,
+                walks_per_node: 3,
+                ..Default::default()
+            },
+            word2vec: Word2VecConfig {
+                dim: 4,
+                epochs: 1,
+                ..Default::default()
+            },
+        })
+        .embed(&graph);
+        let (train, test) =
+            slice_datasets(&world, &slice, &graph, &[("dw", &emb)]);
+        assert_eq!(train.n_cols(), titant_datagen::N_BASIC_FEATURES + 8);
+        assert_eq!(test.n_cols(), train.n_cols());
+        assert!(train.n_rows() > test.n_rows());
+        assert!(train.is_labeled() && test.is_labeled());
+    }
+
+    #[test]
+    fn fit_val_split_is_chronological() {
+        let world = tiny_world();
+        let slice = tiny_slice(&world);
+        let graph = world.build_graph(slice.graph_days.clone());
+        let (train, _) = slice_datasets(&world, &slice, &graph, &[]);
+        let (fit, val) = fit_val_split(&train, 0.25);
+        assert_eq!(fit.n_rows() + val.n_rows(), train.n_rows());
+        // Oldest rows go to validation.
+        assert_eq!(val.row(0), train.row(0));
+        assert_eq!(fit.row(0), train.row(val.n_rows()));
+    }
+
+    #[test]
+    fn unknown_users_embed_as_zeros() {
+        let world = tiny_world();
+        let slice = tiny_slice(&world);
+        // Empty graph: nobody is known.
+        let graph = world.build_graph(0..0);
+        let emb = titant_nrl::EmbeddingMatrix::zeros(0, 4);
+        let (_train, test_idx) = world
+            .basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+        let _ = _train;
+        let cols = embedding_columns(&world, &test_idx, &graph, &emb, "dw");
+        for i in 0..cols.n_rows() {
+            assert!(cols.row(i).iter().all(|&v| v == 0.0));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Pipeline-level errors.
+
+use std::fmt;
+
+/// Errors the TitAnt pipeline can surface to its caller.
+#[derive(Debug)]
+pub enum TitAntError {
+    /// The dataset slice does not fit inside the world's simulated days.
+    SliceOutOfRange { test_day: i64, n_days: i64 },
+    /// The offline batch layer failed.
+    MaxCompute(String),
+    /// The feature store failed.
+    Storage(std::io::Error),
+    /// A model file failed to parse.
+    ModelFile(String),
+}
+
+impl fmt::Display for TitAntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TitAntError::SliceOutOfRange { test_day, n_days } => write!(
+                f,
+                "dataset slice tests day {test_day} but the world has only {n_days} days"
+            ),
+            TitAntError::MaxCompute(m) => write!(f, "maxcompute: {m}"),
+            TitAntError::Storage(e) => write!(f, "feature store: {e}"),
+            TitAntError::ModelFile(m) => write!(f, "model file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TitAntError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TitAntError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TitAntError {
+    fn from(e: std::io::Error) -> Self {
+        TitAntError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = TitAntError::SliceOutOfRange {
+            test_day: 104,
+            n_days: 40,
+        };
+        assert!(e.to_string().contains("104"));
+        let e = TitAntError::from(std::io::Error::other("disk"));
+        assert!(e.to_string().contains("disk"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,406 @@
+//! The offline periodical-training pipeline (the left half of Figure 3).
+//!
+//! One run reproduces what TitAnt does every day:
+//!
+//! 1. transaction logs land in **MaxCompute**; a MapReduce job aggregates
+//!    them into weighted transfer edges (the paper's network construction);
+//! 2. the transaction network is built and **DeepWalk** learns user node
+//!    embeddings (KunPeng's distributed trainer at cluster scale; the
+//!    shared-memory trainer here);
+//! 3. the classifier (**GBDT** by the paper's final choice) trains on basic
+//!    features ⊕ embeddings, and the alert operating point is tuned on the
+//!    mature-labelled validation slice;
+//! 4. per-user serving features and embeddings are uploaded to
+//!    **Ali-HBase** under the new version, and a [`ModelFile`] is emitted
+//!    for the Model Server.
+
+use crate::assemble::{self, fit_val_split};
+use crate::error::TitAntError;
+use crate::layout;
+use std::collections::HashMap;
+use std::sync::Arc;
+use titant_alihbase::{RegionedTable, StoreConfig};
+use titant_datagen::{DatasetSlice, World};
+use titant_eval as eval;
+use titant_maxcompute::{Account, ColumnType, MaxCompute, Schema, Table, Value};
+use titant_models::{Classifier, GbdtConfig};
+use titant_modelserver::{FeatureCodec, ModelFile, ServableModel, UserFeatures};
+use titant_nrl::{DeepWalk, DeepWalkConfig, EmbeddingMatrix, Word2VecConfig};
+use titant_txgraph::{TxGraph, TxGraphBuilder, UserId, WalkConfig};
+
+/// Offline-pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Node-embedding dimensionality (paper: 32; 0 disables embeddings).
+    pub embedding_dim: usize,
+    /// DeepWalk walks per node (paper: 100).
+    pub walks_per_node: usize,
+    /// Walk length (paper: 50).
+    pub walk_length: usize,
+    /// Worker threads for walks + SGNS.
+    pub threads: usize,
+    /// Classifier configuration (paper: 400 trees, depth 3, subsample 0.4).
+    pub gbdt: GbdtConfig,
+    /// Fraction of the training window (oldest rows) used to tune the alert
+    /// operating point.
+    pub val_fraction: f64,
+    /// Route log ingestion and edge aggregation through the MaxCompute
+    /// batch layer (slower, full-fidelity) or build the graph directly.
+    pub use_batch_layer: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            embedding_dim: 32,
+            walks_per_node: 20,
+            walk_length: 50,
+            threads: 4,
+            gbdt: GbdtConfig::default(),
+            val_fraction: 0.25,
+            use_batch_layer: true,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A fast configuration for tests and the quickstart example.
+    pub fn quick() -> Self {
+        Self {
+            embedding_dim: 8,
+            walks_per_node: 5,
+            walk_length: 10,
+            threads: 2,
+            gbdt: GbdtConfig {
+                n_trees: 60,
+                subsample: 0.8,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// Everything one offline run produces.
+pub struct OfflineArtifacts {
+    /// The transaction network of the 90-day window.
+    pub graph: TxGraph,
+    /// DeepWalk user node embeddings (empty matrix when disabled).
+    pub embeddings: EmbeddingMatrix,
+    /// The deployable model.
+    pub model_file: ModelFile,
+    /// The populated feature store.
+    pub feature_table: Arc<RegionedTable>,
+    /// Upload version (the test day, i.e. "T+1").
+    pub version: u64,
+    /// Training-time diagnostics.
+    pub train_rows: usize,
+}
+
+/// The offline pipeline driver.
+pub struct OfflinePipeline {
+    config: PipelineConfig,
+}
+
+impl OfflinePipeline {
+    /// Create a pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// Run one offline training cycle for `slice`.
+    pub fn run(&self, world: &World, slice: &DatasetSlice) -> OfflineArtifacts {
+        self.try_run(world, slice).expect("offline pipeline failed")
+    }
+
+    /// Fallible variant of [`OfflinePipeline::run`].
+    pub fn try_run(
+        &self,
+        world: &World,
+        slice: &DatasetSlice,
+    ) -> Result<OfflineArtifacts, TitAntError> {
+        if slice.test_day >= world.config().n_days {
+            return Err(TitAntError::SliceOutOfRange {
+                test_day: slice.test_day,
+                n_days: world.config().n_days,
+            });
+        }
+
+        // 1. Network construction: through MaxCompute MR or directly.
+        let graph = if self.config.use_batch_layer {
+            self.build_graph_via_maxcompute(world, slice)?
+        } else {
+            world.build_graph(slice.graph_days.clone())
+        };
+
+        // 2. User node embeddings.
+        let embeddings = if self.config.embedding_dim == 0 {
+            EmbeddingMatrix::zeros(graph.node_count(), 1)
+        } else {
+            DeepWalk::new(DeepWalkConfig {
+                walk: WalkConfig {
+                    walk_length: self.config.walk_length,
+                    walks_per_node: self.config.walks_per_node,
+                    strategy: titant_txgraph::WalkStrategy::Weighted,
+                    threads: self.config.threads,
+                    ..Default::default()
+                },
+                word2vec: Word2VecConfig {
+                    dim: self.config.embedding_dim,
+                    threads: self.config.threads,
+                    ..Default::default()
+                },
+            })
+            .embed(&graph)
+        };
+
+        // 3. Train the classifier and tune the alert operating point.
+        let emb_pairs: Vec<(&str, &EmbeddingMatrix)> = if self.config.embedding_dim > 0 {
+            vec![("dw", &embeddings)]
+        } else {
+            Vec::new()
+        };
+        let (train, _test) = assemble::slice_datasets(world, slice, &graph, &emb_pairs);
+        let (fit, val) = fit_val_split(&train, self.config.val_fraction);
+        let model = self.config.gbdt.fit(&fit);
+        let val_scores = model.predict_batch(&val);
+        let (rate, _f1) = eval::best_f1_rate(&val_scores, val.labels());
+        let alert_threshold = score_at_rate(&val_scores, rate);
+
+        // 4. Upload per-user serving features + the model file.
+        let version = slice.test_day as u64;
+        let feature_table = Arc::new(self.upload_features(world, slice, &graph, &embeddings, version)?);
+
+        let model_file = ModelFile {
+            version,
+            alert_threshold,
+            n_features: train.n_cols(),
+            model: ServableModel::Gbdt(model),
+        };
+
+        Ok(OfflineArtifacts {
+            graph,
+            embeddings,
+            model_file,
+            feature_table,
+            version,
+            train_rows: train.n_rows(),
+        })
+    }
+
+    /// Ingest window records into a MaxCompute table and aggregate them to
+    /// weighted edges with a MapReduce job, then build the CSR graph.
+    fn build_graph_via_maxcompute(
+        &self,
+        world: &World,
+        slice: &DatasetSlice,
+    ) -> Result<TxGraph, TitAntError> {
+        let mc = MaxCompute::new(2, self.config.threads.max(1), 3);
+        mc.create_account(&Account::new("titant", "offline"));
+        let session = mc
+            .login("titant", "offline")
+            .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
+
+        let mut logs = Table::new(Schema::new(vec![
+            ("transferor", ColumnType::Int),
+            ("transferee", ColumnType::Int),
+        ]));
+        for r in world.records_in(slice.graph_days.clone()) {
+            if !r.is_self_transfer() {
+                logs.push_row(vec![
+                    (r.transferor.0 as i64).into(),
+                    (r.transferee.0 as i64).into(),
+                ]);
+            }
+        }
+        session.create_table("transaction_logs", logs);
+
+        let edges = session
+            .mapreduce(
+                "transaction_logs",
+                Schema::new(vec![
+                    ("from", ColumnType::Int),
+                    ("to", ColumnType::Int),
+                    ("weight", ColumnType::Int),
+                ]),
+                &|row: &[Value]| {
+                    vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)]
+                },
+                &|k: &(i64, i64), vs: &[u32]| {
+                    vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
+                },
+                self.config.threads.max(1),
+            )
+            .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
+
+        let mut builder = TxGraphBuilder::new();
+        for i in 0..edges.n_rows() {
+            builder.add_edge(
+                UserId(edges.cell(i, 0).as_i64().unwrap() as u64),
+                UserId(edges.cell(i, 1).as_i64().unwrap() as u64),
+                edges.cell(i, 2).as_i64().unwrap() as f32,
+            );
+        }
+        Ok(builder.build())
+    }
+
+    /// Per-user feature snapshot: the last observed values in the training
+    /// window (production T+1 serves yesterday's snapshot), plus the node
+    /// embedding for users inside the network window.
+    fn upload_features(
+        &self,
+        world: &World,
+        slice: &DatasetSlice,
+        graph: &TxGraph,
+        embeddings: &EmbeddingMatrix,
+        version: u64,
+    ) -> Result<RegionedTable, TitAntError> {
+        let table = RegionedTable::single(StoreConfig::default())?;
+        let dim = if self.config.embedding_dim > 0 {
+            embeddings.dim()
+        } else {
+            0
+        };
+        let codec = FeatureCodec {
+            embedding_dim: dim,
+            payer_width: layout::PAYER_SLOTS.len(),
+            receiver_width: layout::RECEIVER_SLOTS.len(),
+        };
+
+        // Latest snapshot per user over the train window.
+        let mut payer_snap: HashMap<u64, Vec<f32>> = HashMap::new();
+        let mut recv_snap: HashMap<u64, Vec<f32>> = HashMap::new();
+        for i in world.record_range(slice.train_days.clone()) {
+            let Some(row) = world.features_of(i) else { continue };
+            let (p, r, _c) = layout::split_row(row);
+            let rec = &world.records()[i];
+            payer_snap.insert(rec.transferor.0, p);
+            recv_snap.insert(rec.transferee.0, r);
+        }
+
+        let mut users: std::collections::HashSet<u64> = payer_snap.keys().copied().collect();
+        users.extend(recv_snap.keys().copied());
+        for &user in graph.users() {
+            users.insert(user.0);
+        }
+        for user in users {
+            let embedding = match (dim, graph.node_of(UserId(user))) {
+                (0, _) | (_, None) => vec![0.0; dim],
+                (_, Some(node)) => embeddings.row(node).to_vec(),
+            };
+            let features = UserFeatures {
+                payer_side: payer_snap
+                    .get(&user)
+                    .cloned()
+                    .unwrap_or_else(|| vec![0.0; layout::PAYER_SLOTS.len()]),
+                receiver_side: recv_snap
+                    .get(&user)
+                    .cloned()
+                    .unwrap_or_else(|| vec![0.0; layout::RECEIVER_SLOTS.len()]),
+                embedding,
+            };
+            codec.put_user(&table, user, &features, version)?;
+        }
+        table.flush()?;
+        Ok(table)
+    }
+}
+
+/// Score threshold achieving the given alert rate on validation scores.
+fn score_at_rate(scores: &[f32], rate: f64) -> f32 {
+    if scores.is_empty() || rate <= 0.0 {
+        return f32::INFINITY;
+    }
+    let k = ((scores.len() as f64 * rate).round() as usize).clamp(1, scores.len());
+    let mut sorted = scores.to_vec();
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+    sorted[k - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titant_datagen::WorldConfig;
+
+    fn tiny_setup() -> (World, DatasetSlice) {
+        let world = World::generate(WorldConfig::tiny(5));
+        let start = world.config().feature_start_day;
+        let slice = DatasetSlice {
+            index: 0,
+            graph_days: 0..start,
+            train_days: start..world.config().n_days - 1,
+            test_day: world.config().n_days - 1,
+        };
+        (world, slice)
+    }
+
+    #[test]
+    fn pipeline_produces_complete_artifacts() {
+        let (world, slice) = tiny_setup();
+        let artifacts = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
+        assert!(artifacts.graph.node_count() > 50);
+        assert_eq!(artifacts.embeddings.dim(), 8);
+        assert_eq!(
+            artifacts.model_file.n_features,
+            titant_datagen::N_BASIC_FEATURES + 16
+        );
+        assert!(artifacts.model_file.alert_threshold.is_finite());
+        assert!(artifacts.train_rows > 100);
+        // Feature table holds at least the graph users.
+        let codec = FeatureCodec {
+            embedding_dim: 8,
+            payer_width: layout::PAYER_SLOTS.len(),
+            receiver_width: layout::RECEIVER_SLOTS.len(),
+        };
+        let some_user = artifacts.graph.users()[0];
+        assert!(codec
+            .get_user(&artifacts.feature_table, some_user.0, u64::MAX)
+            .is_some());
+    }
+
+    #[test]
+    fn batch_layer_and_direct_graphs_agree() {
+        let (world, slice) = tiny_setup();
+        let via_mc = OfflinePipeline::new(PipelineConfig {
+            use_batch_layer: true,
+            ..PipelineConfig::quick()
+        });
+        let direct = world.build_graph(slice.graph_days.clone());
+        let mc_graph = via_mc.build_graph_via_maxcompute(&world, &slice).unwrap();
+        assert_eq!(mc_graph.node_count(), direct.node_count());
+        assert_eq!(mc_graph.edge_count(), direct.edge_count());
+    }
+
+    #[test]
+    fn out_of_range_slice_is_rejected() {
+        let (world, mut slice) = tiny_setup();
+        slice.test_day = 10_000;
+        let result = OfflinePipeline::new(PipelineConfig::quick()).try_run(&world, &slice);
+        assert!(matches!(
+            result.err(),
+            Some(TitAntError::SliceOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn score_at_rate_picks_the_kth_score() {
+        let scores = [0.9f32, 0.5, 0.7, 0.1];
+        assert_eq!(score_at_rate(&scores, 0.25), 0.9);
+        assert_eq!(score_at_rate(&scores, 0.5), 0.7);
+        assert_eq!(score_at_rate(&scores, 0.0), f32::INFINITY);
+    }
+
+    #[test]
+    fn embeddings_disabled_yields_basic_only_model() {
+        let (world, slice) = tiny_setup();
+        let artifacts = OfflinePipeline::new(PipelineConfig {
+            embedding_dim: 0,
+            ..PipelineConfig::quick()
+        })
+        .run(&world, &slice);
+        assert_eq!(
+            artifacts.model_file.n_features,
+            titant_datagen::N_BASIC_FEATURES
+        );
+    }
+}

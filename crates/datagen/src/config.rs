@@ -1,0 +1,161 @@
+//! World-generation parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Everything that shapes the synthetic world. Defaults produce the
+/// laptop-scale experiment world described in DESIGN.md §5 (~20 k users,
+/// ~1.2 M transactions over 111 days, ≈1 % fraud).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Total users (including merchants and fraudsters).
+    pub n_users: usize,
+    /// Simulated days. The paper's seven rolling datasets need
+    /// `90 + 14 + 1 + 6 = 111`.
+    pub n_days: i64,
+    /// Day from which per-transaction basic features are materialised
+    /// (earlier days only contribute raw records for the network window).
+    pub feature_start_day: i64,
+    /// Fraction of users who are merchants — benign high-in-degree hubs.
+    pub merchant_rate: f64,
+    /// Fraction of users who are fraudsters.
+    pub fraudster_rate: f64,
+    /// Mean legitimate transfers a user initiates per day.
+    pub daily_tx_rate: f64,
+    /// Mean frauds an *active* fraudster commits per day.
+    pub fraud_intensity: f64,
+    /// Mean length (days) of a fraudster's active window (geometric).
+    pub fraud_active_days: f64,
+    /// Probability a fraud victim files a report (unreported frauds stay
+    /// labelled normal — the realistic F1 ceiling).
+    pub report_rate: f64,
+    /// Mean label delay in days between fraud and report.
+    pub report_delay_days: f64,
+    /// Probability a fraud is executed "stealthily": benign contextual
+    /// features, detectable only through aggregates and graph structure.
+    pub stealth_rate: f64,
+    /// Probability a ring fraud is received by a **mule** — a freshly
+    /// recruited ordinary account that forwards the takings to the ring.
+    /// Mule frauds are invisible to profile/aggregate features (the mule
+    /// looks normal) and reachable only through the transaction network,
+    /// which is what gives the node embeddings their unique signal.
+    pub mule_rate: f64,
+    /// Days a ring keeps one mule before rotating to a fresh recruit.
+    pub mule_rotation_days: i64,
+    /// Number of cities.
+    pub n_cities: usize,
+    /// Community size of the friendship graph.
+    pub community_size: usize,
+    /// Mean friends per user.
+    pub mean_friends: f64,
+    /// Fraud-ring size range (inclusive).
+    pub ring_size: (usize, usize),
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            n_users: 20_000,
+            n_days: 111,
+            feature_start_day: 90,
+            merchant_rate: 0.012,
+            fraudster_rate: 0.010,
+            daily_tx_rate: 0.55,
+            fraud_intensity: 1.1,
+            fraud_active_days: 60.0,
+            report_rate: 0.85,
+            report_delay_days: 2.0,
+            stealth_rate: 0.35,
+            mule_rate: 0.15,
+            mule_rotation_days: 4,
+            n_cities: 50,
+            community_size: 50,
+            mean_friends: 7.0,
+            ring_size: (3, 8),
+            seed: 0x0711_4a47,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A tiny world for unit tests (hundreds of users, fast everywhere).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            n_users: 600,
+            n_days: 40,
+            feature_start_day: 20,
+            fraudster_rate: 0.03,
+            fraud_intensity: 1.5,
+            fraud_active_days: 25.0,
+            community_size: 30,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Validate invariants; called by `World::generate`.
+    pub fn validate(&self) {
+        assert!(self.n_users >= 10, "need at least 10 users");
+        assert!(self.n_days >= 2, "need at least 2 days");
+        assert!(
+            (0.0..=1.0).contains(&self.merchant_rate)
+                && (0.0..=1.0).contains(&self.fraudster_rate)
+                && (0.0..=1.0).contains(&self.report_rate)
+                && (0.0..=1.0).contains(&self.stealth_rate)
+                && (0.0..=1.0).contains(&self.mule_rate),
+            "rates must be fractions"
+        );
+        assert!(self.mule_rotation_days >= 1, "mule rotation must be >= 1 day");
+        assert!(self.n_cities >= 1, "need at least one city");
+        assert!(
+            self.ring_size.0 >= 1 && self.ring_size.0 <= self.ring_size.1,
+            "invalid ring size range"
+        );
+        assert!(
+            self.feature_start_day >= 0 && self.feature_start_day < self.n_days,
+            "feature_start_day out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        WorldConfig::default().validate();
+        WorldConfig::tiny(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10 users")]
+    fn too_few_users_rejected() {
+        WorldConfig {
+            n_users: 1,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn bad_rate_rejected() {
+        WorldConfig {
+            fraudster_rate: 1.5,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "feature_start_day")]
+    fn bad_feature_start_rejected() {
+        WorldConfig {
+            feature_start_day: 999,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

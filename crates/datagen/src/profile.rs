@@ -1,0 +1,100 @@
+//! Static user profiles — the "user profile" side of Figure 1 (a).
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of actor a user is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// Ordinary consumer.
+    Regular,
+    /// Merchant: benign high-in-degree hub.
+    Merchant,
+    /// Fraudster: member of a fraud ring.
+    Fraudster,
+}
+
+/// Immutable profile attributes sampled at world creation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Role in the simulation (ground truth, never exposed as a feature for
+    /// fraudsters).
+    pub role: Role,
+    /// Age in years.
+    pub age: u8,
+    /// 0 or 1.
+    pub gender: u8,
+    /// Home city index.
+    pub city: u16,
+    /// Days since account creation at simulation start (can grow during
+    /// the simulation).
+    pub account_age_days: u16,
+    /// Know-your-customer verification level 0..=3.
+    pub kyc_level: u8,
+    /// Device trust score in [0, 1] (higher is more trusted).
+    pub device_score: f32,
+    /// Income band 0..=4, drives transfer amounts.
+    pub income_level: u8,
+    /// Latent susceptibility to scams in [0, 1]; correlates with (but is
+    /// not equal to) observable traits, so features carry partial signal.
+    pub susceptibility: f32,
+    /// Community index in the friendship graph.
+    pub community: u32,
+    /// Fraud-ring index (fraudsters only).
+    pub ring: Option<u32>,
+    /// Fraudster activity window [start_day, end_day), if a fraudster.
+    pub active_window: Option<(i64, i64)>,
+    /// Mean daily legitimate transfer count for this user.
+    pub activity: f32,
+    /// Primary device id hash.
+    pub main_device: u64,
+}
+
+impl UserProfile {
+    /// Whether this user is an active fraudster on `day`.
+    pub fn is_active_fraudster(&self, day: i64) -> bool {
+        matches!(self.role, Role::Fraudster)
+            && self
+                .active_window
+                .is_some_and(|(s, e)| day >= s && day < e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fraudster(window: (i64, i64)) -> UserProfile {
+        UserProfile {
+            role: Role::Fraudster,
+            age: 30,
+            gender: 0,
+            city: 1,
+            account_age_days: 10,
+            kyc_level: 0,
+            device_score: 0.2,
+            income_level: 1,
+            susceptibility: 0.0,
+            community: 0,
+            ring: Some(0),
+            active_window: Some(window),
+            activity: 0.2,
+            main_device: 42,
+        }
+    }
+
+    #[test]
+    fn activity_window_is_half_open() {
+        let f = fraudster((10, 20));
+        assert!(!f.is_active_fraudster(9));
+        assert!(f.is_active_fraudster(10));
+        assert!(f.is_active_fraudster(19));
+        assert!(!f.is_active_fraudster(20));
+    }
+
+    #[test]
+    fn regular_users_are_never_active_fraudsters() {
+        let mut p = fraudster((0, 100));
+        p.role = Role::Regular;
+        assert!(!p.is_active_fraudster(5));
+    }
+}

@@ -1,0 +1,511 @@
+//! The day-by-day transaction simulation engine.
+//!
+//! Each simulated day interleaves three behaviours, producing a single
+//! time-ordered transaction stream:
+//!
+//! 1. **Legitimate activity** — every user initiates `Poisson(activity)`
+//!    transfers to friends (70 %), merchants (22 %) or strangers (8 %),
+//!    with log-normal amounts scaled by income and a small rate of benign
+//!    "suspicious-looking" context (night hours, new devices, travel) so
+//!    that no single contextual feature is a fraud giveaway.
+//! 2. **Fraud** — each *active* fraudster scams `Poisson(fraud_intensity)`
+//!    victims per day (victims selected by latent susceptibility; the
+//!    victim pays the fraudster — the paper's gathering pattern). A
+//!    `stealth_rate` fraction of frauds carries fully benign context and is
+//!    only reachable through aggregates and graph structure.
+//! 3. **Ring laundering** — fraud-ring members shuffle funds among
+//!    themselves, which connects fraudsters in the transaction network and
+//!    gives DeepWalk a fraud *region* to embed (not labelled fraud: nobody
+//!    reports internal transfers).
+//!
+//! Features are extracted point-in-time from [`crate::features::StateTable`]
+//! before the transaction is folded into the state.
+
+use crate::config::WorldConfig;
+use crate::features::{
+    apply_transaction, extract_features, StateTable, TxContext, N_BASIC_FEATURES,
+};
+use crate::profile::{Role, UserProfile};
+use rand::rngs::StdRng;
+use rand::Rng;
+use titant_txgraph::{AliasTable, TransactionRecord, Timestamp, TxId, UserId};
+
+/// Sentinel report day for "never reported".
+pub const NEVER_REPORTED: i64 = i64::MAX;
+
+/// Everything the simulation produces.
+#[derive(Debug)]
+pub struct SimOutput {
+    /// Time-ordered transaction records across all days.
+    pub records: Vec<TransactionRecord>,
+    /// Ground-truth fraud flag per record.
+    pub is_fraud: Vec<bool>,
+    /// Day the victim's fraud report lands ([`NEVER_REPORTED`] if none).
+    pub report_day: Vec<i64>,
+    /// Basic-feature rows (records from `feature_start_day` onward),
+    /// row-major `N_BASIC_FEATURES` wide.
+    pub features: Vec<f32>,
+    /// Record index -> feature row index, `u32::MAX` when not materialised.
+    pub feature_row: Vec<u32>,
+}
+
+/// Static world inputs to the simulation.
+pub struct SimInputs<'a> {
+    pub config: &'a WorldConfig,
+    pub profiles: &'a [UserProfile],
+    pub friends: &'a [Vec<u32>],
+    pub merchants: &'a [u32],
+    /// Ring index -> member user indices.
+    pub rings: &'a [Vec<u32>],
+    pub city_risk: &'a [f32],
+}
+
+/// Knuth's Poisson sampler — adequate for the small rates used here.
+pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // pathological lambda guard
+        }
+    }
+}
+
+/// Log-normal amount in cents: `exp(N(mu, sigma))` scaled by income band.
+fn lognormal_amount<R: Rng>(rng: &mut R, income_level: u8, sigma: f64, uplift: f64) -> u64 {
+    let mu = (30_000f64).ln() + 0.45 * income_level as f64;
+    let z = normal(rng);
+    let amount = (mu + sigma * z).exp() * uplift;
+    amount.clamp(100.0, 5e9) as u64
+}
+
+/// Box-Muller standard normal.
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A transaction staged for a day, before time-sorting.
+struct Staged {
+    payer: u32,
+    receiver: u32,
+    amount_cents: u64,
+    second_of_day: u32,
+    trans_city: u16,
+    device_id: u64,
+    channel: u8,
+    is_fraud: bool,
+    reported_after: Option<i64>,
+}
+
+/// Run the full simulation.
+pub fn run(inputs: &SimInputs<'_>, rng: &mut StdRng) -> SimOutput {
+    let cfg = inputs.config;
+    let n = inputs.profiles.len();
+    let mut state = StateTable::new(n, inputs.city_risk.to_vec());
+
+    // Victim selection: susceptibility-weighted over regular users.
+    let victim_weights: Vec<f32> = inputs
+        .profiles
+        .iter()
+        .map(|p| match p.role {
+            Role::Regular => 0.05 + p.susceptibility,
+            _ => 0.0,
+        })
+        .collect();
+    let victim_table = AliasTable::new(&victim_weights);
+
+    let mut out = SimOutput {
+        records: Vec::new(),
+        is_fraud: Vec::new(),
+        report_day: Vec::new(),
+        features: Vec::new(),
+        feature_row: Vec::new(),
+    };
+    let mut staged: Vec<Staged> = Vec::new();
+    let mut feature_buf = vec![0f32; N_BASIC_FEATURES];
+    let mut tx_id = 0u64;
+    let mut ring_state = vec![RingState::default(); inputs.rings.len()];
+
+    for day in 0..cfg.n_days {
+        staged.clear();
+        stage_legit_day(inputs, day, rng, &mut staged);
+        stage_fraud_day(
+            inputs,
+            day,
+            rng,
+            &victim_table,
+            &mut ring_state,
+            &mut staged,
+        );
+        // Time-order within the day so aggregates stay point-in-time.
+        staged.sort_unstable_by_key(|s| s.second_of_day);
+
+        let materialise = day >= cfg.feature_start_day;
+        for s in &staged {
+            let ts: Timestamp = day * 86_400 + s.second_of_day as i64;
+            let hour = (s.second_of_day / 3_600) as u8;
+            let ctx = TxContext {
+                payer: s.payer,
+                receiver: s.receiver,
+                amount_cents: s.amount_cents,
+                day,
+                timestamp: ts,
+                hour,
+                trans_city: s.trans_city,
+                device_id: s.device_id,
+                channel: s.channel,
+            };
+            if materialise {
+                extract_features(&ctx, inputs.profiles, &mut state, &mut feature_buf);
+                out.feature_row
+                    .push((out.features.len() / N_BASIC_FEATURES) as u32);
+                out.features.extend_from_slice(&feature_buf);
+            } else {
+                out.feature_row.push(u32::MAX);
+            }
+            apply_transaction(&ctx, &mut state);
+
+            out.records.push(TransactionRecord {
+                tx_id: TxId(tx_id),
+                transferor: UserId(s.payer as u64),
+                transferee: UserId(s.receiver as u64),
+                amount_cents: s.amount_cents,
+                timestamp: ts,
+                trans_city: s.trans_city,
+                device_id: s.device_id,
+                channel: s.channel,
+            });
+            tx_id += 1;
+            out.is_fraud.push(s.is_fraud);
+            out.report_day.push(match s.reported_after {
+                Some(delay) => day + delay,
+                None => NEVER_REPORTED,
+            });
+        }
+    }
+    out
+}
+
+/// Stage one day of legitimate transfers.
+fn stage_legit_day(
+    inputs: &SimInputs<'_>,
+    day: i64,
+    rng: &mut StdRng,
+    staged: &mut Vec<Staged>,
+) {
+    let cfg = inputs.config;
+    let n = inputs.profiles.len();
+    for u in 0..n as u32 {
+        let p = &inputs.profiles[u as usize];
+        let count = poisson(rng, p.activity as f64);
+        for _ in 0..count {
+            let receiver = pick_legit_target(inputs, u, rng);
+            let Some(receiver) = receiver else { continue };
+            // Night-hour minority even for legit traffic.
+            let second_of_day = if rng.gen::<f64>() < 0.08 {
+                night_second(rng)
+            } else {
+                day_second(rng)
+            };
+            let device_id = if rng.gen::<f64>() < 0.05 {
+                rng.gen::<u64>() // borrowed / new device
+            } else {
+                p.main_device
+            };
+            let trans_city = if rng.gen::<f64>() < 0.08 {
+                rng.gen_range(0..cfg.n_cities) as u16 // travelling
+            } else {
+                p.city
+            };
+            let uplift = if inputs.profiles[receiver as usize].role == Role::Merchant {
+                0.4 // purchases are smaller than transfers
+            } else {
+                1.0
+            };
+            staged.push(Staged {
+                payer: u,
+                receiver,
+                amount_cents: lognormal_amount(rng, p.income_level, 1.1, uplift),
+                second_of_day,
+                trans_city,
+                device_id,
+                channel: rng.gen_range(0..4),
+                is_fraud: false,
+                reported_after: None,
+            });
+        }
+        let _ = day;
+    }
+}
+
+fn pick_legit_target(inputs: &SimInputs<'_>, u: u32, rng: &mut StdRng) -> Option<u32> {
+    let friends = &inputs.friends[u as usize];
+    let roll: f64 = rng.gen();
+    let receiver = if roll < 0.70 && !friends.is_empty() {
+        friends[rng.gen_range(0..friends.len())]
+    } else if roll < 0.92 && !inputs.merchants.is_empty() {
+        inputs.merchants[rng.gen_range(0..inputs.merchants.len())]
+    } else {
+        rng.gen_range(0..inputs.profiles.len()) as u32
+    };
+    if receiver == u {
+        None
+    } else {
+        Some(receiver)
+    }
+}
+
+/// Per-ring mutable state: the mule account currently laundering for the
+/// ring, rotated every `mule_rotation_days`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingState {
+    mule: Option<u32>,
+    mule_until: i64,
+}
+
+/// Stage one day of fraud, mule laundering and ring/inter-ring transfers.
+#[allow(clippy::too_many_arguments)]
+fn stage_fraud_day(
+    inputs: &SimInputs<'_>,
+    day: i64,
+    rng: &mut StdRng,
+    victim_table: &AliasTable,
+    ring_state: &mut [RingState],
+    staged: &mut Vec<Staged>,
+) {
+    let cfg = inputs.config;
+    for (fi, p) in inputs.profiles.iter().enumerate() {
+        if !p.is_active_fraudster(day) {
+            continue;
+        }
+        let fraudster = fi as u32;
+        let n_frauds = poisson(rng, cfg.fraud_intensity);
+        for _ in 0..n_frauds {
+            let victim = victim_table.sample(rng) as u32;
+            if victim == fraudster {
+                continue;
+            }
+            // Ring frauds rotate the receiving account across the ring's
+            // member accounts (aged accounts planted in the ring, connected
+            // by laundering during the network window): the active receiver
+            // changes every `mule_rotation_days`, so at any moment the
+            // receiving account's own aggregates may look fresh while its
+            // *graph position* — inside the fraud region — gives it away.
+            // A `mule_rate` fraction instead routes through a freshly
+            // recruited outside mule (irreducible noise: not in the window).
+            let receiver = match p.ring {
+                Some(ring_id) if rng.gen::<f64>() < cfg.mule_rate => {
+                    current_mule(inputs, ring_id, day, rng, ring_state)
+                }
+                Some(ring_id) => {
+                    let ring = &inputs.rings[ring_id as usize];
+                    let slot = (day / cfg.mule_rotation_days) as usize % ring.len();
+                    ring[slot]
+                }
+                _ => fraudster,
+            };
+            if receiver == victim {
+                continue;
+            }
+            let vp = &inputs.profiles[victim as usize];
+            let stealth = rng.gen::<f64>() < cfg.stealth_rate;
+            let (second_of_day, device_id, trans_city) = if stealth {
+                (day_second(rng), vp.main_device, vp.city)
+            } else {
+                let sec = if rng.gen::<f64>() < 0.55 {
+                    night_second(rng)
+                } else {
+                    day_second(rng)
+                };
+                let dev = if rng.gen::<f64>() < 0.30 {
+                    rng.gen::<u64>()
+                } else {
+                    vp.main_device
+                };
+                // Scam is often initiated from the fraudster's location.
+                let city = if rng.gen::<f64>() < 0.55 { p.city } else { vp.city };
+                (sec, dev, city)
+            };
+            let reported = rng.gen::<f64>() < cfg.report_rate;
+            let delay = 1 + poisson(rng, cfg.report_delay_days) as i64;
+            let channel = if !stealth && rng.gen::<f64>() < 0.5 {
+                3
+            } else {
+                rng.gen_range(0..4)
+            };
+            staged.push(Staged {
+                payer: victim,
+                receiver,
+                amount_cents: lognormal_amount(rng, vp.income_level, 1.0, 2.2),
+                second_of_day,
+                trans_city,
+                device_id,
+                channel,
+                is_fraud: true,
+                reported_after: reported.then_some(delay),
+            });
+            // The mule forwards the takings to the ring the same day —
+            // the laundering edge that ties the mule into the fraud region
+            // of the transaction network.
+            if receiver != fraudster {
+                staged.push(Staged {
+                    payer: receiver,
+                    receiver: fraudster,
+                    amount_cents: lognormal_amount(rng, 2, 0.6, 2.0),
+                    second_of_day: (second_of_day + rng.gen_range(600..7_200)).min(86_399),
+                    trans_city: inputs.profiles[receiver as usize].city,
+                    device_id: inputs.profiles[receiver as usize].main_device,
+                    channel: rng.gen_range(0..4),
+                    is_fraud: false,
+                    reported_after: None,
+                });
+            }
+        }
+        // Ring laundering: connect the ring in the graph.
+        if let Some(ring_id) = p.ring {
+            let ring = &inputs.rings[ring_id as usize];
+            if ring.len() >= 2 && rng.gen::<f64>() < 0.8 {
+                for _ in 0..rng.gen_range(1..=2usize) {
+                    let peer = ring[rng.gen_range(0..ring.len())];
+                    if peer == fraudster {
+                        continue;
+                    }
+                    staged.push(Staged {
+                        payer: fraudster,
+                        receiver: peer,
+                        amount_cents: lognormal_amount(rng, 2, 0.9, 2.0),
+                        second_of_day: night_second(rng),
+                        trans_city: p.city,
+                        device_id: p.main_device,
+                        channel: rng.gen_range(0..4),
+                        is_fraud: false,
+                        reported_after: None,
+                    });
+                }
+            }
+            // Occasional inter-ring cash-out: organised-crime upstream flows
+            // that merge the rings into one macro-region of the network.
+            if inputs.rings.len() >= 2 && rng.gen::<f64>() < 0.15 {
+                let other = rng.gen_range(0..inputs.rings.len());
+                if other != ring_id as usize && !inputs.rings[other].is_empty() {
+                    let peer = inputs.rings[other][rng.gen_range(0..inputs.rings[other].len())];
+                    staged.push(Staged {
+                        payer: fraudster,
+                        receiver: peer,
+                        amount_cents: lognormal_amount(rng, 3, 0.9, 3.0),
+                        second_of_day: night_second(rng),
+                        trans_city: p.city,
+                        device_id: p.main_device,
+                        channel: rng.gen_range(0..4),
+                        is_fraud: false,
+                        reported_after: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The ring's current mule, recruiting a fresh ordinary account when the
+/// previous one rotated out.
+fn current_mule(
+    inputs: &SimInputs<'_>,
+    ring_id: u32,
+    day: i64,
+    rng: &mut StdRng,
+    ring_state: &mut [RingState],
+) -> u32 {
+    let st = &mut ring_state[ring_id as usize];
+    if let Some(m) = st.mule {
+        if day < st.mule_until {
+            return m;
+        }
+    }
+    // Recruit: any regular user (mules look completely normal).
+    let n = inputs.profiles.len();
+    for _ in 0..32 {
+        let cand = rng.gen_range(0..n) as u32;
+        if inputs.profiles[cand as usize].role == Role::Regular {
+            st.mule = Some(cand);
+            st.mule_until = day + inputs.config.mule_rotation_days;
+            return cand;
+        }
+    }
+    // Pathological world (no regular users): fall back to a ring member.
+    inputs.rings[ring_id as usize][0]
+}
+
+/// A daytime second (06:00–21:59), roughly business-hours weighted.
+fn day_second<R: Rng>(rng: &mut R) -> u32 {
+    let hour = 6 + rng.gen_range(0..16);
+    hour * 3_600 + rng.gen_range(0..3_600)
+}
+
+/// A night second (22:00–05:59).
+fn night_second<R: Rng>(rng: &mut R) -> u32 {
+    let hour = [22, 23, 0, 1, 2, 3, 4, 5][rng.gen_range(0..8)];
+    hour * 3_600 + rng.gen_range(0..3_600)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| poisson(&mut rng, 1.3)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 1.3).abs() < 0.05, "mean {mean}");
+        assert_eq!(poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn lognormal_amounts_scale_with_income() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let low: u64 = (0..2000)
+            .map(|_| lognormal_amount(&mut rng, 0, 1.0, 1.0))
+            .sum();
+        let high: u64 = (0..2000)
+            .map(|_| lognormal_amount(&mut rng, 4, 1.0, 1.0))
+            .sum();
+        assert!(high > low * 2, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn day_and_night_seconds_land_in_their_ranges() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let d = day_second(&mut rng);
+            let h = d / 3600;
+            assert!((6..22).contains(&h), "day hour {h}");
+            let n = night_second(&mut rng);
+            let h = n / 3600;
+            assert!(!(6..22).contains(&h), "night hour {h}");
+        }
+    }
+
+    #[test]
+    fn normal_has_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

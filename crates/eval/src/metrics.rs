@@ -1,0 +1,376 @@
+//! Binary-classification metrics for unbalanced fraud data.
+
+/// Confusion-matrix counts at a fixed threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Precision = tp / (tp + fp); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall = tp / (tp + fn); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 = harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+fn check_inputs(scores: &[f32], labels: &[f32]) {
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "scores and labels must be parallel"
+    );
+    assert!(!scores.is_empty(), "metrics need at least one example");
+}
+
+/// Confusion counts when predicting positive for `score >= threshold`.
+pub fn confusion_at(scores: &[f32], labels: &[f32], threshold: f32) -> Confusion {
+    check_inputs(scores, labels);
+    let mut c = Confusion::default();
+    for (&s, &y) in scores.iter().zip(labels) {
+        match (s >= threshold, y > 0.5) {
+            (true, true) => c.tp += 1,
+            (true, false) => c.fp += 1,
+            (false, true) => c.fn_ += 1,
+            (false, false) => c.tn += 1,
+        }
+    }
+    c
+}
+
+/// F1 at a fixed threshold.
+pub fn f1_at(scores: &[f32], labels: &[f32], threshold: f32) -> f64 {
+    confusion_at(scores, labels, threshold).f1()
+}
+
+/// The threshold maximising F1 over the given scored examples, found with a
+/// single sorted sweep (O(n log n)). Returns `(threshold, f1)`.
+///
+/// Ties on score are handled by sweeping whole score-groups at once, so the
+/// returned F1 is exactly achievable with the `>= threshold` rule.
+pub fn best_f1_threshold(scores: &[f32], labels: &[f32]) -> (f32, f64) {
+    check_inputs(scores, labels);
+    let total_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    if total_pos == 0 {
+        return (f32::INFINITY, 0.0);
+    }
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+
+    let mut best = (f32::INFINITY, 0.0f64);
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        let s = scores[order[i] as usize];
+        // Consume the whole tie group at score s.
+        while i < order.len() && scores[order[i] as usize] == s {
+            if labels[order[i] as usize] > 0.5 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / (tp + fp) as f64;
+        let recall = tp as f64 / total_pos as f64;
+        if precision + recall > 0.0 {
+            let f1 = 2.0 * precision * recall / (precision + recall);
+            if f1 > best.1 {
+                best = (s, f1);
+            }
+        }
+    }
+    best
+}
+
+/// The alert rate (flagged fraction) maximising F1, found by sweeping the
+/// score ranking. Returns `(rate, f1)`.
+///
+/// Rate-based operating points transfer across days far better than raw
+/// score thresholds: model scores drift day to day (fresh models, shifted
+/// feature distributions) while the ranking stays stable, and production
+/// systems budget alerts as a fraction of traffic anyway.
+pub fn best_f1_rate(scores: &[f32], labels: &[f32]) -> (f64, f64) {
+    let (threshold, f1) = best_f1_threshold(scores, labels);
+    if f1 == 0.0 {
+        return (0.0, 0.0);
+    }
+    let flagged = scores.iter().filter(|&&s| s >= threshold).count();
+    (flagged as f64 / scores.len() as f64, f1)
+}
+
+/// F1 when flagging the top `rate` fraction of examples by score (ties are
+/// flagged together, so the effective rate can be slightly higher).
+pub fn f1_at_rate(scores: &[f32], labels: &[f32], rate: f64) -> f64 {
+    check_inputs(scores, labels);
+    assert!((0.0..=1.0).contains(&rate), "rate must be a fraction");
+    if rate == 0.0 {
+        return 0.0;
+    }
+    let k = ((scores.len() as f64 * rate).round() as usize).clamp(1, scores.len());
+    let mut sorted: Vec<f32> = scores.to_vec();
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+    let threshold = sorted[k - 1];
+    f1_at(scores, labels, threshold)
+}
+
+/// Recall among the top `q` fraction of examples by score — the paper's
+/// "rec@top 1 %" (Figure 9). `q` in (0, 1].
+///
+/// Ties are handled by *proportional credit*: if the top-k boundary falls
+/// inside a group of equal scores, the group's positives count in
+/// proportion to how much of the group fits — the expected recall under
+/// random tie-breaking. Without this, coarse scorers (decision-tree leaf
+/// probabilities, isolation depths) get arbitrary all-or-nothing recall.
+pub fn rec_at_top(scores: &[f32], labels: &[f32], q: f64) -> f64 {
+    check_inputs(scores, labels);
+    assert!(q > 0.0 && q <= 1.0, "q must be in (0, 1]");
+    let total_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let k = ((scores.len() as f64 * q).ceil() as usize).clamp(1, scores.len());
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+
+    let mut credited = 0.0f64;
+    let mut taken = 0usize;
+    let mut i = 0usize;
+    while i < order.len() && taken < k {
+        // The whole tie group at this score.
+        let s = scores[order[i] as usize];
+        let mut j = i;
+        let mut group_pos = 0usize;
+        while j < order.len() && scores[order[j] as usize] == s {
+            if labels[order[j] as usize] > 0.5 {
+                group_pos += 1;
+            }
+            j += 1;
+        }
+        let group_size = j - i;
+        let take = group_size.min(k - taken);
+        credited += group_pos as f64 * take as f64 / group_size as f64;
+        taken += take;
+        i = j;
+    }
+    credited / total_pos as f64
+}
+
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) formulation.
+/// Ties receive half credit. Returns 0.5 for degenerate label sets.
+pub fn roc_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    check_inputs(scores, labels);
+    let pos: Vec<f32> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| y > 0.5)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f32> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &y)| y <= 0.5)
+        .map(|(&s, _)| s)
+        .collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // Sort negatives once, binary-search each positive: O((p+n) log n).
+    let mut sneg = neg.clone();
+    sneg.sort_unstable_by(f32::total_cmp);
+    let mut sum = 0.0f64;
+    for &p in &pos {
+        let below = sneg.partition_point(|&v| v < p);
+        let equal = sneg.partition_point(|&v| v <= p) - below;
+        sum += below as f64 + equal as f64 * 0.5;
+    }
+    sum / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// Area under the precision-recall curve (average precision formulation).
+pub fn pr_auc(scores: &[f32], labels: &[f32]) -> f64 {
+    check_inputs(scores, labels);
+    let total_pos = labels.iter().filter(|&&y| y > 0.5).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<u32> = (0..scores.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| scores[b as usize].total_cmp(&scores[a as usize]));
+    let mut tp = 0usize;
+    let mut ap = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        if labels[i as usize] > 0.5 {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / total_pos as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let scores = [0.9, 0.8, 0.3, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let c = confusion_at(&scores, &labels, 0.5);
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_separation_gives_f1_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let (t, f1) = best_f1_threshold(&scores, &labels);
+        assert!((f1 - 1.0).abs() < 1e-12);
+        assert!(f1_at(&scores, &labels, t) == f1);
+    }
+
+    #[test]
+    fn best_threshold_is_achievable() {
+        // Noisy overlap: whatever threshold is returned, re-evaluating at it
+        // must reproduce the reported F1.
+        let scores = [0.9, 0.7, 0.7, 0.6, 0.4, 0.4, 0.2];
+        let labels = [1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0];
+        let (t, f1) = best_f1_threshold(&scores, &labels);
+        assert!((f1_at(&scores, &labels, t) - f1).abs() < 1e-12);
+        assert!(f1 > 0.0);
+    }
+
+    #[test]
+    fn rate_based_f1_matches_threshold_based_on_clean_data() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        let (rate, f1) = best_f1_rate(&scores, &labels);
+        assert!((rate - 0.5).abs() < 1e-12);
+        assert!((f1 - 1.0).abs() < 1e-12);
+        assert!((f1_at_rate(&scores, &labels, rate) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rate_transfer_is_scale_invariant() {
+        // Same ranking, shifted/squashed scores: rate-based F1 unchanged.
+        let labels = [1.0, 1.0, 0.0, 0.0, 0.0];
+        let a = [0.9, 0.8, 0.3, 0.2, 0.1];
+        let b = [0.09, 0.08, 0.03, 0.02, 0.01];
+        let (rate, _) = best_f1_rate(&a, &labels);
+        assert_eq!(
+            f1_at_rate(&a, &labels, rate),
+            f1_at_rate(&b, &labels, rate)
+        );
+    }
+
+    #[test]
+    fn zero_rate_gives_zero_f1() {
+        assert_eq!(f1_at_rate(&[0.5, 0.4], &[1.0, 0.0], 0.0), 0.0);
+    }
+
+    #[test]
+    fn no_positives_yields_zero() {
+        let scores = [0.9, 0.1];
+        let labels = [0.0, 0.0];
+        assert_eq!(best_f1_threshold(&scores, &labels).1, 0.0);
+        assert_eq!(rec_at_top(&scores, &labels, 0.5), 0.0);
+        assert_eq!(pr_auc(&scores, &labels), 0.0);
+        assert_eq!(roc_auc(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn rec_at_top_finds_high_scoring_positives() {
+        // 100 examples, 4 positives; two are in the top 10 by score.
+        let scores: Vec<f32> = (0..100).map(|i| 1.0 - i as f32 / 100.0).collect();
+        let mut labels = vec![0.0f32; 100];
+        labels[2] = 1.0;
+        labels[5] = 1.0;
+        labels[50] = 1.0;
+        labels[80] = 1.0;
+        let r = rec_at_top(&scores, &labels, 0.10);
+        assert!((r - 0.5).abs() < 1e-12, "recall {r}");
+        assert_eq!(rec_at_top(&scores, &labels, 1.0), 1.0);
+    }
+
+    #[test]
+    fn rec_at_top_gives_proportional_credit_on_ties() {
+        // 10 examples all scoring 0.5, 4 positives; top 50% should credit
+        // half the group's positives: recall = (4 * 5/10) / 4 = 0.5.
+        let scores = [0.5f32; 10];
+        let mut labels = [0.0f32; 10];
+        for i in 0..4 {
+            labels[i] = 1.0;
+        }
+        let r = rec_at_top(&scores, &labels, 0.5);
+        assert!((r - 0.5).abs() < 1e-12, "recall {r}");
+    }
+
+    #[test]
+    fn roc_auc_known_values() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+        let labels_rev = [0.0, 0.0, 1.0, 1.0];
+        assert!(roc_auc(&scores, &labels_rev) < 1e-12);
+        // Ties get half credit.
+        let tied = [0.5f32, 0.5];
+        let lab = [1.0, 0.0];
+        assert!((roc_auc(&tied, &lab) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_auc_perfect_ranking_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((pr_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn mismatched_lengths_panic() {
+        confusion_at(&[0.5], &[1.0, 0.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be")]
+    fn invalid_q_panics() {
+        rec_at_top(&[0.5], &[1.0], 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synchronous data-parallel logistic regression on the parameter server.
+//!
+//! Each worker thread owns a row shard. Per mini-batch round: workers pull
+//! the current weights, compute the gradient over their shard slice, and
+//! push the scaled negative gradient (`push_add`); the server applies all
+//! pushes. This is the classic BSP PS pattern — KunPeng's "data
+//! parallelism" for classification models (§4.3).
+
+use crate::ps::ParamServer;
+use titant_models::Dataset;
+
+/// Distributed LR hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DistLrConfig {
+    pub n_workers: usize,
+    pub n_servers: usize,
+    pub epochs: usize,
+    pub learning_rate: f32,
+}
+
+impl Default for DistLrConfig {
+    fn default() -> Self {
+        Self {
+            n_workers: 4,
+            n_servers: 2,
+            epochs: 30,
+            learning_rate: 0.5,
+        }
+    }
+}
+
+/// A trained distributed LR model (weights + bias in the last slot).
+#[derive(Debug, Clone)]
+pub struct DistLrModel {
+    weights: Vec<f32>,
+}
+
+impl DistLrModel {
+    /// Score one row.
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        let d = self.weights.len() - 1;
+        debug_assert_eq!(features.len(), d);
+        let mut z = self.weights[d];
+        for (w, x) in self.weights[..d].iter().zip(features) {
+            z += w * x;
+        }
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// The learned weights (bias last).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+}
+
+/// Train on continuous features with synchronous rounds. Returns the model
+/// and leaves PS traffic counters populated for the cost model.
+pub fn train(data: &Dataset, config: &DistLrConfig, ps: &ParamServer) -> DistLrModel {
+    assert!(data.is_labeled(), "distributed LR needs labels");
+    let d = data.n_cols();
+    assert_eq!(ps.dim(), d + 1, "PS must hold d weights + bias");
+    let n = data.n_rows();
+    let workers = config.n_workers.max(1).min(n.max(1));
+    let chunk = n.div_ceil(workers);
+
+    for _epoch in 0..config.epochs {
+        // One synchronous round per epoch (full-batch gradient).
+        let mut deltas: Vec<Vec<f32>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        // Pull current weights.
+                        let mut weights = vec![0f32; d + 1];
+                        ps.pull(0..d + 1, &mut weights);
+                        let mut grad = vec![0f32; d + 1];
+                        for i in lo..hi {
+                            let row = data.row(i);
+                            let mut z = weights[d];
+                            for (wj, xj) in weights[..d].iter().zip(row) {
+                                z += wj * xj;
+                            }
+                            let p = 1.0 / (1.0 + (-z).exp());
+                            let g = p - data.label(i);
+                            for (gj, xj) in grad[..d].iter_mut().zip(row) {
+                                *gj += g * xj;
+                            }
+                            grad[d] += g;
+                        }
+                        grad
+                    })
+                })
+                .collect();
+            for h in handles {
+                deltas.push(h.join().expect("LR worker panicked"));
+            }
+        });
+        // Workers push scaled negative gradients; server applies additively.
+        let scale = -config.learning_rate / n as f32;
+        for mut grad in deltas {
+            for g in &mut grad {
+                *g *= scale;
+            }
+            ps.push_add(0..d + 1, &grad);
+        }
+    }
+    let weights = ps.snapshot();
+    DistLrModel { weights }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable_data(n: usize) -> Dataset {
+        let mut d = Dataset::new(2);
+        let mut state = 9u64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32
+        };
+        for _ in 0..n {
+            let (x, y) = (rand01() * 2.0 - 1.0, rand01() * 2.0 - 1.0);
+            d.push_row(&[x, y], if x + y > 0.0 { 1.0 } else { 0.0 });
+        }
+        d
+    }
+
+    #[test]
+    fn learns_a_linear_boundary() {
+        let data = separable_data(2000);
+        let cfg = DistLrConfig {
+            epochs: 200,
+            learning_rate: 2.0,
+            ..Default::default()
+        };
+        let ps = ParamServer::new(3, cfg.n_servers, |_| 0.0);
+        let model = train(&data, &cfg, &ps);
+        assert!(model.predict_proba(&[0.8, 0.8]) > 0.9);
+        assert!(model.predict_proba(&[-0.8, -0.8]) < 0.1);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_result() {
+        let data = separable_data(500);
+        let run = |workers: usize| {
+            let cfg = DistLrConfig {
+                n_workers: workers,
+                epochs: 50,
+                ..Default::default()
+            };
+            let ps = ParamServer::new(3, 2, |_| 0.0);
+            train(&data, &cfg, &ps).weights().to_vec()
+        };
+        let w1 = run(1);
+        let w4 = run(4);
+        for (a, b) in w1.iter().zip(&w4) {
+            assert!((a - b).abs() < 1e-3, "{w1:?} vs {w4:?}");
+        }
+    }
+
+    #[test]
+    fn traffic_scales_with_workers_and_epochs() {
+        let data = separable_data(200);
+        let cfg = DistLrConfig {
+            n_workers: 4,
+            epochs: 10,
+            ..Default::default()
+        };
+        let ps = ParamServer::new(3, 2, |_| 0.0);
+        train(&data, &cfg, &ps);
+        // Per epoch: 4 pulls + 4 pushes of 3 floats = 96 bytes.
+        assert_eq!(ps.pulled_bytes(), 4 * 10 * 12);
+        assert_eq!(ps.pushed_bytes(), 4 * 10 * 12);
+    }
+}

@@ -1,0 +1,302 @@
+//! Distributed DeepWalk word2vec on the parameter server.
+//!
+//! Implements §4.3's description verbatim: "Worker nodes receive the node
+//! sequences by Random walk algorithm. For every iteration, each worker
+//! first read a batch of sequence data and generate negative word list.
+//! The embeddings are then pulled from server nodes and are updated by
+//! gradient descent. Subsequently, the updated embeddings are uploaded to
+//! server nodes. … server nodes pull the new embeddings and aggregate them
+//! by executing the model average operation."
+//!
+//! Concretely: per round every worker pulls the full embedding block,
+//! trains SGNS locally on its walk shard for one pass, and pushes its
+//! updated copy back with `push_average(…, 1/n_workers)`. The PS traffic
+//! counters record exactly the bytes Figure 10's cost model needs.
+
+use crate::ps::ParamServer;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use titant_nrl::EmbeddingMatrix;
+use titant_txgraph::walk::WalkCorpus;
+
+/// Distributed SGNS hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DistWord2VecConfig {
+    pub dim: usize,
+    pub window: usize,
+    pub negatives: usize,
+    /// Synchronisation rounds (each = one local pass per worker).
+    pub rounds: usize,
+    pub learning_rate: f32,
+    pub n_workers: usize,
+    pub n_servers: usize,
+    pub seed: u64,
+}
+
+impl Default for DistWord2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window: 5,
+            negatives: 5,
+            rounds: 2,
+            learning_rate: 0.025,
+            n_workers: 4,
+            n_servers: 2,
+            seed: 0xd15d,
+        }
+    }
+}
+
+/// Train embeddings for `n_nodes` over `corpus`. The PS stores both the
+/// input (`syn0`) and output (`syn1`) matrices back to back.
+pub fn train(
+    corpus: &WalkCorpus,
+    n_nodes: usize,
+    config: &DistWord2VecConfig,
+    ps: &ParamServer,
+) -> EmbeddingMatrix {
+    let d = config.dim;
+    assert!(n_nodes > 0 && d > 0, "empty model");
+    assert_eq!(
+        ps.dim(),
+        2 * n_nodes * d,
+        "PS must hold syn0 and syn1 ({} floats)",
+        2 * n_nodes * d
+    );
+
+    // Unigram^0.75 negative table from corpus frequencies.
+    let mut counts = vec![0u64; n_nodes];
+    for &t in &corpus.tokens {
+        counts[t as usize] += 1;
+    }
+    let neg_table = build_negative_table(&counts);
+
+    let n_walks = corpus.walk_count();
+    let workers = config.n_workers.max(1).min(n_walks.max(1));
+    let chunk = n_walks.div_ceil(workers);
+    let alpha = 1.0 / workers as f32;
+
+    for round in 0..config.rounds {
+        let mut locals: Vec<Vec<f32>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n_walks);
+                    let neg_table = &neg_table;
+                    let seed = config
+                        .seed
+                        .wrapping_add((round * workers + w) as u64 * 0x9e37);
+                    scope.spawn(move || {
+                        // Pull the full model (syn0 ++ syn1).
+                        let mut params = vec![0f32; 2 * n_nodes * d];
+                        ps.pull(0..2 * n_nodes * d, &mut params);
+                        train_local(
+                            corpus, lo, hi, &mut params, n_nodes, d, config, neg_table, seed,
+                        );
+                        params
+                    })
+                })
+                .collect();
+            for h in handles {
+                locals.push(h.join().expect("w2v worker panicked"));
+            }
+        });
+        // Model-average aggregation on the server side.
+        for local in &locals {
+            ps.push_average(0..2 * n_nodes * d, local, alpha);
+        }
+    }
+
+    let params = ps.snapshot();
+    EmbeddingMatrix::from_raw(d, params[..n_nodes * d].to_vec())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn train_local(
+    corpus: &WalkCorpus,
+    lo: usize,
+    hi: usize,
+    params: &mut [f32],
+    n_nodes: usize,
+    d: usize,
+    config: &DistWord2VecConfig,
+    neg_table: &[u32],
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (syn0, syn1) = params.split_at_mut(n_nodes * d);
+    let mut neu1e = vec![0f32; d];
+    let lr = config.learning_rate;
+    for wi in lo..hi {
+        let walk = corpus.walk(wi);
+        for (ci, &center) in walk.iter().enumerate() {
+            let b = rng.gen_range(0..config.window);
+            let start = ci.saturating_sub(config.window - b);
+            let end = (ci + config.window - b + 1).min(walk.len());
+            for (pos, &context) in walk.iter().enumerate().take(end).skip(start) {
+                if pos == ci {
+                    continue;
+                }
+                let input = &mut syn0[context as usize * d..(context as usize + 1) * d];
+                neu1e.iter_mut().for_each(|v| *v = 0.0);
+                for nidx in 0..=config.negatives {
+                    let (target, label) = if nidx == 0 {
+                        (center, 1.0f32)
+                    } else {
+                        (neg_table[rng.gen_range(0..neg_table.len())], 0.0)
+                    };
+                    let output = &mut syn1[target as usize * d..(target as usize + 1) * d];
+                    let mut f = 0.0f32;
+                    for k in 0..d {
+                        f += input[k] * output[k];
+                    }
+                    let g = (label - sigmoid(f)) * lr;
+                    for k in 0..d {
+                        neu1e[k] += g * output[k];
+                        output[k] += g * input[k];
+                    }
+                }
+                for k in 0..d {
+                    input[k] += neu1e[k];
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    if x > 8.0 {
+        1.0
+    } else if x < -8.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+fn build_negative_table(counts: &[u64]) -> Vec<u32> {
+    let table_size = (counts.len() * 64).clamp(1 << 10, 1 << 22);
+    let mut table = vec![0u32; table_size];
+    let total: f64 = counts.iter().map(|&c| (c as f64).powf(0.75)).sum();
+    if total == 0.0 {
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = (i % counts.len()) as u32;
+        }
+        return table;
+    }
+    let mut node = 0usize;
+    let mut cum = (counts[0] as f64).powf(0.75) / total;
+    for (i, slot) in table.iter_mut().enumerate() {
+        *slot = node as u32;
+        if (i as f64 + 1.0) / table_size as f64 > cum && node + 1 < counts.len() {
+            node += 1;
+            cum += (counts[node] as f64).powf(0.75) / total;
+        }
+    }
+    table
+}
+
+/// Random init for the PS backing a distributed word2vec model: syn0 in
+/// `(-0.5/dim, 0.5/dim)`, syn1 zero.
+pub fn ps_init(n_nodes: usize, dim: usize, seed: u64) -> impl Fn(usize) -> f32 {
+    move |i| {
+        if i < n_nodes * dim {
+            // Cheap stateless hash-based uniform in (-0.5/dim, 0.5/dim).
+            let mut h = (i as u64).wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            ((h >> 40) as f32 / (1u64 << 24) as f32 - 0.5) / dim as f32
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titant_txgraph::{TxGraphBuilder, UserId, WalkConfig, WalkEngine};
+
+    fn two_cluster_corpus() -> (WalkCorpus, usize) {
+        let mut b = TxGraphBuilder::new();
+        for cluster in 0..2u64 {
+            let base = cluster * 6;
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.add_edge(UserId(base + i), UserId(base + j), 1.0);
+                }
+            }
+        }
+        b.add_edge(UserId(0), UserId(6), 1.0);
+        let g = b.build();
+        let corpus = WalkEngine::new(
+            &g,
+            WalkConfig {
+                walk_length: 10,
+                walks_per_node: 40,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .generate();
+        (corpus, g.node_count())
+    }
+
+    #[test]
+    fn distributed_training_separates_clusters() {
+        let (corpus, n) = two_cluster_corpus();
+        let cfg = DistWord2VecConfig {
+            dim: 8,
+            rounds: 6,
+            learning_rate: 0.05,
+            n_workers: 4,
+            ..Default::default()
+        };
+        let ps = ParamServer::new(2 * n * cfg.dim, cfg.n_servers, ps_init(n, cfg.dim, 1));
+        let emb = train(&corpus, n, &cfg, &ps);
+        use titant_txgraph::NodeId;
+        let intra = emb.cosine(NodeId(1), NodeId(2));
+        let inter = emb.cosine(NodeId(1), NodeId(8));
+        assert!(
+            intra > inter,
+            "intra {intra} should exceed inter {inter} after PS training"
+        );
+    }
+
+    #[test]
+    fn traffic_matches_round_structure() {
+        let (corpus, n) = two_cluster_corpus();
+        let cfg = DistWord2VecConfig {
+            dim: 4,
+            rounds: 3,
+            n_workers: 2,
+            ..Default::default()
+        };
+        let model_bytes = (2 * n * cfg.dim * 4) as u64;
+        let ps = ParamServer::new(2 * n * cfg.dim, 2, ps_init(n, cfg.dim, 2));
+        train(&corpus, n, &cfg, &ps);
+        // Per round each worker pulls + pushes the full model once.
+        assert_eq!(ps.pulled_bytes(), 3 * 2 * model_bytes);
+        assert_eq!(ps.pushed_bytes(), 3 * 2 * model_bytes);
+    }
+
+    #[test]
+    fn single_worker_matches_expected_shape() {
+        let (corpus, n) = two_cluster_corpus();
+        let cfg = DistWord2VecConfig {
+            dim: 4,
+            rounds: 1,
+            n_workers: 1,
+            ..Default::default()
+        };
+        let ps = ParamServer::new(2 * n * cfg.dim, 1, ps_init(n, cfg.dim, 3));
+        let emb = train(&corpus, n, &cfg, &ps);
+        assert_eq!(emb.node_count(), n);
+        assert_eq!(emb.dim(), 4);
+        assert!(emb.as_slice().iter().any(|&v| v.abs() > 1e-6));
+    }
+}

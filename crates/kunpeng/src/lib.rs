@@ -1,0 +1,36 @@
+//! # titant-kunpeng — the distributed learning substrate
+//!
+//! A laptop-scale analogue of KunPeng (paper §4.3), Ant Financial's
+//! parameter-server framework. The PS architecture is real: [`ps`] shards a
+//! dense parameter vector across server nodes with Pull / Push-add /
+//! model-average operations and byte-level traffic accounting; worker
+//! "nodes" are OS threads holding data shards. Single-point failure
+//! tolerance — "the failed instance can be restarted and recovered to the
+//! previous status" — is implemented with [`ps::Checkpoint`]s and exercised
+//! in tests.
+//!
+//! On top of the PS run the three distributed trainers the paper
+//! reimplements on KunPeng:
+//!
+//! * [`dist_word2vec`] — DeepWalk's skip-gram stage: workers train on walk
+//!   shards and servers "aggregate them by executing the model average
+//!   operation" (§4.3, verbatim);
+//! * [`dist_lr`] — synchronous mini-batch logistic regression;
+//! * [`dist_gbdt`] — data-parallel histogram GBDT: per tree node every
+//!   worker pushes its local gradient histogram, the server sums them, the
+//!   coordinator picks the split — the communication pattern whose cost
+//!   ceases to amortise past ~20 machines in the paper's Figure 10.
+//!
+//! [`cluster`] turns measured single-machine throughput plus the recorded
+//! communication volume into simulated wall-clock times for an M-machine
+//! cluster (half servers, half workers, as in §5.2) — the substitution that
+//! regenerates Figure 10 without a physical cluster (see DESIGN.md).
+
+pub mod cluster;
+pub mod dist_gbdt;
+pub mod dist_lr;
+pub mod dist_word2vec;
+pub mod ps;
+
+pub use cluster::{ClusterSpec, CostModel};
+pub use ps::{Checkpoint, ParamServer};

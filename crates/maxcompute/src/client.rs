@@ -1,0 +1,302 @@
+//! The client layer: accounts, authenticated sessions, and the submit
+//! paths for SQL and MapReduce jobs.
+//!
+//! Per Figure 4: "developers can login with their cloud account and submit
+//! jobs by web console in client layer, where HTTP server receives the
+//! command"; authentication failures never reach the server layer.
+
+use crate::fuxi::Fuxi;
+use crate::job::{JobSpec, Scheduler, Subtask};
+use crate::mapreduce::{run_mapreduce, MapFn, ReduceFn};
+use crate::ots::Ots;
+use crate::pangu::Pangu;
+use crate::sql;
+use crate::table::{Schema, Table};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cluster errors surfaced to clients.
+#[derive(Debug)]
+pub enum McError {
+    /// Bad account or secret.
+    AuthFailed,
+    /// Referenced table does not exist.
+    UnknownTable(String),
+    /// SQL failure.
+    Sql(sql::SqlError),
+    /// Blob store failure.
+    Pangu(crate::pangu::PanguError),
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McError::AuthFailed => write!(f, "authentication failed"),
+            McError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            McError::Sql(e) => write!(f, "{e}"),
+            McError::Pangu(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
+/// A cloud account (name + secret).
+#[derive(Debug, Clone)]
+pub struct Account {
+    pub name: String,
+    secret: String,
+}
+
+impl Account {
+    /// Create an account descriptor.
+    pub fn new(name: &str, secret: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            secret: secret.to_string(),
+        }
+    }
+}
+
+/// The MaxCompute cluster facade.
+pub struct MaxCompute {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    accounts: Mutex<HashMap<String, String>>,
+    scheduler: Scheduler,
+    fuxi: Fuxi,
+    ots: Arc<Ots>,
+    pangu: Arc<Pangu>,
+}
+
+impl MaxCompute {
+    /// Boot a cluster: `machines` × `slots_per_machine` compute slots,
+    /// `datanodes` Pangu nodes.
+    pub fn new(machines: usize, slots_per_machine: usize, datanodes: usize) -> Self {
+        let fuxi = Fuxi::new(machines, slots_per_machine);
+        let ots = Arc::new(Ots::new());
+        let scheduler = Scheduler::new(fuxi.clone(), Arc::clone(&ots), machines * slots_per_machine);
+        Self {
+            tables: RwLock::new(HashMap::new()),
+            accounts: Mutex::new(HashMap::new()),
+            scheduler,
+            fuxi,
+            ots,
+            pangu: Arc::new(Pangu::new(datanodes.max(3), 1 << 16, 3.min(datanodes.max(1)))),
+        }
+    }
+
+    /// Register an account.
+    pub fn create_account(&self, account: &Account) {
+        self.accounts
+            .lock()
+            .insert(account.name.clone(), account.secret.clone());
+    }
+
+    /// Authenticate and open a session (the web-console login).
+    pub fn login(&self, name: &str, secret: &str) -> Result<Session<'_>, McError> {
+        match self.accounts.lock().get(name) {
+            Some(s) if s == secret => Ok(Session {
+                mc: self,
+                account: name.to_string(),
+            }),
+            _ => Err(McError::AuthFailed),
+        }
+    }
+
+    /// The instance status table (observability).
+    pub fn ots(&self) -> &Ots {
+        &self.ots
+    }
+
+    /// The resource manager (observability).
+    pub fn fuxi(&self) -> &Fuxi {
+        &self.fuxi
+    }
+}
+
+/// An authenticated session.
+pub struct Session<'a> {
+    mc: &'a MaxCompute,
+    account: String,
+}
+
+impl Session<'_> {
+    /// The logged-in account name.
+    pub fn account(&self) -> &str {
+        &self.account
+    }
+
+    /// Create or replace a table.
+    pub fn create_table(&self, name: &str, table: Table) {
+        self.mc
+            .tables
+            .write()
+            .insert(name.to_string(), Arc::new(table));
+    }
+
+    /// Fetch a table snapshot.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>, McError> {
+        self.mc
+            .tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| McError::UnknownTable(name.to_string()))
+    }
+
+    /// Run a SQL query through the full job path (OTS registration,
+    /// scheduler, Fuxi slot, executor) and wait for the result.
+    pub fn sql(&self, query: &str) -> Result<Table, McError> {
+        let parsed = sql::parse(query).map_err(McError::Sql)?;
+        let input = self.table(&parsed.table)?;
+        let result: Arc<Mutex<Option<Result<Table, sql::SqlError>>>> =
+            Arc::new(Mutex::new(None));
+        let slot_result = Arc::clone(&result);
+        let task: Subtask = Box::new(move || {
+            let r = sql::execute(&parsed, &input);
+            *slot_result.lock() = Some(r);
+        });
+        let handle = self.mc.scheduler.submit(
+            &self.account,
+            JobSpec {
+                description: query.to_string(),
+                priority: 3,
+                subtasks: vec![task],
+            },
+        );
+        handle.wait();
+        let out = result.lock().take().expect("subtask must have run");
+        out.map_err(McError::Sql)
+    }
+
+    /// Run a MapReduce job over a stored table (the transaction-network
+    /// construction path), occupying `parallelism` Fuxi slots.
+    pub fn mapreduce<K, V>(
+        &self,
+        input_table: &str,
+        output_schema: Schema,
+        map: &MapFn<K, V>,
+        reduce: &ReduceFn<K, V>,
+        parallelism: usize,
+    ) -> Result<Table, McError>
+    where
+        K: Ord + Send + Clone,
+        V: Send + Clone,
+    {
+        let input = self.table(input_table)?;
+        let instance = self
+            .mc
+            .ots
+            .register(&self.account, &format!("mapreduce over {input_table}"));
+        let slots = parallelism.clamp(1, self.mc.fuxi.total_slots());
+        let _alloc = self.mc.fuxi.allocate(slots);
+        let out = run_mapreduce(&input, output_schema, map, reduce, slots);
+        self.mc
+            .ots
+            .set_status(instance, crate::ots::InstanceStatus::Terminated);
+        Ok(out)
+    }
+
+    /// Persist a named blob to Pangu (model files, embeddings).
+    pub fn put_blob(&self, name: &str, data: &[u8]) -> Result<(), McError> {
+        self.mc.pangu.put(name, data).map_err(McError::Pangu)
+    }
+
+    /// Read a named blob back from Pangu.
+    pub fn get_blob(&self, name: &str) -> Result<Vec<u8>, McError> {
+        self.mc.pangu.get(name).map_err(McError::Pangu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::{ColumnType, Value};
+
+    fn cluster_with_table() -> MaxCompute {
+        let mc = MaxCompute::new(2, 2, 3);
+        mc.create_account(&Account::new("ant", "s3cret"));
+        let session = mc.login("ant", "s3cret").unwrap();
+        let mut t = Table::new(Schema::new(vec![
+            ("payer", ColumnType::Int),
+            ("payee", ColumnType::Int),
+            ("amount", ColumnType::Float),
+        ]));
+        for (a, b, amt) in [(1, 2, 10.0), (1, 2, 4.0), (3, 2, 6.0)] {
+            t.push_row(vec![(a as i64).into(), (b as i64).into(), amt.into()]);
+        }
+        session.create_table("tx", t);
+        mc
+    }
+
+    #[test]
+    fn login_enforces_credentials() {
+        let mc = cluster_with_table();
+        assert!(mc.login("ant", "wrong").is_err());
+        assert!(mc.login("nobody", "s3cret").is_err());
+        assert!(mc.login("ant", "s3cret").is_ok());
+    }
+
+    #[test]
+    fn sql_path_runs_through_scheduler_and_ots() {
+        let mc = cluster_with_table();
+        let session = mc.login("ant", "s3cret").unwrap();
+        let before = mc.ots().count();
+        let result = session
+            .sql("SELECT payee, SUM(amount) FROM tx GROUP BY payee")
+            .unwrap();
+        assert_eq!(result.n_rows(), 1);
+        assert_eq!(result.cell(0, 1).as_f64(), Some(20.0));
+        assert_eq!(mc.ots().count(), before + 1);
+        assert!(mc.ots().running().is_empty(), "instance must terminate");
+    }
+
+    #[test]
+    fn sql_errors_propagate() {
+        let mc = cluster_with_table();
+        let session = mc.login("ant", "s3cret").unwrap();
+        assert!(matches!(
+            session.sql("SELECT x FROM missing"),
+            Err(McError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            session.sql("SELECT nope FROM tx"),
+            Err(McError::Sql(_))
+        ));
+    }
+
+    #[test]
+    fn mapreduce_builds_weighted_edges() {
+        let mc = cluster_with_table();
+        let session = mc.login("ant", "s3cret").unwrap();
+        let out = session
+            .mapreduce(
+                "tx",
+                Schema::new(vec![
+                    ("payer", ColumnType::Int),
+                    ("payee", ColumnType::Int),
+                    ("weight", ColumnType::Int),
+                ]),
+                &|row: &[Value]| {
+                    vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)]
+                },
+                &|k: &(i64, i64), vs: &[u32]| {
+                    vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
+                },
+                4,
+            )
+            .unwrap();
+        assert_eq!(out.n_rows(), 2);
+        assert_eq!(out.cell(0, 2).as_i64(), Some(2)); // edge 1->2 collapsed
+    }
+
+    #[test]
+    fn blobs_round_trip_through_pangu() {
+        let mc = cluster_with_table();
+        let session = mc.login("ant", "s3cret").unwrap();
+        session.put_blob("model-v1", b"weights").unwrap();
+        assert_eq!(session.get_blob("model-v1").unwrap(), b"weights");
+        assert!(session.get_blob("model-v0").is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Fuxi — the resource management and scheduling module.
+//!
+//! The paper (§4.2) describes executors requesting Fuxi to "trigger
+//! computing resources in the compute layer", with subtasks waiting until
+//! "the resource conditions are satisfied". This analogue models a cluster
+//! of machines with a fixed slot count each; allocations are granted FIFO
+//! and released when the subtask finishes. The §5.2 observation that "more
+//! resources requested, more waiting time may be needed for allocation" is
+//! directly measurable here.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A slot allocation; slots return to the pool on drop (RAII).
+pub struct Allocation {
+    slots: usize,
+    pool: Arc<Pool>,
+}
+
+struct PoolState {
+    free_slots: usize,
+    /// Peak concurrent usage (diagnostics).
+    peak_used: usize,
+    total_slots: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// The Fuxi resource manager.
+#[derive(Clone)]
+pub struct Fuxi {
+    pool: Arc<Pool>,
+}
+
+impl Fuxi {
+    /// A cluster of `machines` machines with `slots_per_machine` each.
+    pub fn new(machines: usize, slots_per_machine: usize) -> Self {
+        let total = machines * slots_per_machine;
+        assert!(total > 0, "cluster needs at least one slot");
+        Self {
+            pool: Arc::new(Pool {
+                state: Mutex::new(PoolState {
+                    free_slots: total,
+                    peak_used: 0,
+                    total_slots: total,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Total slots in the cluster.
+    pub fn total_slots(&self) -> usize {
+        self.pool.state.lock().total_slots
+    }
+
+    /// Currently free slots.
+    pub fn free_slots(&self) -> usize {
+        self.pool.state.lock().free_slots
+    }
+
+    /// Peak concurrent slot usage so far.
+    pub fn peak_used(&self) -> usize {
+        self.pool.state.lock().peak_used
+    }
+
+    /// Block until `slots` are available, then take them.
+    ///
+    /// # Panics
+    /// Panics when the request exceeds cluster capacity (it would never be
+    /// satisfiable).
+    pub fn allocate(&self, slots: usize) -> Allocation {
+        let mut state = self.pool.state.lock();
+        assert!(
+            slots <= state.total_slots,
+            "requested {slots} slots but the cluster has {}",
+            state.total_slots
+        );
+        while state.free_slots < slots {
+            self.pool.cv.wait(&mut state);
+        }
+        state.free_slots -= slots;
+        let used = state.total_slots - state.free_slots;
+        state.peak_used = state.peak_used.max(used);
+        Allocation {
+            slots,
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// Try to take `slots` without blocking.
+    pub fn try_allocate(&self, slots: usize) -> Option<Allocation> {
+        let mut state = self.pool.state.lock();
+        if slots > state.total_slots || state.free_slots < slots {
+            return None;
+        }
+        state.free_slots -= slots;
+        let used = state.total_slots - state.free_slots;
+        state.peak_used = state.peak_used.max(used);
+        Some(Allocation {
+            slots,
+            pool: Arc::clone(&self.pool),
+        })
+    }
+
+    /// Block until `slots` are available or the timeout elapses.
+    pub fn allocate_timeout(&self, slots: usize, timeout: Duration) -> Option<Allocation> {
+        let mut state = self.pool.state.lock();
+        if slots > state.total_slots {
+            return None;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while state.free_slots < slots {
+            if self
+                .pool
+                .cv
+                .wait_until(&mut state, deadline)
+                .timed_out()
+            {
+                return None;
+            }
+        }
+        state.free_slots -= slots;
+        let used = state.total_slots - state.free_slots;
+        state.peak_used = state.peak_used.max(used);
+        Some(Allocation {
+            slots,
+            pool: Arc::clone(&self.pool),
+        })
+    }
+}
+
+impl Allocation {
+    /// How many slots this allocation holds.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+}
+
+impl Drop for Allocation {
+    fn drop(&mut self) {
+        let mut state = self.pool.state.lock();
+        state.free_slots += self.slots;
+        self.pool.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release() {
+        let fuxi = Fuxi::new(2, 4);
+        assert_eq!(fuxi.total_slots(), 8);
+        let a = fuxi.allocate(5);
+        assert_eq!(fuxi.free_slots(), 3);
+        drop(a);
+        assert_eq!(fuxi.free_slots(), 8);
+        assert_eq!(fuxi.peak_used(), 5);
+    }
+
+    #[test]
+    fn try_allocate_fails_when_full() {
+        let fuxi = Fuxi::new(1, 2);
+        let _a = fuxi.try_allocate(2).unwrap();
+        assert!(fuxi.try_allocate(1).is_none());
+    }
+
+    #[test]
+    fn blocking_allocation_waits_for_release() {
+        let fuxi = Fuxi::new(1, 2);
+        let a = fuxi.allocate(2);
+        let fuxi2 = fuxi.clone();
+        let handle = std::thread::spawn(move || {
+            let _b = fuxi2.allocate(1); // blocks until `a` drops
+            true
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished(), "allocation should still be waiting");
+        drop(a);
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn timeout_expires_when_slots_never_free() {
+        let fuxi = Fuxi::new(1, 1);
+        let _a = fuxi.allocate(1);
+        let got = fuxi.allocate_timeout(1, Duration::from_millis(30));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn oversized_request_panics() {
+        let fuxi = Fuxi::new(1, 1);
+        let _ = fuxi.allocate(2);
+    }
+}

@@ -1,0 +1,31 @@
+//! # titant-maxcompute — the offline storage & batch compute substrate
+//!
+//! A laptop-scale analogue of MaxCompute/ODPS (paper §4.2, Figure 4), the
+//! platform TitAnt's offline stage runs on. The paper's three logical
+//! layers are all present:
+//!
+//! * **client layer** — [`client::Session`] authenticates a cloud account
+//!   and submits jobs, like the web console + HTTP server;
+//! * **server layer** — [`job`]'s workers/scheduler split jobs into
+//!   prioritised subtasks, register instances in the [`ots`] status table
+//!   (`Running` → `Terminated`), and hand subtasks to executors once the
+//!   [`fuxi`] resource manager grants slots;
+//! * **storage & compute layer** — [`pangu`] is the chunked, replicated
+//!   blob store results persist to, and the compute layer executes either
+//!   [`sql`] queries (SELECT/WHERE/GROUP BY with aggregates — enough to
+//!   extract basic features and labels) or [`mapreduce`] jobs (how the
+//!   transaction network is aggregated) over columnar [`table::Table`]s.
+
+pub mod client;
+pub mod fuxi;
+pub mod job;
+pub mod mapreduce;
+pub mod ots;
+pub mod pangu;
+pub mod sql;
+pub mod table;
+pub mod value;
+
+pub use client::{Account, MaxCompute, Session};
+pub use table::{Schema, Table};
+pub use value::{ColumnType, Value};

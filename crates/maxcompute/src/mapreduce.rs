@@ -1,0 +1,182 @@
+//! MapReduce over columnar tables — the compute model TitAnt's offline
+//! stage uses to construct the transaction network (§4.1: "MaxCompute
+//! supports SQL and MapReduce for extracting basic features/labels and
+//! constructing transaction network").
+//!
+//! The job is expressed as two closures: `map(row) -> Vec<(key, value)>`
+//! and `reduce(key, values) -> Vec<Value-row>`. Map runs over table
+//! partitions on worker threads; the shuffle groups by key; reduce emits
+//! rows of the output table.
+
+use crate::table::{Schema, Table};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A map function: row -> list of (key, value) pairs.
+pub type MapFn<K, V> = dyn Fn(&[Value]) -> Vec<(K, V)> + Sync;
+/// A reduce function: (key, values) -> output rows.
+pub type ReduceFn<K, V> = dyn Fn(&K, &[V]) -> Vec<Vec<Value>> + Sync;
+
+/// Run a MapReduce job over `input`, producing a table with `output_schema`.
+///
+/// `parallelism` controls the number of map partitions (executed on scoped
+/// threads — the subtask parallelism of §4.2).
+pub fn run_mapreduce<K, V>(
+    input: &Table,
+    output_schema: Schema,
+    map: &MapFn<K, V>,
+    reduce: &ReduceFn<K, V>,
+    parallelism: usize,
+) -> Table
+where
+    K: Ord + Send + Clone,
+    V: Send + Clone,
+{
+    // Map phase over partitions.
+    let partitions = input.partitions(parallelism.max(1));
+    let mut partials: Vec<Vec<(K, V)>> = Vec::with_capacity(partitions.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .map(|range| {
+                let range = range.clone();
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in range {
+                        out.extend(map(&input.row(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("map worker panicked"));
+        }
+    });
+
+    // Shuffle: group values by key (BTreeMap gives deterministic order).
+    let mut groups: BTreeMap<K, Vec<V>> = BTreeMap::new();
+    for part in partials {
+        for (k, v) in part {
+            groups.entry(k).or_default().push(v);
+        }
+    }
+
+    // Reduce phase.
+    let mut output = Table::new(output_schema);
+    for (k, vs) in &groups {
+        for row in reduce(k, vs) {
+            output.push_row(row);
+        }
+    }
+    output
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColumnType;
+
+    /// Transfers table: (from, to, amount).
+    fn transfers() -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            ("from", ColumnType::Int),
+            ("to", ColumnType::Int),
+            ("amount", ColumnType::Float),
+        ]));
+        for (f, to, a) in [(1, 2, 10.0), (1, 2, 5.0), (2, 3, 7.0), (1, 3, 1.0)] {
+            t.push_row(vec![(f as i64).into(), (to as i64).into(), a.into()]);
+        }
+        t
+    }
+
+    #[test]
+    fn word_count_style_edge_aggregation() {
+        // The paper's network construction: collapse parallel transfers
+        // into weighted edges.
+        let input = transfers();
+        let out = run_mapreduce(
+            &input,
+            Schema::new(vec![
+                ("from", ColumnType::Int),
+                ("to", ColumnType::Int),
+                ("count", ColumnType::Int),
+                ("total", ColumnType::Float),
+            ]),
+            &|row| {
+                vec![(
+                    (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()),
+                    row[2].as_f64().unwrap(),
+                )]
+            },
+            &|k, vs| {
+                vec![vec![
+                    k.0.into(),
+                    k.1.into(),
+                    (vs.len() as i64).into(),
+                    vs.iter().sum::<f64>().into(),
+                ]]
+            },
+            4,
+        );
+        assert_eq!(out.n_rows(), 3);
+        // Edge (1,2): count 2, total 15.
+        let row0 = out.row(0);
+        assert_eq!(row0[0].as_i64(), Some(1));
+        assert_eq!(row0[1].as_i64(), Some(2));
+        assert_eq!(row0[2].as_i64(), Some(2));
+        assert_eq!(row0[3].as_f64(), Some(15.0));
+    }
+
+    #[test]
+    fn parallelism_does_not_change_results() {
+        let input = transfers();
+        let run = |p: usize| {
+            run_mapreduce(
+                &input,
+                Schema::new(vec![("to", ColumnType::Int), ("n", ColumnType::Int)]),
+                &|row| vec![(row[1].as_i64().unwrap(), 1u32)],
+                &|k, vs| vec![vec![(*k).into(), (vs.len() as i64).into()]],
+                p,
+            )
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.n_rows(), b.n_rows());
+        for i in 0..a.n_rows() {
+            assert_eq!(a.row(i), b.row(i));
+        }
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let input = Table::new(Schema::new(vec![("x", ColumnType::Int)]));
+        let out = run_mapreduce(
+            &input,
+            Schema::new(vec![("x", ColumnType::Int)]),
+            &|row| vec![(row[0].as_i64().unwrap(), ())],
+            &|k, _| vec![vec![(*k).into()]],
+            4,
+        );
+        assert_eq!(out.n_rows(), 0);
+    }
+
+    #[test]
+    fn reduce_can_emit_multiple_rows() {
+        let input = transfers();
+        let out = run_mapreduce(
+            &input,
+            Schema::new(vec![("from", ColumnType::Int)]),
+            &|row| vec![(row[0].as_i64().unwrap(), ())],
+            &|k, vs| (0..vs.len()).map(|_| vec![(*k).into()]).collect(),
+            2,
+        );
+        // User 1 made three transfers -> three rows.
+        let ones = out
+            .column(0)
+            .iter()
+            .filter(|v| v.as_i64() == Some(1))
+            .count();
+        assert_eq!(ones, 3);
+    }
+}

@@ -1,0 +1,146 @@
+//! OTS — the Open Table Service keeping every job instance's status.
+//!
+//! Per the paper (§4.2): "scheduler registers the instance in Open Table
+//! Service (OTS) via SQL planner and its status is set as 'running'
+//! simultaneously. OTS maintains the status of all the instances. […] the
+//! executor updates the status of the instance as 'terminated'".
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Lifecycle states of a job instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstanceStatus {
+    Running,
+    Terminated,
+    Failed,
+}
+
+/// One registered instance.
+#[derive(Debug, Clone)]
+pub struct InstanceRecord {
+    pub id: u64,
+    pub owner: String,
+    pub description: String,
+    pub status: InstanceStatus,
+    pub registered_at: Instant,
+    pub finished_at: Option<Instant>,
+}
+
+/// The instance status table.
+#[derive(Default)]
+pub struct Ots {
+    inner: RwLock<OtsInner>,
+}
+
+#[derive(Default)]
+struct OtsInner {
+    next_id: u64,
+    instances: HashMap<u64, InstanceRecord>,
+}
+
+impl Ots {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new instance as `Running`; returns its instance id.
+    pub fn register(&self, owner: &str, description: &str) -> u64 {
+        let mut inner = self.inner.write();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.instances.insert(
+            id,
+            InstanceRecord {
+                id,
+                owner: owner.to_string(),
+                description: description.to_string(),
+                status: InstanceStatus::Running,
+                registered_at: Instant::now(),
+                finished_at: None,
+            },
+        );
+        id
+    }
+
+    /// Update an instance's status. Terminal states stamp `finished_at`.
+    ///
+    /// # Panics
+    /// Panics on an unknown instance id — a scheduler bug, not user error.
+    pub fn set_status(&self, id: u64, status: InstanceStatus) {
+        let mut inner = self.inner.write();
+        let rec = inner
+            .instances
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unknown instance {id}"));
+        rec.status = status;
+        if status != InstanceStatus::Running {
+            rec.finished_at = Some(Instant::now());
+        }
+    }
+
+    /// Fetch a snapshot of an instance.
+    pub fn get(&self, id: u64) -> Option<InstanceRecord> {
+        self.inner.read().instances.get(&id).cloned()
+    }
+
+    /// All instances currently `Running`.
+    pub fn running(&self) -> Vec<InstanceRecord> {
+        self.inner
+            .read()
+            .instances
+            .values()
+            .filter(|r| r.status == InstanceStatus::Running)
+            .cloned()
+            .collect()
+    }
+
+    /// Total instances ever registered.
+    pub fn count(&self) -> usize {
+        self.inner.read().instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_starts_running() {
+        let ots = Ots::new();
+        let id = ots.register("alice", "select * from t");
+        let rec = ots.get(id).unwrap();
+        assert_eq!(rec.status, InstanceStatus::Running);
+        assert_eq!(rec.owner, "alice");
+        assert!(rec.finished_at.is_none());
+        assert_eq!(ots.running().len(), 1);
+    }
+
+    #[test]
+    fn terminate_stamps_finish_time() {
+        let ots = Ots::new();
+        let id = ots.register("a", "job");
+        ots.set_status(id, InstanceStatus::Terminated);
+        let rec = ots.get(id).unwrap();
+        assert_eq!(rec.status, InstanceStatus::Terminated);
+        assert!(rec.finished_at.is_some());
+        assert!(ots.running().is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique_and_counted() {
+        let ots = Ots::new();
+        let a = ots.register("a", "x");
+        let b = ots.register("a", "y");
+        assert_ne!(a, b);
+        assert_eq!(ots.count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn unknown_instance_panics() {
+        Ots::new().set_status(99, InstanceStatus::Failed);
+    }
+}

@@ -1,0 +1,273 @@
+//! Pangu — the chunked, replicated blob store of the storage layer.
+//!
+//! The paper (§4.2) names Pangu as MaxCompute's disk storage module. This
+//! analogue stores named blobs split into fixed-size chunks, each chunk
+//! replicated onto `replication` distinct simulated datanodes. Nodes can be
+//! failed and the store re-replicates from surviving copies — the property
+//! that makes "results will be stored in Pangu" a durability statement.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Errors surfaced by the blob store.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PanguError {
+    /// Blob name not present.
+    NotFound,
+    /// A chunk lost all replicas (more failures than replication covers).
+    ChunkLost { blob: String, chunk: usize },
+    /// Not enough live nodes to satisfy the replication factor.
+    InsufficientNodes,
+}
+
+impl std::fmt::Display for PanguError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PanguError::NotFound => write!(f, "blob not found"),
+            PanguError::ChunkLost { blob, chunk } => {
+                write!(f, "chunk {chunk} of blob '{blob}' lost all replicas")
+            }
+            PanguError::InsufficientNodes => write!(f, "not enough live datanodes"),
+        }
+    }
+}
+
+impl std::error::Error for PanguError {}
+
+#[derive(Debug, Default)]
+struct DataNode {
+    /// (blob, chunk index) -> chunk bytes.
+    chunks: HashMap<(String, usize), Bytes>,
+    alive: bool,
+}
+
+#[derive(Debug)]
+struct BlobMeta {
+    n_chunks: usize,
+    len: usize,
+}
+
+struct Inner {
+    nodes: Vec<DataNode>,
+    blobs: HashMap<String, BlobMeta>,
+    /// (blob, chunk) -> node ids currently holding a replica.
+    placement: HashMap<(String, usize), Vec<usize>>,
+    rr: usize,
+}
+
+/// The replicated chunk store.
+pub struct Pangu {
+    chunk_size: usize,
+    replication: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Pangu {
+    /// Create a cluster of `n_nodes` datanodes.
+    pub fn new(n_nodes: usize, chunk_size: usize, replication: usize) -> Self {
+        assert!(n_nodes >= replication, "need at least `replication` nodes");
+        assert!(chunk_size > 0 && replication > 0);
+        Self {
+            chunk_size,
+            replication,
+            inner: Mutex::new(Inner {
+                nodes: (0..n_nodes)
+                    .map(|_| DataNode {
+                        alive: true,
+                        ..Default::default()
+                    })
+                    .collect(),
+                blobs: HashMap::new(),
+                placement: HashMap::new(),
+                rr: 0,
+            }),
+        }
+    }
+
+    /// Store (or overwrite) a named blob.
+    pub fn put(&self, name: &str, data: &[u8]) -> Result<(), PanguError> {
+        let mut inner = self.inner.lock();
+        let live: Vec<usize> = (0..inner.nodes.len())
+            .filter(|&i| inner.nodes[i].alive)
+            .collect();
+        if live.len() < self.replication {
+            return Err(PanguError::InsufficientNodes);
+        }
+        // Remove any previous version.
+        remove_blob(&mut inner, name);
+
+        let n_chunks = data.len().div_ceil(self.chunk_size).max(1);
+        for c in 0..n_chunks {
+            let lo = c * self.chunk_size;
+            let hi = ((c + 1) * self.chunk_size).min(data.len());
+            let chunk = Bytes::copy_from_slice(&data[lo..hi]);
+            let mut holders = Vec::with_capacity(self.replication);
+            for r in 0..self.replication {
+                // Round-robin placement over live nodes.
+                let node = live[(inner.rr + r) % live.len()];
+                inner.nodes[node]
+                    .chunks
+                    .insert((name.to_string(), c), chunk.clone());
+                holders.push(node);
+            }
+            inner.rr = (inner.rr + 1) % live.len().max(1);
+            inner.placement.insert((name.to_string(), c), holders);
+        }
+        inner.blobs.insert(
+            name.to_string(),
+            BlobMeta {
+                n_chunks,
+                len: data.len(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Read a blob back, reassembling chunks from any live replica.
+    pub fn get(&self, name: &str) -> Result<Vec<u8>, PanguError> {
+        let inner = self.inner.lock();
+        let meta = inner.blobs.get(name).ok_or(PanguError::NotFound)?;
+        let mut out = Vec::with_capacity(meta.len);
+        for c in 0..meta.n_chunks {
+            let holders = inner
+                .placement
+                .get(&(name.to_string(), c))
+                .ok_or(PanguError::NotFound)?;
+            let chunk = holders
+                .iter()
+                .filter(|&&n| inner.nodes[n].alive)
+                .find_map(|&n| inner.nodes[n].chunks.get(&(name.to_string(), c)))
+                .ok_or_else(|| PanguError::ChunkLost {
+                    blob: name.to_string(),
+                    chunk: c,
+                })?;
+            out.extend_from_slice(chunk);
+        }
+        Ok(out)
+    }
+
+    /// Whether a blob exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.lock().blobs.contains_key(name)
+    }
+
+    /// Fail a datanode (drops its replicas), then re-replicate every
+    /// affected chunk onto other live nodes where possible.
+    pub fn fail_node(&self, node: usize) {
+        let mut inner = self.inner.lock();
+        inner.nodes[node].alive = false;
+        inner.nodes[node].chunks.clear();
+        // Re-replicate: for each placement that referenced the dead node,
+        // copy from a surviving replica to a fresh live node.
+        let keys: Vec<(String, usize)> = inner
+            .placement
+            .iter()
+            .filter(|(_, holders)| holders.contains(&node))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in keys {
+            let holders = inner.placement[&key].clone();
+            let survivor = holders
+                .iter()
+                .find(|&&n| n != node && inner.nodes[n].alive)
+                .copied();
+            let Some(survivor) = survivor else { continue };
+            let data = inner.nodes[survivor].chunks.get(&key).cloned();
+            let Some(data) = data else { continue };
+            let replacement = (0..inner.nodes.len()).find(|&n| {
+                inner.nodes[n].alive && !holders.contains(&n)
+            });
+            let mut new_holders: Vec<usize> =
+                holders.into_iter().filter(|&n| n != node).collect();
+            if let Some(repl) = replacement {
+                inner.nodes[repl].chunks.insert(key.clone(), data);
+                new_holders.push(repl);
+            }
+            inner.placement.insert(key, new_holders);
+        }
+    }
+
+    /// Restart a failed node (comes back empty).
+    pub fn restart_node(&self, node: usize) {
+        self.inner.lock().nodes[node].alive = true;
+    }
+}
+
+fn remove_blob(inner: &mut Inner, name: &str) {
+    if let Some(meta) = inner.blobs.remove(name) {
+        for c in 0..meta.n_chunks {
+            if let Some(holders) = inner.placement.remove(&(name.to_string(), c)) {
+                for n in holders {
+                    inner.nodes[n].chunks.remove(&(name.to_string(), c));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let p = Pangu::new(4, 8, 2);
+        let data: Vec<u8> = (0..100u8).collect();
+        p.put("model", &data).unwrap();
+        assert_eq!(p.get("model").unwrap(), data);
+        assert!(p.contains("model"));
+        assert_eq!(p.get("missing").unwrap_err(), PanguError::NotFound);
+    }
+
+    #[test]
+    fn empty_blob_round_trips() {
+        let p = Pangu::new(3, 8, 2);
+        p.put("empty", &[]).unwrap();
+        assert_eq!(p.get("empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn survives_single_node_failure() {
+        let p = Pangu::new(4, 8, 2);
+        let data: Vec<u8> = (0..64u8).collect();
+        p.put("blob", &data).unwrap();
+        for node in 0..4 {
+            p.fail_node(node);
+            assert_eq!(p.get("blob").unwrap(), data, "after failing node {node}");
+            p.restart_node(node);
+            // Re-put so placements are fresh for the next iteration.
+            p.put("blob", &data).unwrap();
+        }
+    }
+
+    #[test]
+    fn re_replication_keeps_data_through_sequential_failures() {
+        let p = Pangu::new(5, 4, 2);
+        let data: Vec<u8> = (0..32u8).collect();
+        p.put("b", &data).unwrap();
+        // Fail two nodes one after the other: re-replication after the
+        // first must protect against the second.
+        p.fail_node(0);
+        p.fail_node(1);
+        assert_eq!(p.get("b").unwrap(), data);
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let p = Pangu::new(3, 4, 2);
+        p.put("b", b"first").unwrap();
+        p.put("b", b"second!").unwrap();
+        assert_eq!(p.get("b").unwrap(), b"second!");
+    }
+
+    #[test]
+    fn insufficient_nodes_is_an_error() {
+        let p = Pangu::new(2, 4, 2);
+        p.fail_node(0);
+        assert_eq!(
+            p.put("b", b"x").unwrap_err(),
+            PanguError::InsufficientNodes
+        );
+    }
+}

@@ -1,0 +1,855 @@
+//! A small SQL engine: `SELECT` with projections, aggregates, `WHERE`,
+//! `GROUP BY`, `ORDER BY` and `LIMIT` over columnar tables.
+//!
+//! This is the "SQL command … submitted by web console" path of Figure 4.
+//! The dialect is deliberately small but real — tokenizer, recursive-descent
+//! parser, and a grouped-aggregate executor — covering what the TitAnt
+//! offline stage needs: filtering transaction logs by day, counting fraud
+//! reports per user, aggregating transfer pairs.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT proj (',' proj)* FROM ident
+//!            [WHERE pred] [GROUP BY ident (',' ident)*]
+//!            [ORDER BY ident [ASC|DESC]] [LIMIT int]
+//! proj    := '*' | ident | agg '(' (ident|'*') ')'
+//! agg     := COUNT | SUM | AVG | MIN | MAX
+//! pred    := cmp (AND cmp | OR cmp)*        -- left-assoc, AND binds tighter
+//! cmp     := ident op literal | ident IS [NOT] NULL
+//! op      := '=' | '!=' | '<>' | '<' | '<=' | '>' | '>='
+//! literal := int | float | 'string' | TRUE | FALSE
+//! ```
+
+use crate::table::{Schema, Table};
+use crate::value::{ColumnType, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// SQL layer errors.
+#[derive(Debug, PartialEq)]
+pub enum SqlError {
+    /// Tokenizer/parser failure with context.
+    Parse(String),
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// Projection mixes aggregates and bare columns without GROUP BY, etc.
+    Semantic(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// One SELECT projection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// All columns.
+    Star,
+    /// A bare column.
+    Column(String),
+    /// `agg(column)`; `None` column means `COUNT(*)`.
+    Aggregate(AggFn, Option<String>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// WHERE expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Cmp {
+        column: String,
+        op: CmpOp,
+        literal: Value,
+    },
+    IsNull {
+        column: String,
+        negated: bool,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub projections: Vec<Projection>,
+    pub table: String,
+    pub filter: Option<Expr>,
+    pub group_by: Vec<String>,
+    pub order_by: Option<(String, bool)>, // (column, descending)
+    pub limit: Option<usize>,
+}
+
+// ---------------------------------------------------------------- tokenizer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(&'static str),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' | ')' | ',' | '*' => {
+                out.push(Token::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    _ => "*",
+                }));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym("="));
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Sym("!="));
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Sym("<="));
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Sym("!="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => return Err(SqlError::Parse("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        SqlError::Parse(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        SqlError::Parse(format!("bad int literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(SqlError::Parse(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+// ------------------------------------------------------------------- parser
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {kw}, got {other:?}"))),
+        }
+    }
+
+    fn keyword_is(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+}
+
+fn agg_of(name: &str) -> Option<AggFn> {
+    match name.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggFn::Count),
+        "SUM" => Some(AggFn::Sum),
+        "AVG" => Some(AggFn::Avg),
+        "MIN" => Some(AggFn::Min),
+        "MAX" => Some(AggFn::Max),
+        _ => None,
+    }
+}
+
+/// Parse a SELECT statement.
+pub fn parse(input: &str) -> Result<Query, SqlError> {
+    let mut p = Parser {
+        tokens: tokenize(input)?,
+        pos: 0,
+    };
+    p.expect_keyword("SELECT")?;
+    let mut projections = Vec::new();
+    loop {
+        if matches!(p.peek(), Some(Token::Sym("*"))) {
+            p.next();
+            projections.push(Projection::Star);
+        } else {
+            let name = p.ident()?;
+            if let (Some(agg), Some(Token::Sym("("))) = (agg_of(&name), p.peek()) {
+                p.next(); // (
+                let col = if matches!(p.peek(), Some(Token::Sym("*"))) {
+                    p.next();
+                    None
+                } else {
+                    Some(p.ident()?)
+                };
+                match p.next() {
+                    Some(Token::Sym(")")) => {}
+                    other => {
+                        return Err(SqlError::Parse(format!("expected ), got {other:?}")))
+                    }
+                }
+                projections.push(Projection::Aggregate(agg, col));
+            } else {
+                projections.push(Projection::Column(name));
+            }
+        }
+        if matches!(p.peek(), Some(Token::Sym(","))) {
+            p.next();
+        } else {
+            break;
+        }
+    }
+    p.expect_keyword("FROM")?;
+    let table = p.ident()?;
+
+    let mut filter = None;
+    if p.keyword_is("WHERE") {
+        p.next();
+        filter = Some(parse_or(&mut p)?);
+    }
+
+    let mut group_by = Vec::new();
+    if p.keyword_is("GROUP") {
+        p.next();
+        p.expect_keyword("BY")?;
+        loop {
+            group_by.push(p.ident()?);
+            if matches!(p.peek(), Some(Token::Sym(","))) {
+                p.next();
+            } else {
+                break;
+            }
+        }
+    }
+
+    let mut order_by = None;
+    if p.keyword_is("ORDER") {
+        p.next();
+        p.expect_keyword("BY")?;
+        let col = p.ident()?;
+        let mut desc = false;
+        if p.keyword_is("DESC") {
+            p.next();
+            desc = true;
+        } else if p.keyword_is("ASC") {
+            p.next();
+        }
+        order_by = Some((col, desc));
+    }
+
+    let mut limit = None;
+    if p.keyword_is("LIMIT") {
+        p.next();
+        match p.next() {
+            Some(Token::Int(n)) if n >= 0 => limit = Some(n as usize),
+            other => return Err(SqlError::Parse(format!("bad LIMIT, got {other:?}"))),
+        }
+    }
+
+    if p.peek().is_some() {
+        return Err(SqlError::Parse(format!(
+            "trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(Query {
+        projections,
+        table,
+        filter,
+        group_by,
+        order_by,
+        limit,
+    })
+}
+
+fn parse_or(p: &mut Parser) -> Result<Expr, SqlError> {
+    let mut left = parse_and(p)?;
+    while p.keyword_is("OR") {
+        p.next();
+        let right = parse_and(p)?;
+        left = Expr::Or(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_and(p: &mut Parser) -> Result<Expr, SqlError> {
+    let mut left = parse_cmp(p)?;
+    while p.keyword_is("AND") {
+        p.next();
+        let right = parse_cmp(p)?;
+        left = Expr::And(Box::new(left), Box::new(right));
+    }
+    Ok(left)
+}
+
+fn parse_cmp(p: &mut Parser) -> Result<Expr, SqlError> {
+    let column = p.ident()?;
+    if p.keyword_is("IS") {
+        p.next();
+        let negated = if p.keyword_is("NOT") {
+            p.next();
+            true
+        } else {
+            false
+        };
+        p.expect_keyword("NULL")?;
+        return Ok(Expr::IsNull { column, negated });
+    }
+    let op = match p.next() {
+        Some(Token::Sym("=")) => CmpOp::Eq,
+        Some(Token::Sym("!=")) => CmpOp::Ne,
+        Some(Token::Sym("<")) => CmpOp::Lt,
+        Some(Token::Sym("<=")) => CmpOp::Le,
+        Some(Token::Sym(">")) => CmpOp::Gt,
+        Some(Token::Sym(">=")) => CmpOp::Ge,
+        other => return Err(SqlError::Parse(format!("expected operator, got {other:?}"))),
+    };
+    let literal = match p.next() {
+        Some(Token::Int(v)) => Value::Int(v),
+        Some(Token::Float(v)) => Value::Float(v),
+        Some(Token::Str(s)) => Value::Text(s),
+        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("true") => Value::Bool(true),
+        Some(Token::Ident(s)) if s.eq_ignore_ascii_case("false") => Value::Bool(false),
+        other => return Err(SqlError::Parse(format!("expected literal, got {other:?}"))),
+    };
+    Ok(Expr::Cmp {
+        column,
+        op,
+        literal,
+    })
+}
+
+// ----------------------------------------------------------------- executor
+
+/// Wrapper giving `Value` a total order for grouping keys.
+#[derive(Debug, Clone, PartialEq)]
+struct OrdValue(Value);
+impl Eq for OrdValue {}
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.sql_cmp(&other.0)
+    }
+}
+
+fn eval_filter(expr: &Expr, table: &Table, row: usize) -> Result<bool, SqlError> {
+    match expr {
+        Expr::And(a, b) => Ok(eval_filter(a, table, row)? && eval_filter(b, table, row)?),
+        Expr::Or(a, b) => Ok(eval_filter(a, table, row)? || eval_filter(b, table, row)?),
+        Expr::IsNull { column, negated } => {
+            let col = table
+                .schema()
+                .index_of(column)
+                .ok_or_else(|| SqlError::UnknownColumn(column.clone()))?;
+            let is_null = table.cell(row, col) == &Value::Null;
+            Ok(is_null != *negated)
+        }
+        Expr::Cmp {
+            column,
+            op,
+            literal,
+        } => {
+            let col = table
+                .schema()
+                .index_of(column)
+                .ok_or_else(|| SqlError::UnknownColumn(column.clone()))?;
+            let v = table.cell(row, col);
+            if v == &Value::Null {
+                return Ok(false); // SQL: NULL compares unknown -> filtered
+            }
+            let ord = v.sql_cmp(literal);
+            use std::cmp::Ordering::*;
+            Ok(match op {
+                CmpOp::Eq => ord == Equal,
+                CmpOp::Ne => ord != Equal,
+                CmpOp::Lt => ord == Less,
+                CmpOp::Le => ord != Greater,
+                CmpOp::Gt => ord == Greater,
+                CmpOp::Ge => ord != Less,
+            })
+        }
+    }
+}
+
+/// Execute a parsed query against a table.
+pub fn execute(query: &Query, table: &Table) -> Result<Table, SqlError> {
+    // Resolve filter rows.
+    let mut rows: Vec<usize> = Vec::new();
+    for i in 0..table.n_rows() {
+        let keep = match &query.filter {
+            Some(f) => eval_filter(f, table, i)?,
+            None => true,
+        };
+        if keep {
+            rows.push(i);
+        }
+    }
+
+    let has_agg = query
+        .projections
+        .iter()
+        .any(|p| matches!(p, Projection::Aggregate(..)));
+
+    let mut result = if has_agg || !query.group_by.is_empty() {
+        execute_grouped(query, table, &rows)?
+    } else {
+        execute_plain(query, table, &rows)?
+    };
+
+    // ORDER BY.
+    if let Some((col, desc)) = &query.order_by {
+        let idx = result
+            .schema()
+            .index_of(col)
+            .ok_or_else(|| SqlError::UnknownColumn(col.clone()))?;
+        let mut order: Vec<usize> = (0..result.n_rows()).collect();
+        order.sort_by(|&a, &b| {
+            let ord = result.cell(a, idx).sql_cmp(result.cell(b, idx));
+            if *desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        let mut sorted = Table::new(result.schema().clone());
+        for i in order {
+            sorted.push_row(result.row(i));
+        }
+        result = sorted;
+    }
+
+    // LIMIT.
+    if let Some(limit) = query.limit {
+        if result.n_rows() > limit {
+            let mut limited = Table::new(result.schema().clone());
+            for i in 0..limit {
+                limited.push_row(result.row(i));
+            }
+            result = limited;
+        }
+    }
+    Ok(result)
+}
+
+fn execute_plain(query: &Query, table: &Table, rows: &[usize]) -> Result<Table, SqlError> {
+    // Expand projections into column indices.
+    let mut cols: Vec<usize> = Vec::new();
+    for p in &query.projections {
+        match p {
+            Projection::Star => cols.extend(0..table.schema().len()),
+            Projection::Column(name) => cols.push(
+                table
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| SqlError::UnknownColumn(name.clone()))?,
+            ),
+            Projection::Aggregate(..) => unreachable!("handled by grouped path"),
+        }
+    }
+    let schema = Schema::new(
+        cols.iter()
+            .map(|&c| (table.schema().name(c), table.schema().column_type(c)))
+            .collect(),
+    );
+    let mut out = Table::new(schema);
+    for &r in rows {
+        out.push_row(cols.iter().map(|&c| table.cell(r, c).clone()).collect());
+    }
+    Ok(out)
+}
+
+fn execute_grouped(query: &Query, table: &Table, rows: &[usize]) -> Result<Table, SqlError> {
+    // Validate: bare columns must appear in GROUP BY.
+    for p in &query.projections {
+        if let Projection::Column(name) = p {
+            if !query.group_by.contains(name) {
+                return Err(SqlError::Semantic(format!(
+                    "column {name} must appear in GROUP BY"
+                )));
+            }
+        }
+        if matches!(p, Projection::Star) {
+            return Err(SqlError::Semantic("SELECT * cannot be aggregated".into()));
+        }
+    }
+    let group_cols: Vec<usize> = query
+        .group_by
+        .iter()
+        .map(|name| {
+            table
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| SqlError::UnknownColumn(name.clone()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut groups: BTreeMap<Vec<OrdValue>, Vec<usize>> = BTreeMap::new();
+    for &r in rows {
+        let key: Vec<OrdValue> = group_cols
+            .iter()
+            .map(|&c| OrdValue(table.cell(r, c).clone()))
+            .collect();
+        groups.entry(key).or_default().push(r);
+    }
+    // Global aggregate with no GROUP BY: a single (possibly empty) group.
+    if group_cols.is_empty() && groups.is_empty() {
+        groups.insert(Vec::new(), Vec::new());
+    }
+
+    // Output schema.
+    let mut schema_cols: Vec<(String, ColumnType)> = Vec::new();
+    for p in &query.projections {
+        match p {
+            Projection::Column(name) => {
+                let c = table.schema().index_of(name).unwrap();
+                schema_cols.push((name.clone(), table.schema().column_type(c)));
+            }
+            Projection::Aggregate(agg, col) => {
+                let name = match col {
+                    Some(c) => format!("{}_{}", agg_name(*agg), c),
+                    None => "count".to_string(),
+                };
+                let ty = match agg {
+                    AggFn::Count => ColumnType::Int,
+                    AggFn::Sum | AggFn::Avg => ColumnType::Float,
+                    AggFn::Min | AggFn::Max => match col {
+                        Some(c) => {
+                            let idx = table
+                                .schema()
+                                .index_of(c)
+                                .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
+                            table.schema().column_type(idx)
+                        }
+                        None => {
+                            return Err(SqlError::Semantic(
+                                "MIN/MAX need a column".into(),
+                            ))
+                        }
+                    },
+                };
+                schema_cols.push((name, ty));
+            }
+            Projection::Star => unreachable!(),
+        }
+    }
+    let schema = Schema::new(
+        schema_cols
+            .iter()
+            .map(|(n, t)| (n.as_str(), *t))
+            .collect(),
+    );
+
+    let mut out = Table::new(schema);
+    for (key, members) in &groups {
+        let mut row: Vec<Value> = Vec::with_capacity(query.projections.len());
+        for p in &query.projections {
+            match p {
+                Projection::Column(name) => {
+                    let gi = query.group_by.iter().position(|g| g == name).unwrap();
+                    row.push(key[gi].0.clone());
+                }
+                Projection::Aggregate(agg, col) => {
+                    row.push(compute_agg(*agg, col.as_deref(), table, members)?);
+                }
+                Projection::Star => unreachable!(),
+            }
+        }
+        out.push_row(row);
+    }
+    Ok(out)
+}
+
+fn agg_name(agg: AggFn) -> &'static str {
+    match agg {
+        AggFn::Count => "count",
+        AggFn::Sum => "sum",
+        AggFn::Avg => "avg",
+        AggFn::Min => "min",
+        AggFn::Max => "max",
+    }
+}
+
+fn compute_agg(
+    agg: AggFn,
+    col: Option<&str>,
+    table: &Table,
+    rows: &[usize],
+) -> Result<Value, SqlError> {
+    let col_idx = match col {
+        Some(name) => Some(
+            table
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| SqlError::UnknownColumn(name.to_string()))?,
+        ),
+        None => None,
+    };
+    // Non-null values of the aggregated column.
+    let values: Vec<&Value> = match col_idx {
+        None => Vec::new(),
+        Some(c) => rows
+            .iter()
+            .map(|&r| table.cell(r, c))
+            .filter(|v| **v != Value::Null)
+            .collect(),
+    };
+    Ok(match agg {
+        AggFn::Count => match col_idx {
+            None => Value::Int(rows.len() as i64),
+            Some(_) => Value::Int(values.len() as i64),
+        },
+        AggFn::Sum => Value::Float(values.iter().filter_map(|v| v.as_f64()).sum()),
+        AggFn::Avg => {
+            let nums: Vec<f64> = values.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFn::Min => values
+            .iter()
+            .min_by(|a, b| a.sql_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFn::Max => values
+            .iter()
+            .max_by(|a, b| a.sql_cmp(b))
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx_table() -> Table {
+        let mut t = Table::new(Schema::new(vec![
+            ("user", ColumnType::Text),
+            ("day", ColumnType::Int),
+            ("amount", ColumnType::Float),
+            ("fraud", ColumnType::Bool),
+        ]));
+        for (u, d, a, f) in [
+            ("zoe", 1, 10.0, false),
+            ("zoe", 2, 20.0, true),
+            ("sam", 1, 5.0, false),
+            ("sam", 2, 15.0, false),
+            ("liam", 3, 100.0, true),
+        ] {
+            t.push_row(vec![u.into(), (d as i64).into(), a.into(), f.into()]);
+        }
+        t
+    }
+
+    fn run(sql: &str) -> Table {
+        execute(&parse(sql).unwrap(), &tx_table()).unwrap()
+    }
+
+    #[test]
+    fn select_star_with_where() {
+        let r = run("SELECT * FROM tx WHERE day = 2");
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.schema().len(), 4);
+    }
+
+    #[test]
+    fn projection_selects_columns() {
+        let r = run("SELECT user, amount FROM tx WHERE amount > 10");
+        assert_eq!(r.schema().names(), vec!["user", "amount"]);
+        assert_eq!(r.n_rows(), 3);
+    }
+
+    #[test]
+    fn group_by_with_aggregates() {
+        let r = run("SELECT user, COUNT(*), SUM(amount) FROM tx GROUP BY user");
+        assert_eq!(r.n_rows(), 3);
+        // BTreeMap ordering: liam, sam, zoe.
+        assert_eq!(r.cell(0, 0).as_str(), Some("liam"));
+        assert_eq!(r.cell(1, 0).as_str(), Some("sam"));
+        assert_eq!(r.cell(1, 1).as_i64(), Some(2));
+        assert_eq!(r.cell(1, 2).as_f64(), Some(20.0));
+    }
+
+    #[test]
+    fn global_aggregate_without_group_by() {
+        let r = run("SELECT COUNT(*), AVG(amount), MAX(amount) FROM tx WHERE fraud = true");
+        assert_eq!(r.n_rows(), 1);
+        assert_eq!(r.cell(0, 0).as_i64(), Some(2));
+        assert_eq!(r.cell(0, 1).as_f64(), Some(60.0));
+        assert_eq!(r.cell(0, 2).as_f64(), Some(100.0));
+    }
+
+    #[test]
+    fn and_or_precedence() {
+        // AND binds tighter: day = 1 OR (day = 2 AND fraud = true).
+        let r = run("SELECT user FROM tx WHERE day = 1 OR day = 2 AND fraud = true");
+        assert_eq!(r.n_rows(), 3); // zoe@1, sam@1, zoe@2
+    }
+
+    #[test]
+    fn order_by_desc_and_limit() {
+        let r = run("SELECT user, amount FROM tx ORDER BY amount DESC LIMIT 2");
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.cell(0, 0).as_str(), Some("liam"));
+        assert_eq!(r.cell(1, 1).as_f64(), Some(20.0));
+    }
+
+    #[test]
+    fn is_null_filters() {
+        let mut t = tx_table();
+        t.push_row(vec![Value::Null, 9.into(), 1.0.into(), false.into()]);
+        let q = parse("SELECT day FROM tx WHERE user IS NULL").unwrap();
+        let r = execute(&q, &t).unwrap();
+        assert_eq!(r.n_rows(), 1);
+        let q = parse("SELECT day FROM tx WHERE user IS NOT NULL").unwrap();
+        let r = execute(&q, &t).unwrap();
+        assert_eq!(r.n_rows(), 5);
+    }
+
+    #[test]
+    fn unknown_column_is_an_error() {
+        let q = parse("SELECT nope FROM tx").unwrap();
+        assert!(matches!(
+            execute(&q, &tx_table()),
+            Err(SqlError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn ungrouped_bare_column_with_aggregate_rejected() {
+        let q = parse("SELECT user, COUNT(*) FROM tx").unwrap();
+        assert!(matches!(execute(&q, &tx_table()), Err(SqlError::Semantic(_))));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELEC user FROM tx").is_err());
+        assert!(parse("SELECT user FROM tx WHERE").is_err());
+        assert!(parse("SELECT user FROM tx LIMIT x").is_err());
+        assert!(parse("SELECT user FROM tx WHERE user = 'unterminated").is_err());
+        assert!(parse("SELECT user FROM tx extra tokens").is_err());
+    }
+
+    #[test]
+    fn string_and_comparison_operators() {
+        let r = run("SELECT user FROM tx WHERE user = 'zoe' AND amount >= 10");
+        assert_eq!(r.n_rows(), 2);
+        let r = run("SELECT user FROM tx WHERE user != 'zoe'");
+        assert_eq!(r.n_rows(), 3);
+        let r = run("SELECT user FROM tx WHERE day <> 1");
+        assert_eq!(r.n_rows(), 3);
+    }
+}

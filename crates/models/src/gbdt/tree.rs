@@ -1,0 +1,387 @@
+//! Histogram-grown regression trees — the weak learners inside GBDT.
+//!
+//! Each node accumulates per-bin `(Σg, Σh, count)` histograms over its rows
+//! for the sampled features, then scans bins once to find the best split by
+//! the second-order gain formula `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`.
+//! Leaves output `−G/(H+λ)` (the Newton step).
+
+use super::binned::BinnedMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Tree-growing hyperparameters shared across all boosting rounds.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    pub max_depth: usize,
+    pub reg_lambda: f64,
+    pub min_samples_leaf: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum RegNode {
+    Split {
+        feature: u32,
+        /// Serving predicate: `value < threshold` goes left.
+        threshold: f32,
+        /// Training predicate: `code < bin_split` goes left.
+        bin_split: u8,
+        left: u32,
+        right: u32,
+        /// Split gain, recorded for feature importance.
+        gain: f32,
+    },
+    Leaf {
+        value: f32,
+    },
+}
+
+/// One regression tree of the ensemble.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegTree {
+    nodes: Vec<RegNode>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct HistBin {
+    g: f64,
+    h: f64,
+    n: u32,
+}
+
+struct BestSplit {
+    feature: usize,
+    bin_split: usize,
+    gain: f64,
+}
+
+impl RegTree {
+    /// Fit a tree on the sampled `rows` using only the sampled `features`.
+    pub fn fit(
+        matrix: &BinnedMatrix,
+        rows: &[u32],
+        features: &[u32],
+        grad: &[f32],
+        hess: &[f32],
+        params: &TreeParams,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        let mut scratch_hist = vec![HistBin::default(); 256];
+        grow(
+            matrix,
+            rows.to_vec(),
+            features,
+            grad,
+            hess,
+            params,
+            0,
+            &mut nodes,
+            &mut scratch_hist,
+        );
+        Self { nodes }
+    }
+
+    /// Evaluate on a raw feature row (serving path).
+    pub fn predict_raw(&self, row: &[f32]) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                RegNode::Leaf { value } => return f64::from(*value),
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    let v = row[*feature as usize];
+                    // NaN goes right (matches bin 0 < split being... NaN maps
+                    // to bin 0 during training, which goes left). Keep the
+                    // training-time behaviour: NaN left.
+                    idx = if v.is_nan() || v < *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Evaluate row `i` of the binned training matrix (training-path update).
+    pub fn predict_binned(&self, matrix: &BinnedMatrix, i: u32) -> f64 {
+        let mut idx = 0usize;
+        loop {
+            match &self.nodes[idx] {
+                RegNode::Leaf { value } => return f64::from(*value),
+                RegNode::Split {
+                    feature,
+                    bin_split,
+                    left,
+                    right,
+                    ..
+                } => {
+                    idx = if matrix.code(i, *feature as usize) < *bin_split {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Add each split's gain to `importance[feature]`.
+    pub fn accumulate_importance(&self, importance: &mut [f64]) {
+        for n in &self.nodes {
+            if let RegNode::Split { feature, gain, .. } = n {
+                importance[*feature as usize] += f64::from(*gain);
+            }
+        }
+    }
+
+    /// Node count (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    matrix: &BinnedMatrix,
+    rows: Vec<u32>,
+    features: &[u32],
+    grad: &[f32],
+    hess: &[f32],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<RegNode>,
+    hist: &mut [HistBin],
+) -> u32 {
+    let idx = nodes.len() as u32;
+    let mut total = HistBin::default();
+    for &r in &rows {
+        total.g += f64::from(grad[r as usize]);
+        total.h += f64::from(hess[r as usize]);
+        total.n += 1;
+    }
+    let leaf_value = (-total.g / (total.h + params.reg_lambda)) as f32;
+
+    if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
+        nodes.push(RegNode::Leaf { value: leaf_value });
+        return idx;
+    }
+
+    let parent_obj = total.g * total.g / (total.h + params.reg_lambda);
+    let mut best: Option<BestSplit> = None;
+
+    for &fu in features {
+        let f = fu as usize;
+        let k = matrix.n_bins(f);
+        if k < 2 {
+            continue;
+        }
+        for b in hist[..k].iter_mut() {
+            *b = HistBin::default();
+        }
+        let col = matrix.column(f);
+        for &r in &rows {
+            let code = col[r as usize] as usize;
+            let b = &mut hist[code];
+            b.g += f64::from(grad[r as usize]);
+            b.h += f64::from(hess[r as usize]);
+            b.n += 1;
+        }
+        // Prefix scan over bins: split "code < s".
+        let mut left = HistBin::default();
+        for s in 1..k {
+            let prev = &hist[s - 1];
+            left.g += prev.g;
+            left.h += prev.h;
+            left.n += prev.n;
+            let right_n = total.n - left.n;
+            if (left.n as usize) < params.min_samples_leaf
+                || (right_n as usize) < params.min_samples_leaf
+            {
+                continue;
+            }
+            let right_g = total.g - left.g;
+            let right_h = total.h - left.h;
+            let gain = left.g * left.g / (left.h + params.reg_lambda)
+                + right_g * right_g / (right_h + params.reg_lambda)
+                - parent_obj;
+            if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                best = Some(BestSplit {
+                    feature: f,
+                    bin_split: s,
+                    gain,
+                });
+            }
+        }
+    }
+
+    let Some(best) = best else {
+        nodes.push(RegNode::Leaf { value: leaf_value });
+        return idx;
+    };
+
+    let col = matrix.column(best.feature);
+    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
+        .into_iter()
+        .partition(|&r| (col[r as usize] as usize) < best.bin_split);
+
+    nodes.push(RegNode::Leaf { value: 0.0 }); // placeholder
+    let left = grow(
+        matrix, left_rows, features, grad, hess, params, depth + 1, nodes, hist,
+    );
+    let right = grow(
+        matrix, right_rows, features, grad, hess, params, depth + 1, nodes, hist,
+    );
+    nodes[idx as usize] = RegNode::Split {
+        feature: best.feature as u32,
+        threshold: matrix.threshold(best.feature, best.bin_split),
+        bin_split: best.bin_split as u8,
+        left,
+        right,
+        gain: best.gain as f32,
+    };
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn step_dataset() -> (Dataset, Vec<f32>, Vec<f32>) {
+        // Residuals of a step function: g = pred - y with pred = 0.
+        let mut d = Dataset::new(1);
+        let mut grad = Vec::new();
+        let mut hess = Vec::new();
+        for i in 0..100 {
+            let x = i as f32;
+            let y = if x >= 50.0 { 1.0 } else { 0.0 };
+            d.push_row(&[x], y);
+            grad.push(0.0 - y);
+            hess.push(1.0);
+        }
+        (d, grad, hess)
+    }
+
+    #[test]
+    fn single_split_recovers_step() {
+        let (d, g, h) = step_dataset();
+        let m = BinnedMatrix::build(&d, 64);
+        let rows: Vec<u32> = (0..100).collect();
+        let tree = RegTree::fit(
+            &m,
+            &rows,
+            &[0],
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 1,
+                reg_lambda: 0.0,
+                min_samples_leaf: 1,
+            },
+        );
+        // Leaf values approximate -mean(g): 0 on the left, +1 on the right.
+        assert!(tree.predict_raw(&[10.0]) < 0.1);
+        assert!(tree.predict_raw(&[90.0]) > 0.9);
+        assert_eq!(tree.node_count(), 3);
+    }
+
+    #[test]
+    fn binned_and_raw_predictions_agree_on_training_rows() {
+        let (d, g, h) = step_dataset();
+        let m = BinnedMatrix::build(&d, 16);
+        let rows: Vec<u32> = (0..100).collect();
+        let tree = RegTree::fit(
+            &m,
+            &rows,
+            &[0],
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 3,
+                reg_lambda: 1.0,
+                min_samples_leaf: 2,
+            },
+        );
+        for i in 0..100u32 {
+            let raw = tree.predict_raw(d.row(i as usize));
+            let binned = tree.predict_binned(&m, i);
+            assert!(
+                (raw - binned).abs() < 1e-12,
+                "row {i}: raw {raw} != binned {binned}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_tiny_splits() {
+        let (d, g, h) = step_dataset();
+        let m = BinnedMatrix::build(&d, 64);
+        let rows: Vec<u32> = (0..100).collect();
+        let tree = RegTree::fit(
+            &m,
+            &rows,
+            &[0],
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 10,
+                reg_lambda: 0.0,
+                min_samples_leaf: 60, // no split can satisfy both sides
+            },
+        );
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn importance_accumulates_on_split_feature() {
+        let (d, g, h) = step_dataset();
+        let m = BinnedMatrix::build(&d, 16);
+        let rows: Vec<u32> = (0..100).collect();
+        let tree = RegTree::fit(
+            &m,
+            &rows,
+            &[0],
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 2,
+                reg_lambda: 1.0,
+                min_samples_leaf: 1,
+            },
+        );
+        let mut imp = vec![0.0];
+        tree.accumulate_importance(&mut imp);
+        assert!(imp[0] > 0.0);
+    }
+
+    #[test]
+    fn pure_gradient_node_stays_leaf() {
+        // All gradients equal -> no split improves the objective.
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push_row(&[i as f32], 1.0);
+        }
+        let g = vec![-1.0f32; 20];
+        let h = vec![1.0f32; 20];
+        let m = BinnedMatrix::build(&d, 8);
+        let rows: Vec<u32> = (0..20).collect();
+        let tree = RegTree::fit(
+            &m,
+            &rows,
+            &[0],
+            &g,
+            &h,
+            &TreeParams {
+                max_depth: 4,
+                reg_lambda: 0.0,
+                min_samples_leaf: 1,
+            },
+        );
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_raw(&[5.0]) - 1.0).abs() < 1e-6);
+    }
+}

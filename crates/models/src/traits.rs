@@ -1,0 +1,48 @@
+//! The common scoring interface all detection methods implement.
+
+use crate::dataset::Dataset;
+
+/// A trained binary scorer. Higher scores mean "more likely fraud".
+///
+/// Classification models return calibrated-ish probabilities in `[0, 1]`;
+/// the isolation forest returns its anomaly score in `[0, 1]`. Either way
+/// ranking metrics (rec@top-q%) and threshold-tuned F1 apply uniformly.
+pub trait Classifier: Send + Sync {
+    /// Score one feature row.
+    fn predict_proba(&self, features: &[f32]) -> f32;
+
+    /// Score every row of a dataset.
+    fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
+        (0..data.n_rows())
+            .map(|i| self.predict_proba(data.row(i)))
+            .collect()
+    }
+
+    /// Short human-readable model name for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstModel(f32);
+    impl Classifier for ConstModel {
+        fn predict_proba(&self, _features: &[f32]) -> f32 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "const"
+        }
+    }
+
+    #[test]
+    fn batch_default_uses_predict_proba() {
+        let mut d = Dataset::new(1);
+        d.push_row(&[0.0], 0.0);
+        d.push_row(&[1.0], 1.0);
+        let m = ConstModel(0.7);
+        assert_eq!(m.predict_batch(&d), vec![0.7, 0.7]);
+        assert_eq!(m.name(), "const");
+    }
+}

@@ -1,0 +1,89 @@
+//! Latency recording for the serving path.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// Collects per-request latencies and reports quantiles. Lock-guarded; the
+/// recording cost is nanoseconds against a microseconds-scale request.
+#[derive(Debug, Default)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<u64>>, // nanoseconds
+}
+
+impl LatencyRecorder {
+    /// Empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request latency.
+    pub fn record(&self, d: Duration) {
+        self.samples.lock().push(d.as_nanos() as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Quantile in `[0, 1]` (nearest-rank); `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let mut s = self.samples.lock().clone();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_unstable();
+        let idx = ((s.len() as f64 * q).ceil() as usize).clamp(1, s.len()) - 1;
+        Some(Duration::from_nanos(s[idx]))
+    }
+
+    /// Mean latency; `None` when empty.
+    pub fn mean(&self) -> Option<Duration> {
+        let s = self.samples.lock();
+        if s.is_empty() {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            s.iter().sum::<u64>() / s.len() as u64,
+        ))
+    }
+
+    /// Clear all samples.
+    pub fn reset(&self) {
+        self.samples.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_of_known_distribution() {
+        let r = LatencyRecorder::new();
+        for ms in 1..=100u64 {
+            r.record(Duration::from_millis(ms));
+        }
+        assert_eq!(r.quantile(0.5).unwrap(), Duration::from_millis(50));
+        assert_eq!(r.quantile(0.99).unwrap(), Duration::from_millis(99));
+        assert_eq!(r.quantile(1.0).unwrap(), Duration::from_millis(100));
+        assert_eq!(r.count(), 100);
+        assert_eq!(r.mean().unwrap(), Duration::from_micros(50_500));
+    }
+
+    #[test]
+    fn empty_recorder_returns_none() {
+        let r = LatencyRecorder::new();
+        assert!(r.quantile(0.5).is_none());
+        assert!(r.mean().is_none());
+    }
+
+    #[test]
+    fn reset_clears() {
+        let r = LatencyRecorder::new();
+        r.record(Duration::from_millis(1));
+        r.reset();
+        assert_eq!(r.count(), 0);
+    }
+}

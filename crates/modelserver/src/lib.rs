@@ -1,0 +1,30 @@
+//! # titant-modelserver — online real-time prediction (MS)
+//!
+//! The serving half of TitAnt (paper §4.4, Figure 5): when a user initiates
+//! a transfer, the Alipay server calls the Model Server; the MS fetches the
+//! latest per-user features and node embeddings from Ali-HBase, assembles
+//! the full feature vector, scores it with the current model file, and —
+//! if the score crosses the alert threshold — tells the Alipay server to
+//! interrupt the on-going transaction and notify the transferor.
+//!
+//! * [`model_file`] — the versioned, serialisable model artefact offline
+//!   training ships ("model files are uploaded to online predictor").
+//! * [`feature_codec`] — the Figure 7 cell layout: CF `basic` with one
+//!   qualifier per user-side feature, CF `embedding` with one qualifier per
+//!   dimension, versioned by upload date.
+//! * [`server`] — the MS itself: hot-swappable model, HBase reads, a
+//!   thread-pooled request loop for load, and latency histograms.
+//! * [`alipay`] — the simulated Alipay front end that drives transfers
+//!   through the MS and interrupts flagged ones.
+
+pub mod alipay;
+pub mod feature_codec;
+pub mod latency;
+pub mod model_file;
+pub mod server;
+
+pub use alipay::{AlipayServer, TransferOutcome};
+pub use feature_codec::{FeatureCodec, UserFeatures};
+pub use latency::LatencyRecorder;
+pub use model_file::{ModelFile, ServableModel};
+pub use server::{ModelServer, ScoreRequest, ScoreResponse};

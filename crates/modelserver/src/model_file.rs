@@ -1,0 +1,107 @@
+//! Versioned model files — the artefact the offline stage ships to the MS.
+
+use serde::{Deserialize, Serialize};
+use titant_models::{Classifier, Gbdt, IsolationForest, LogisticRegression};
+
+/// Any model the MS can serve. Wraps the concrete types so model files are
+/// self-describing.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServableModel {
+    Gbdt(Gbdt),
+    LogisticRegression(LogisticRegression),
+    IsolationForest(IsolationForest),
+}
+
+impl Classifier for ServableModel {
+    fn predict_proba(&self, features: &[f32]) -> f32 {
+        match self {
+            ServableModel::Gbdt(m) => m.predict_proba(features),
+            ServableModel::LogisticRegression(m) => m.predict_proba(features),
+            ServableModel::IsolationForest(m) => m.predict_proba(features),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ServableModel::Gbdt(_) => "GBDT",
+            ServableModel::LogisticRegression(_) => "LR",
+            ServableModel::IsolationForest(_) => "IF",
+        }
+    }
+}
+
+/// A deployable model file: the model plus serving metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelFile {
+    /// Upload version, e.g. the training date ("T" in T+1). Monotone.
+    pub version: u64,
+    /// Alert threshold: scores at or above it interrupt the transaction.
+    pub alert_threshold: f32,
+    /// Expected feature-vector width (sanity check at load).
+    pub n_features: usize,
+    /// The model itself.
+    pub model: ServableModel,
+}
+
+impl ModelFile {
+    /// Serialise to bytes (JSON — human-inspectable, stable).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("model file serialisation cannot fail")
+    }
+
+    /// Parse from bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titant_models::{Dataset, GbdtConfig};
+
+    fn toy_model() -> ModelFile {
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            let x = i as f32 / 50.0;
+            d.push_row(&[x, 1.0 - x], (x > 0.5) as u8 as f32);
+        }
+        let gbdt = GbdtConfig {
+            n_trees: 5,
+            subsample: 1.0,
+            colsample: 1.0,
+            ..Default::default()
+        }
+        .fit(&d);
+        ModelFile {
+            version: 20170410,
+            alert_threshold: 0.5,
+            n_features: 2,
+            model: ServableModel::Gbdt(gbdt),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let mf = toy_model();
+        let bytes = mf.to_bytes();
+        let loaded = ModelFile::from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.version, mf.version);
+        assert_eq!(loaded.n_features, 2);
+        // Same predictions after the round trip.
+        let p1 = mf.model.predict_proba(&[0.9, 0.1]);
+        let p2 = loaded.model.predict_proba(&[0.9, 0.1]);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn corrupt_bytes_are_rejected() {
+        assert!(ModelFile::from_bytes(b"not a model").is_err());
+    }
+
+    #[test]
+    fn servable_model_names() {
+        let mf = toy_model();
+        assert_eq!(mf.model.name(), "GBDT");
+    }
+}

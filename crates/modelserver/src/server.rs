@@ -1,0 +1,349 @@
+//! The Model Server: feature fetch + scoring + hot model swap + load
+//! handling.
+
+use crate::feature_codec::FeatureCodec;
+use crate::latency::LatencyRecorder;
+use crate::model_file::ModelFile;
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Instant;
+use titant_alihbase::RegionedTable;
+use titant_models::Classifier;
+
+/// A scoring request: the two transfer parties plus the per-transaction
+/// context features the Alipay server computes at request time.
+#[derive(Debug, Clone)]
+pub struct ScoreRequest {
+    pub tx_id: u64,
+    pub transferor: u64,
+    pub transferee: u64,
+    pub context: Vec<f32>,
+}
+
+/// The MS verdict.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreResponse {
+    pub tx_id: u64,
+    /// Predicted fraud probability.
+    pub probability: f32,
+    /// True when the transaction should be interrupted.
+    pub alert: bool,
+}
+
+/// The serving feature layout: where user-side and context features land in
+/// the model's input vector. Must match the training-time column order.
+#[derive(Debug, Clone)]
+pub struct FeatureLayout {
+    /// Width of the basic block (52 in the paper).
+    pub n_basic: usize,
+    /// Indices of the payer-side values within the basic block.
+    pub payer_slots: Vec<usize>,
+    /// Indices of the receiver-side values within the basic block.
+    pub receiver_slots: Vec<usize>,
+    /// Indices of the context values within the basic block.
+    pub context_slots: Vec<usize>,
+    /// Embedding dims appended per party (0 = model without embeddings).
+    pub embedding_dim: usize,
+}
+
+impl FeatureLayout {
+    /// Total model input width.
+    pub fn width(&self) -> usize {
+        self.n_basic + 2 * self.embedding_dim
+    }
+}
+
+/// A model server instance. Cheap to clone (shared internals) — clones act
+/// as additional serving replicas over the same store and model.
+#[derive(Clone)]
+pub struct ModelServer {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    model: RwLock<Arc<ModelFile>>,
+    table: Arc<RegionedTable>,
+    codec: FeatureCodec,
+    layout: FeatureLayout,
+    latency: LatencyRecorder,
+}
+
+impl ModelServer {
+    /// Create a server over a feature table with an initial model.
+    pub fn new(
+        table: Arc<RegionedTable>,
+        layout: FeatureLayout,
+        model: ModelFile,
+    ) -> Self {
+        assert_eq!(
+            model.n_features,
+            layout.width(),
+            "model width must match the serving layout"
+        );
+        assert_eq!(
+            layout.payer_slots.len() + layout.receiver_slots.len() + layout.context_slots.len(),
+            layout.n_basic,
+            "layout slots must cover the basic block exactly"
+        );
+        let codec = FeatureCodec {
+            embedding_dim: layout.embedding_dim,
+            payer_width: layout.payer_slots.len(),
+            receiver_width: layout.receiver_slots.len(),
+        };
+        Self {
+            inner: Arc::new(Inner {
+                model: RwLock::new(Arc::new(model)),
+                table,
+                codec,
+                layout,
+                latency: LatencyRecorder::new(),
+            }),
+        }
+    }
+
+    /// Hot-swap the served model ("model files are periodically updated").
+    /// In-flight requests keep the old model; new requests see the new one.
+    pub fn deploy(&self, model: ModelFile) {
+        assert_eq!(
+            model.n_features,
+            self.inner.layout.width(),
+            "model width must match the serving layout"
+        );
+        *self.inner.model.write() = Arc::new(model);
+    }
+
+    /// Version of the currently served model.
+    pub fn model_version(&self) -> u64 {
+        self.inner.model.read().version
+    }
+
+    /// The serving-path latency histogram.
+    pub fn latency(&self) -> &LatencyRecorder {
+        &self.inner.latency
+    }
+
+    /// Score one transaction synchronously: HBase fetch for both parties,
+    /// vector assembly, model evaluation.
+    pub fn score(&self, req: &ScoreRequest) -> ScoreResponse {
+        let start = Instant::now();
+        let model = Arc::clone(&self.inner.model.read());
+        let layout = &self.inner.layout;
+        assert_eq!(
+            req.context.len(),
+            layout.context_slots.len(),
+            "context width mismatch"
+        );
+
+        let mut features = vec![0f32; layout.width()];
+        // User-side features from the store; absent users (brand-new
+        // accounts) serve zeros — the trained models saw the same cold
+        // starts.
+        let payer = self
+            .inner
+            .codec
+            .get_user(&self.inner.table, req.transferor, u64::MAX);
+        let recv = self
+            .inner
+            .codec
+            .get_user(&self.inner.table, req.transferee, u64::MAX);
+        if let Some(p) = &payer {
+            for (slot, v) in layout.payer_slots.iter().zip(&p.payer_side) {
+                features[*slot] = *v;
+            }
+            features[layout.n_basic..layout.n_basic + layout.embedding_dim]
+                .copy_from_slice(&p.embedding);
+        }
+        if let Some(r) = &recv {
+            for (slot, v) in layout.receiver_slots.iter().zip(&r.receiver_side) {
+                features[*slot] = *v;
+            }
+            let base = layout.n_basic + layout.embedding_dim;
+            features[base..base + layout.embedding_dim].copy_from_slice(&r.embedding);
+        }
+        for (slot, v) in layout.context_slots.iter().zip(&req.context) {
+            features[*slot] = *v;
+        }
+
+        let probability = model.model.predict_proba(&features);
+        let resp = ScoreResponse {
+            tx_id: req.tx_id,
+            probability,
+            alert: probability >= model.alert_threshold,
+        };
+        self.inner.latency.record(start.elapsed());
+        resp
+    }
+
+    /// Spawn `n_threads` serving workers draining a bounded request queue —
+    /// "MS are distributed to satisfy low latency and high service load".
+    /// Returns the request sender; responses go to the provided callback.
+    pub fn serve_pool(
+        &self,
+        n_threads: usize,
+        on_response: impl Fn(ScoreResponse) + Send + Sync + 'static,
+    ) -> Sender<ScoreRequest> {
+        let (tx, rx) = bounded::<ScoreRequest>(4096);
+        let callback = Arc::new(on_response);
+        for _ in 0..n_threads.max(1) {
+            let server = self.clone();
+            let rx = rx.clone();
+            let callback = Arc::clone(&callback);
+            std::thread::spawn(move || {
+                while let Ok(req) = rx.recv() {
+                    callback(server.score(&req));
+                }
+            });
+        }
+        tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature_codec::UserFeatures;
+    use crate::model_file::ServableModel;
+    use titant_alihbase::StoreConfig;
+    use titant_models::{Dataset, GbdtConfig};
+
+    /// Layout: 2 payer + 2 receiver + 1 context = 5 basic, embeddings 2/side.
+    fn layout() -> FeatureLayout {
+        FeatureLayout {
+            n_basic: 5,
+            payer_slots: vec![0, 1],
+            receiver_slots: vec![2, 3],
+            context_slots: vec![4],
+            embedding_dim: 2,
+        }
+    }
+
+    /// Model: fraud iff context feature (slot 4) > 0.5 — trivially
+    /// learnable, exercises the full assembly path.
+    fn model() -> ModelFile {
+        let mut d = Dataset::new(9);
+        let mut state = 3u64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32
+        };
+        for _ in 0..400 {
+            let mut row = [0f32; 9];
+            for v in row.iter_mut() {
+                *v = rand01();
+            }
+            let label = (row[4] > 0.5) as u8 as f32;
+            d.push_row(&row, label);
+        }
+        let gbdt = GbdtConfig {
+            n_trees: 30,
+            subsample: 1.0,
+            colsample: 1.0,
+            ..Default::default()
+        }
+        .fit(&d);
+        ModelFile {
+            version: 20170410,
+            alert_threshold: 0.5,
+            n_features: 9,
+            model: ServableModel::Gbdt(gbdt),
+        }
+    }
+
+    fn setup() -> ModelServer {
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let ms = ModelServer::new(table.clone(), layout(), model());
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        for user in [1u64, 2] {
+            codec
+                .put_user(
+                    &table,
+                    user,
+                    &UserFeatures {
+                        payer_side: vec![0.1, 0.2],
+                        receiver_side: vec![0.3, 0.4],
+                        embedding: vec![0.5, 0.6],
+                    },
+                    20170410,
+                )
+                .unwrap();
+        }
+        ms
+    }
+
+    fn req(tx_id: u64, context: f32) -> ScoreRequest {
+        ScoreRequest {
+            tx_id,
+            transferor: 1,
+            transferee: 2,
+            context: vec![context],
+        }
+    }
+
+    #[test]
+    fn scores_and_alerts_on_suspicious_context() {
+        let ms = setup();
+        let safe = ms.score(&req(1, 0.1));
+        let fraud = ms.score(&req(2, 0.9));
+        assert!(!safe.alert, "safe tx got p={}", safe.probability);
+        assert!(fraud.alert, "fraud tx got p={}", fraud.probability);
+        assert!(fraud.probability > safe.probability);
+        assert_eq!(ms.latency().count(), 2);
+    }
+
+    #[test]
+    fn unknown_users_serve_zero_features() {
+        let ms = setup();
+        let resp = ms.score(&ScoreRequest {
+            tx_id: 9,
+            transferor: 777,
+            transferee: 888,
+            context: vec![0.9],
+        });
+        // Context still drives the decision.
+        assert!(resp.alert);
+    }
+
+    #[test]
+    fn hot_swap_changes_version_not_availability() {
+        let ms = setup();
+        assert_eq!(ms.model_version(), 20170410);
+        let mut m2 = model();
+        m2.version = 20170411;
+        ms.deploy(m2);
+        assert_eq!(ms.model_version(), 20170411);
+        // Still serving.
+        assert!(ms.score(&req(3, 0.9)).alert);
+    }
+
+    #[test]
+    fn pool_processes_concurrent_load() {
+        let ms = setup();
+        let hits = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let hits2 = Arc::clone(&hits);
+        let tx = ms.serve_pool(4, move |resp| hits2.lock().push(resp.tx_id));
+        for i in 0..100 {
+            tx.send(req(i, if i % 2 == 0 { 0.9 } else { 0.1 })).unwrap();
+        }
+        drop(tx);
+        // Wait for drain.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while hits.lock().len() < 100 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(hits.lock().len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "model width")]
+    fn mismatched_model_rejected() {
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let mut m = model();
+        m.n_features = 3;
+        ModelServer::new(table, layout(), m);
+    }
+}

@@ -1,0 +1,429 @@
+//! Skip-gram with negative sampling (SGNS) over walk corpora.
+//!
+//! The core of the paper's distributed DeepWalk reimplementation (§4.3):
+//! "Skip-gram with negative sampling in word2vec is applied to generate
+//! user node embeddings". This is a faithful port of the reference word2vec
+//! trainer — unigram^0.75 negative table, window shrinking, linear
+//! learning-rate decay — with lock-free Hogwild parallelism across walk
+//! shards (the single-machine analogue of KunPeng's asynchronous workers;
+//! `titant-kunpeng` adds the parameter-server layer on top).
+
+use crate::embedding::EmbeddingMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use titant_txgraph::walk::WalkCorpus;
+
+/// SGNS hyperparameters. Paper defaults: `dim = 32`; word2vec defaults for
+/// the rest.
+#[derive(Debug, Clone)]
+pub struct Word2VecConfig {
+    /// Embedding dimensionality (paper: 32; Figure 11 sweeps 8–64).
+    pub dim: usize,
+    /// Maximum context window (randomly shrunk per position, as in the
+    /// reference implementation).
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Passes over the corpus.
+    pub epochs: usize,
+    /// Initial learning rate, decayed linearly to `min_lr`.
+    pub initial_lr: f32,
+    /// Floor for the decayed learning rate.
+    pub min_lr: f32,
+    /// Worker threads (Hogwild).
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Word2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            window: 5,
+            negatives: 5,
+            epochs: 2,
+            initial_lr: 0.025,
+            min_lr: 1e-4,
+            threads: 1,
+            seed: 0x576f_7264,
+        }
+    }
+}
+
+/// Shared embedding buffer for Hogwild updates.
+///
+/// SAFETY: concurrent writers may race on individual `f32`s. This is the
+/// documented Hogwild trade-off (Recht et al. 2011; also how the reference
+/// word2vec operates): updates are sparse, losses from torn/lost updates
+/// are statistically negligible, and the final values are read only after
+/// all writers join. No references escape a single update step.
+struct SharedMatrix {
+    data: UnsafeCell<Vec<f32>>,
+    dim: usize,
+}
+
+unsafe impl Sync for SharedMatrix {}
+
+impl SharedMatrix {
+    fn new(data: Vec<f32>, dim: usize) -> Self {
+        Self {
+            data: UnsafeCell::new(data),
+            dim,
+        }
+    }
+
+    /// Raw mutable row access without synchronisation (Hogwild).
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    unsafe fn row_mut(&self, i: usize) -> &mut [f32] {
+        let v = &mut *self.data.get();
+        let a = i * self.dim;
+        std::slice::from_raw_parts_mut(v.as_mut_ptr().add(a), self.dim)
+    }
+
+    fn into_inner(self) -> Vec<f32> {
+        self.data.into_inner()
+    }
+}
+
+const SIGMOID_TABLE_SIZE: usize = 1024;
+const SIGMOID_BOUND: f32 = 6.0;
+
+/// Precomputed sigmoid lookup, identical role to word2vec's expTable.
+fn build_sigmoid_table() -> Vec<f32> {
+    (0..SIGMOID_TABLE_SIZE)
+        .map(|i| {
+            let x = (i as f32 / SIGMOID_TABLE_SIZE as f32 * 2.0 - 1.0) * SIGMOID_BOUND;
+            1.0 / (1.0 + (-x).exp())
+        })
+        .collect()
+}
+
+#[inline]
+fn fast_sigmoid(table: &[f32], x: f32) -> f32 {
+    if x >= SIGMOID_BOUND {
+        1.0
+    } else if x <= -SIGMOID_BOUND {
+        0.0
+    } else {
+        let idx = ((x + SIGMOID_BOUND) / (2.0 * SIGMOID_BOUND) * (SIGMOID_TABLE_SIZE as f32 - 1.0))
+            as usize;
+        table[idx]
+    }
+}
+
+/// Trains SGNS embeddings from a walk corpus.
+pub struct Word2VecTrainer {
+    config: Word2VecConfig,
+}
+
+impl Word2VecTrainer {
+    /// Create a trainer.
+    pub fn new(config: Word2VecConfig) -> Self {
+        assert!(config.dim > 0, "dim must be positive");
+        assert!(config.window > 0, "window must be positive");
+        assert!(config.epochs > 0, "epochs must be positive");
+        Self { config }
+    }
+
+    /// Train embeddings for a vocabulary of `n_nodes` node ids over the
+    /// corpus. Returns the input-side (`syn0`) embedding matrix.
+    pub fn train(&self, corpus: &WalkCorpus, n_nodes: usize) -> EmbeddingMatrix {
+        assert!(n_nodes > 0, "empty vocabulary");
+        let cfg = &self.config;
+        let dim = cfg.dim;
+
+        // Unigram^0.75 negative-sampling table over corpus frequencies.
+        let mut counts = vec![0u64; n_nodes];
+        for &t in &corpus.tokens {
+            counts[t as usize] += 1;
+        }
+        let neg_table = build_negative_table(&counts);
+
+        // syn0 random in (-0.5/dim, 0.5/dim); syn1 zeros — word2vec init.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let syn0_init: Vec<f32> = (0..n_nodes * dim)
+            .map(|_| (rng.gen::<f32>() - 0.5) / dim as f32)
+            .collect();
+        let syn0 = SharedMatrix::new(syn0_init, dim);
+        let syn1 = SharedMatrix::new(vec![0.0; n_nodes * dim], dim);
+        let sigmoid_table = build_sigmoid_table();
+
+        let total_tokens = (corpus.token_count() as u64).max(1) * cfg.epochs as u64;
+        let processed = AtomicU64::new(0);
+
+        let n_walks = corpus.walk_count();
+        let threads = cfg.threads.max(1).min(n_walks.max(1));
+        let chunk = n_walks.div_ceil(threads);
+
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n_walks);
+                let syn0 = &syn0;
+                let syn1 = &syn1;
+                let neg_table = &neg_table;
+                let sigmoid_table = &sigmoid_table;
+                let processed = &processed;
+                let seed = cfg
+                    .seed
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
+                scope.spawn(move || {
+                    train_shard(ShardArgs {
+                        corpus,
+                        lo,
+                        hi,
+                        syn0,
+                        syn1,
+                        neg_table,
+                        sigmoid_table,
+                        processed,
+                        total_tokens,
+                        cfg,
+                        seed,
+                    });
+                });
+            }
+        });
+
+        EmbeddingMatrix::from_raw(dim, syn0.into_inner())
+    }
+}
+
+struct ShardArgs<'a> {
+    corpus: &'a WalkCorpus,
+    lo: usize,
+    hi: usize,
+    syn0: &'a SharedMatrix,
+    syn1: &'a SharedMatrix,
+    neg_table: &'a [u32],
+    sigmoid_table: &'a [f32],
+    processed: &'a AtomicU64,
+    total_tokens: u64,
+    cfg: &'a Word2VecConfig,
+    seed: u64,
+}
+
+fn train_shard(args: ShardArgs<'_>) {
+    let ShardArgs {
+        corpus,
+        lo,
+        hi,
+        syn0,
+        syn1,
+        neg_table,
+        sigmoid_table,
+        processed,
+        total_tokens,
+        cfg,
+        seed,
+    } = args;
+    let dim = cfg.dim;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut neu1e = vec![0f32; dim];
+    let mut lr = cfg.initial_lr;
+    let mut local_tokens = 0u64;
+
+    for _epoch in 0..cfg.epochs {
+        for w in lo..hi {
+            let walk = corpus.walk(w);
+            for (ci, &center) in walk.iter().enumerate() {
+                local_tokens += 1;
+                if local_tokens.is_multiple_of(10_000) {
+                    let done = processed.fetch_add(10_000, Ordering::Relaxed) + 10_000;
+                    let frac = done as f32 / total_tokens as f32;
+                    lr = (cfg.initial_lr * (1.0 - frac)).max(cfg.min_lr);
+                }
+                // Random window shrink, as in the reference implementation.
+                let b = rng.gen_range(0..cfg.window);
+                let start = ci.saturating_sub(cfg.window - b);
+                let end = (ci + cfg.window - b + 1).min(walk.len());
+                for (pos, &context) in walk.iter().enumerate().take(end).skip(start) {
+                    if pos == ci {
+                        continue;
+                    }
+                    // SAFETY: Hogwild — see SharedMatrix.
+                    let input = unsafe { syn0.row_mut(context as usize) };
+                    neu1e.iter_mut().for_each(|v| *v = 0.0);
+                    // One positive target + `negatives` sampled targets.
+                    for n in 0..=cfg.negatives {
+                        let (target, label) = if n == 0 {
+                            (center, 1.0f32)
+                        } else {
+                            let mut neg =
+                                neg_table[rng.gen_range(0..neg_table.len())];
+                            if neg == center {
+                                neg = neg_table[rng.gen_range(0..neg_table.len())];
+                            }
+                            (neg, 0.0)
+                        };
+                        // SAFETY: Hogwild — see SharedMatrix.
+                        let output = unsafe { syn1.row_mut(target as usize) };
+                        let mut f = 0.0f32;
+                        for d in 0..dim {
+                            f += input[d] * output[d];
+                        }
+                        let g = (label - fast_sigmoid(sigmoid_table, f)) * lr;
+                        for d in 0..dim {
+                            neu1e[d] += g * output[d];
+                            output[d] += g * input[d];
+                        }
+                    }
+                    for d in 0..dim {
+                        input[d] += neu1e[d];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unigram^0.75 sampling table (word2vec's table of 1e8 slots, scaled to the
+/// vocabulary size).
+fn build_negative_table(counts: &[u64]) -> Vec<u32> {
+    let table_size = (counts.len() * 64).clamp(1 << 12, 1 << 23);
+    let mut table = vec![0u32; table_size];
+    let total: f64 = counts.iter().map(|&c| (c as f64).powf(0.75)).sum();
+    if total == 0.0 {
+        // Degenerate corpus: uniform table.
+        for (i, slot) in table.iter_mut().enumerate() {
+            *slot = (i % counts.len()) as u32;
+        }
+        return table;
+    }
+    let mut node = 0usize;
+    let mut cum = (counts[0] as f64).powf(0.75) / total;
+    for (i, slot) in table.iter_mut().enumerate() {
+        *slot = node as u32;
+        if (i as f64 + 1.0) / table_size as f64 > cum && node + 1 < counts.len() {
+            node += 1;
+            cum += (counts[node] as f64).powf(0.75) / total;
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titant_txgraph::{TxGraphBuilder, UserId, WalkConfig, WalkEngine};
+
+    /// Two 6-cliques joined by a single bridge edge.
+    fn two_cluster_corpus(dim_hint: usize) -> (WalkCorpus, usize) {
+        let mut b = TxGraphBuilder::new();
+        for cluster in 0..2u64 {
+            let base = cluster * 6;
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    b.add_edge(UserId(base + i), UserId(base + j), 1.0);
+                }
+            }
+        }
+        b.add_edge(UserId(0), UserId(6), 1.0);
+        let g = b.build();
+        let corpus = WalkEngine::new(
+            &g,
+            WalkConfig {
+                walk_length: 10,
+                walks_per_node: 40,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .generate();
+        let _ = dim_hint;
+        (corpus, g.node_count())
+    }
+
+    #[test]
+    fn clusters_separate_in_embedding_space() {
+        let (corpus, n) = two_cluster_corpus(8);
+        let emb = Word2VecTrainer::new(Word2VecConfig {
+            dim: 8,
+            epochs: 4,
+            initial_lr: 0.05,
+            ..Default::default()
+        })
+        .train(&corpus, n);
+
+        use titant_txgraph::NodeId;
+        let intra = emb.cosine(NodeId(1), NodeId(2));
+        let inter = emb.cosine(NodeId(1), NodeId(8));
+        assert!(
+            intra > inter + 0.1,
+            "intra-cluster cosine {intra} should exceed inter-cluster {inter}"
+        );
+    }
+
+    #[test]
+    fn embedding_shape_matches_vocab() {
+        let (corpus, n) = two_cluster_corpus(4);
+        let emb = Word2VecTrainer::new(Word2VecConfig {
+            dim: 4,
+            epochs: 1,
+            ..Default::default()
+        })
+        .train(&corpus, n);
+        assert_eq!(emb.node_count(), n);
+        assert_eq!(emb.dim(), 4);
+    }
+
+    #[test]
+    fn single_thread_training_is_deterministic() {
+        let (corpus, n) = two_cluster_corpus(4);
+        let cfg = Word2VecConfig {
+            dim: 4,
+            epochs: 1,
+            threads: 1,
+            ..Default::default()
+        };
+        let e1 = Word2VecTrainer::new(cfg.clone()).train(&corpus, n);
+        let e2 = Word2VecTrainer::new(cfg).train(&corpus, n);
+        assert_eq!(e1.as_slice(), e2.as_slice());
+    }
+
+    #[test]
+    fn multi_thread_training_still_separates_clusters() {
+        let (corpus, n) = two_cluster_corpus(8);
+        let emb = Word2VecTrainer::new(Word2VecConfig {
+            dim: 8,
+            epochs: 4,
+            threads: 4,
+            initial_lr: 0.05,
+            ..Default::default()
+        })
+        .train(&corpus, n);
+        use titant_txgraph::NodeId;
+        let intra = emb.cosine(NodeId(1), NodeId(2));
+        let inter = emb.cosine(NodeId(1), NodeId(8));
+        assert!(intra > inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn negative_table_respects_frequencies() {
+        let counts = vec![1000u64, 10, 10, 10];
+        let table = build_negative_table(&counts);
+        let freq0 = table.iter().filter(|&&t| t == 0).count() as f64 / table.len() as f64;
+        // 1000^.75 / (1000^.75 + 3*10^.75) ~ 0.91.
+        assert!(freq0 > 0.8, "node 0 frequency {freq0}");
+        // Every node appears.
+        for v in 0..4u32 {
+            assert!(table.contains(&v), "node {v} missing from table");
+        }
+    }
+
+    #[test]
+    fn sigmoid_table_matches_exact_sigmoid() {
+        let table = build_sigmoid_table();
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let approx = fast_sigmoid(&table, x);
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!((approx - exact).abs() < 0.02, "x={x}: {approx} vs {exact}");
+        }
+        assert_eq!(fast_sigmoid(&table, 100.0), 1.0);
+        assert_eq!(fast_sigmoid(&table, -100.0), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+//!
+//! Weighted random walks sample a neighbour proportionally to edge weight at
+//! every step; the alias method makes each step constant-time after an O(k)
+//! table build per node, which the walk engine caches.
+
+use rand::Rng;
+
+/// Pre-processed discrete distribution supporting O(1) sampling.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping slot `i` (vs. jumping to `alias[i]`).
+    prob: Vec<f32>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build a table from non-negative weights. At least one weight must be
+    /// positive.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn new(weights: &[f32]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights.iter().map(|&w| w as f64).sum();
+        assert!(total > 0.0, "alias table needs positive total weight");
+        let n = weights.len();
+        let scale = n as f64 / total;
+
+        let mut prob = vec![0f32; n];
+        let mut alias = vec![0u32; n];
+        // Scaled probabilities; >1 means "overfull", <1 "underfull".
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w as f64 * scale).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while !small.is_empty() && !large.is_empty() {
+            let (s, l) = (small.pop().unwrap(), large.pop().unwrap());
+            prob[s as usize] = scaled[s as usize] as f32;
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + scaled[s as usize]) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for s in small {
+            prob[s as usize] = 1.0;
+        }
+        for l in large {
+            prob[l as usize] = 1.0;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no outcomes (never constructible — kept for
+    /// API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw an outcome index in `0..len()`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f32>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let t = AliasTable::new(&[1.0; 4]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 40_000.0;
+            assert!((f - 0.25).abs() < 0.02, "frequency {f} too far from 0.25");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_match_expected_frequencies() {
+        let t = AliasTable::new(&[1.0, 3.0, 6.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let freqs: Vec<f64> = counts.iter().map(|&c| c as f64 / 60_000.0).collect();
+        assert!((freqs[0] - 0.1).abs() < 0.02);
+        assert!((freqs[1] - 0.3).abs() < 0.02);
+        assert!((freqs[2] - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_are_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1_000 {
+            assert_eq!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[0.5]);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(t.sample(&mut rng), 0);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn all_zero_weights_panic() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Newtype identifiers used across the TitAnt workspace.
+//!
+//! Identifiers are `u32`/`u64` newtypes rather than raw integers so that a
+//! user id can never be confused with a graph-internal node index or a
+//! transaction id at compile time. The graph layer maps the sparse external
+//! [`UserId`] space onto a dense internal [`NodeId`] space (0..n) so that
+//! adjacency and embedding matrices can be flat vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// External, globally unique identifier of a user (an Alipay account in the
+/// paper's terms). Sparse: ids survive across datasets and days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct UserId(pub u64);
+
+/// Dense graph-internal node index, valid only for one [`crate::TxGraph`]
+/// instance. Row `i` of an embedding matrix corresponds to `NodeId(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Unique identifier of a single transaction record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TxId(pub u64);
+
+impl NodeId {
+    /// The node index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl From<u64> for UserId {
+    fn from(v: u64) -> Self {
+        UserId(v)
+    }
+}
+
+impl From<u64> for TxId {
+    fn from(v: u64) -> Self {
+        TxId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_index_round_trip() {
+        assert_eq!(NodeId(42).index(), 42);
+        assert_eq!(NodeId(0).index(), 0);
+    }
+
+    #[test]
+    fn display_formats_are_prefixed() {
+        assert_eq!(UserId(7).to_string(), "u7");
+        assert_eq!(NodeId(7).to_string(), "n7");
+        assert_eq!(TxId(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(UserId(1) < UserId(2));
+        assert!(NodeId(1) < NodeId(2));
+        assert!(TxId(1) < TxId(2));
+    }
+
+    #[test]
+    fn from_u64_conversions() {
+        assert_eq!(UserId::from(9u64), UserId(9));
+        assert_eq!(TxId::from(9u64), TxId(9));
+    }
+}

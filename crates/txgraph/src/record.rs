@@ -1,0 +1,96 @@
+//! Raw transaction records — the input to both the offline feature pipeline
+//! and the transaction-network builder.
+
+use crate::ids::{TxId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// Seconds since the simulation epoch. The datagen crate maps day `d`,
+/// second `s` to `d * 86_400 + s`.
+pub type Timestamp = i64;
+
+/// One completed (or attempted) transfer from `transferor` to `transferee`.
+///
+/// Amounts are stored in integer cents to avoid floating-point drift in
+/// aggregations, matching common ledger practice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionRecord {
+    /// Unique id of this transaction.
+    pub tx_id: TxId,
+    /// The paying side of the transfer.
+    pub transferor: UserId,
+    /// The receiving side of the transfer.
+    pub transferee: UserId,
+    /// Transfer amount in cents.
+    pub amount_cents: u64,
+    /// Completion time.
+    pub timestamp: Timestamp,
+    /// City the transfer was initiated from (inferred from IP in the paper).
+    pub trans_city: u16,
+    /// Opaque device identifier hash.
+    pub device_id: u64,
+    /// Channel the transfer used (e.g. QR, bank card, balance).
+    pub channel: u8,
+}
+
+impl TransactionRecord {
+    /// Convenience constructor for tests and examples: fills the contextual
+    /// fields with zeros and derives `tx_id` from the timestamp.
+    pub fn simple(
+        transferor: UserId,
+        transferee: UserId,
+        amount_cents: u64,
+        timestamp: Timestamp,
+    ) -> Self {
+        Self {
+            tx_id: TxId(timestamp as u64),
+            transferor,
+            transferee,
+            amount_cents,
+            timestamp,
+            trans_city: 0,
+            device_id: 0,
+            channel: 0,
+        }
+    }
+
+    /// Day index (0-based) this transaction falls on.
+    #[inline]
+    pub fn day(&self) -> i64 {
+        self.timestamp.div_euclid(86_400)
+    }
+
+    /// Whether the transfer is a self-transfer (same account on both ends).
+    /// Self-transfers are excluded from the transaction network.
+    #[inline]
+    pub fn is_self_transfer(&self) -> bool {
+        self.transferor == self.transferee
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn day_boundaries() {
+        let r = TransactionRecord::simple(UserId(1), UserId(2), 100, 0);
+        assert_eq!(r.day(), 0);
+        let r = TransactionRecord::simple(UserId(1), UserId(2), 100, 86_399);
+        assert_eq!(r.day(), 0);
+        let r = TransactionRecord::simple(UserId(1), UserId(2), 100, 86_400);
+        assert_eq!(r.day(), 1);
+    }
+
+    #[test]
+    fn day_handles_negative_timestamps() {
+        // Records that predate the epoch still land on a well-defined day.
+        let r = TransactionRecord::simple(UserId(1), UserId(2), 100, -1);
+        assert_eq!(r.day(), -1);
+    }
+
+    #[test]
+    fn self_transfer_detection() {
+        assert!(TransactionRecord::simple(UserId(3), UserId(3), 1, 0).is_self_transfer());
+        assert!(!TransactionRecord::simple(UserId(3), UserId(4), 1, 0).is_self_transfer());
+    }
+}

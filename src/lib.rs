@@ -1,0 +1,31 @@
+//! # TitAnt — online real-time transaction fraud detection
+//!
+//! A from-scratch Rust reproduction of *"TitAnt: Online Real-time
+//! Transaction Fraud Detection in Ant Financial"* (VLDB 2019): the full
+//! pipeline — offline periodical training over a transaction network with
+//! user node embeddings, and an online model server answering in
+//! microseconds — plus laptop-scale analogues of every substrate the paper
+//! deploys on (MaxCompute, KunPeng, Ali-HBase).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a short name.
+//!
+//! ```
+//! use titant::prelude::*;
+//!
+//! let world = World::generate(WorldConfig::tiny(1));
+//! let graph = world.build_graph(0..20);
+//! assert!(graph.node_count() > 0);
+//! ```
+
+pub use titant_alihbase as alihbase;
+pub use titant_core as core;
+pub use titant_core::prelude;
+pub use titant_datagen as datagen;
+pub use titant_eval as eval;
+pub use titant_kunpeng as kunpeng;
+pub use titant_maxcompute as maxcompute;
+pub use titant_models as models;
+pub use titant_modelserver as modelserver;
+pub use titant_nrl as nrl;
+pub use titant_txgraph as txgraph;
