@@ -25,6 +25,6 @@ pub mod store;
 pub mod types;
 pub mod wal;
 
-pub use region::RegionedTable;
+pub use region::{RegionedTable, StoreOpCounts};
 pub use store::{Store, StoreConfig};
 pub use types::{Cell, CellKey, ColumnFamily, Qualifier, RowKey, Version};

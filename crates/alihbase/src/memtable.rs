@@ -40,10 +40,7 @@ impl MemTable {
 
     /// Latest cell at or below `as_of` (tombstones included).
     pub fn get(&self, key: &CellKey, as_of: Version) -> Option<&Cell> {
-        self.entries
-            .get(key)?
-            .iter()
-            .find(|c| c.version <= as_of)
+        self.entries.get(key)?.iter().find(|c| c.version <= as_of)
     }
 
     /// Approximate memory footprint, used for flush triggering.
@@ -70,6 +67,23 @@ impl MemTable {
     /// Iterate entries in key order (scans).
     pub fn iter(&self) -> impl Iterator<Item = (&CellKey, &Vec<Cell>)> {
         self.entries.iter()
+    }
+
+    /// Iterate only the cells of one row, in key order. O(log n) to locate
+    /// the row, then linear in the row's own cells — the memtable half of a
+    /// single-row multi-get.
+    pub fn iter_row<'a>(
+        &'a self,
+        row: &'a crate::types::RowKey,
+    ) -> impl Iterator<Item = (&'a CellKey, &'a Vec<Cell>)> + 'a {
+        let start = CellKey {
+            row: row.clone(),
+            family: crate::types::ColumnFamily(String::new()),
+            qualifier: crate::types::Qualifier(String::new()),
+        };
+        self.entries
+            .range(start..)
+            .take_while(move |(k, _)| k.row == *row)
     }
 }
 

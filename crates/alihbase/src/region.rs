@@ -9,12 +9,60 @@
 use crate::store::{Store, StoreConfig};
 use crate::types::{CellKey, RowKey, Version};
 use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A table split into `splits.len() + 1` regions.
 pub struct RegionedTable {
     /// Sorted split points; region `i` owns `[splits[i-1], splits[i])`.
     splits: Vec<RowKey>,
     regions: Vec<Store>,
+    ops: OpCounters,
+}
+
+/// Lifetime operation counters (relaxed atomics; cheap enough to keep on
+/// in production). Used by the bench harness to verify the serving path's
+/// store-op budget — e.g. that a user fetch is one row get, not a
+/// per-qualifier point-get storm.
+#[derive(Debug, Default)]
+struct OpCounters {
+    point_gets: AtomicU64,
+    row_gets: AtomicU64,
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// A snapshot of a table's operation counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOpCounts {
+    /// Single-cell reads (`get` / `get_versioned`).
+    pub point_gets: u64,
+    /// Whole-row reads (`get_row`).
+    pub row_gets: u64,
+    /// Cell writes.
+    pub puts: u64,
+    /// Tombstone writes.
+    pub deletes: u64,
+    /// Multi-row scans (`scan_rows`).
+    pub scans: u64,
+}
+
+impl StoreOpCounts {
+    /// Total operations of any kind.
+    pub fn total(&self) -> u64 {
+        self.point_gets + self.row_gets + self.puts + self.deletes + self.scans
+    }
+
+    /// Counter delta since an earlier snapshot.
+    pub fn since(&self, earlier: &StoreOpCounts) -> StoreOpCounts {
+        StoreOpCounts {
+            point_gets: self.point_gets.saturating_sub(earlier.point_gets),
+            row_gets: self.row_gets.saturating_sub(earlier.row_gets),
+            puts: self.puts.saturating_sub(earlier.puts),
+            deletes: self.deletes.saturating_sub(earlier.deletes),
+            scans: self.scans.saturating_sub(earlier.scans),
+        }
+    }
 }
 
 impl RegionedTable {
@@ -35,7 +83,11 @@ impl RegionedTable {
             }
             regions.push(Store::open(cfg)?);
         }
-        Ok(Self { splits, regions })
+        Ok(Self {
+            splits,
+            regions,
+            ops: OpCounters::default(),
+        })
     }
 
     /// A single-region table.
@@ -55,22 +107,44 @@ impl RegionedTable {
 
     /// Write a cell.
     pub fn put(&self, key: CellKey, version: Version, value: Bytes) -> std::io::Result<()> {
+        self.ops.puts.fetch_add(1, Ordering::Relaxed);
         self.regions[self.region_of(&key.row)].put(key, version, value)
     }
 
     /// Delete a cell.
     pub fn delete(&self, key: CellKey, version: Version) -> std::io::Result<()> {
+        self.ops.deletes.fetch_add(1, Ordering::Relaxed);
         self.regions[self.region_of(&key.row)].delete(key, version)
     }
 
     /// Read the latest value.
     pub fn get(&self, key: &CellKey) -> Option<Bytes> {
-        self.regions[self.region_of(&key.row)].get(key)
+        self.get_versioned(key, Version::MAX)
     }
 
     /// Read the latest value at or below a version.
     pub fn get_versioned(&self, key: &CellKey, as_of: Version) -> Option<Bytes> {
+        self.ops.point_gets.fetch_add(1, Ordering::Relaxed);
         self.regions[self.region_of(&key.row)].get_versioned(key, as_of)
+    }
+
+    /// Read every live cell of one row at or below a version, in key order.
+    /// A single store operation against the owning region — the multi-get
+    /// the Model Server uses to fetch a party's features in one round trip.
+    pub fn get_row(&self, row: &RowKey, as_of: Version) -> Vec<(CellKey, Bytes)> {
+        self.ops.row_gets.fetch_add(1, Ordering::Relaxed);
+        self.regions[self.region_of(row)].get_row(row, as_of)
+    }
+
+    /// Snapshot the lifetime operation counters.
+    pub fn op_counts(&self) -> StoreOpCounts {
+        StoreOpCounts {
+            point_gets: self.ops.point_gets.load(Ordering::Relaxed),
+            row_gets: self.ops.row_gets.load(Ordering::Relaxed),
+            puts: self.ops.puts.load(Ordering::Relaxed),
+            deletes: self.ops.deletes.load(Ordering::Relaxed),
+            scans: self.ops.scans.load(Ordering::Relaxed),
+        }
     }
 
     /// Flush every region.
@@ -91,6 +165,7 @@ impl RegionedTable {
 
     /// Scan rows across regions in key order.
     pub fn scan_rows(&self, start: &RowKey, end: &RowKey) -> Vec<(CellKey, Bytes)> {
+        self.ops.scans.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::new();
         for r in &self.regions {
             out.extend(r.scan_rows(start, end));
@@ -147,6 +222,49 @@ mod tests {
         let rows = t.scan_rows(&RowKey::from_str("a"), &RowKey::from_str("zz"));
         let keys: Vec<String> = rows.iter().map(|(k, _)| k.row.to_string()).collect();
         assert_eq!(keys, vec!["alpha", "mike", "zulu"]);
+    }
+
+    #[test]
+    fn get_row_reads_one_region_in_one_op() {
+        let t = table();
+        for q in ["a", "b", "c"] {
+            t.put(
+                CellKey::new("sam", "basic", q),
+                1,
+                Bytes::from(q.as_bytes().to_vec()),
+            )
+            .unwrap();
+        }
+        t.put(
+            CellKey::new("zoe", "basic", "a"),
+            1,
+            Bytes::from_static(b"z"),
+        )
+        .unwrap();
+        let before = t.op_counts();
+        let row = t.get_row(&RowKey::from_str("sam"), u64::MAX);
+        let delta = t.op_counts().since(&before);
+        assert_eq!(row.len(), 3);
+        assert!(row.iter().all(|(k, _)| k.row == RowKey::from_str("sam")));
+        assert_eq!(delta.row_gets, 1);
+        assert_eq!(delta.total(), 1, "one row read must be one store op");
+    }
+
+    #[test]
+    fn op_counters_track_each_operation_kind() {
+        let t = table();
+        t.put(key("alpha"), 1, Bytes::from_static(b"x")).unwrap();
+        t.get(&key("alpha"));
+        t.get_versioned(&key("alpha"), 1);
+        t.delete(key("alpha"), 2).unwrap();
+        t.scan_rows(&RowKey::from_str("a"), &RowKey::from_str("z"));
+        let ops = t.op_counts();
+        assert_eq!(ops.puts, 1);
+        assert_eq!(ops.point_gets, 2);
+        assert_eq!(ops.deletes, 1);
+        assert_eq!(ops.scans, 1);
+        assert_eq!(ops.row_gets, 0);
+        assert_eq!(ops.total(), 5);
     }
 
     #[test]

@@ -62,6 +62,19 @@ impl SsTable {
         self.entries.iter()
     }
 
+    /// Iterate only the entries of one row (all families, all versions).
+    /// Binary-searches to the row start, then walks its contiguous range —
+    /// the run half of a single-row multi-get.
+    pub fn iter_row<'a>(
+        &'a self,
+        row: &'a crate::types::RowKey,
+    ) -> impl Iterator<Item = &'a (CellKey, Cell)> + 'a {
+        let start = self.entries.partition_point(|(k, _)| k.row < *row);
+        self.entries[start..]
+            .iter()
+            .take_while(move |(k, _)| k.row == *row)
+    }
+
     /// Merge several runs (newest first) into one, keeping at most
     /// `max_versions` of each cell and dropping tombstones older than the
     /// newest surviving value (full-compaction semantics).
@@ -192,7 +205,10 @@ impl SsTable {
 }
 
 fn corrupt(what: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("corrupt sstable: {what}"))
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("corrupt sstable: {what}"),
+    )
 }
 
 fn put_slice(buf: &mut BytesMut, data: &[u8]) {
@@ -280,7 +296,11 @@ mod tests {
             t.get(&key("u1", "age"), u64::MAX).unwrap().value
         );
         // Tombstones survive save/load (they only die at compaction).
-        assert!(loaded.get(&key("u2", "age"), u64::MAX).unwrap().value.is_none());
+        assert!(loaded
+            .get(&key("u2", "age"), u64::MAX)
+            .unwrap()
+            .value
+            .is_none());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -305,7 +325,11 @@ mod tests {
         let run_old = table_with(&[("u1", "age", 5, Some(b"old"))]);
         let merged = SsTable::merge(&[&run_new, &run_old], 3);
         assert_eq!(
-            merged.get(&key("u1", "age"), u64::MAX).unwrap().value.as_deref(),
+            merged
+                .get(&key("u1", "age"), u64::MAX)
+                .unwrap()
+                .value
+                .as_deref(),
             Some(b"new".as_ref())
         );
         assert_eq!(merged.len(), 1);

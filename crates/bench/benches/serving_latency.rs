@@ -41,7 +41,7 @@ fn setup() -> Setup {
         ..Default::default()
     })
     .run(&world, &slice);
-    let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+    let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
     let requests: Vec<ScoreRequest> = world
         .record_range(slice.test_day..slice.test_day + 1)
         .map(|i| {
@@ -120,6 +120,16 @@ fn bench_store_reads(c: &mut Criterion) {
             .unwrap();
     }
     table.flush().unwrap();
+    // Acceptance check before timing: one user fetch must cost at most two
+    // store operations (it is one row get), not a per-qualifier fan-out.
+    let before = table.op_counts();
+    codec.get_user(&table, 0, u64::MAX).unwrap().unwrap();
+    let delta = table.op_counts().since(&before);
+    assert!(
+        delta.total() <= 2,
+        "get_user fanned out into {} store ops: {delta:?}",
+        delta.total()
+    );
     let mut i = 0u64;
     c.bench_function("hbase_get_user_features", |b| {
         b.iter(|| {

@@ -38,7 +38,12 @@ fn ablate_walks() {
     // Baseline without embeddings for reference.
     let (train_b, test_b) = exp.datasets(&slice, FeatureConfig::BASIC, 32, 1);
     let base = exp.train_and_eval(ModelKind::Gbdt, &train_b, &test_b);
-    let _ = writeln!(out, "{:>10}: f1 {:>6.2}%  (no embeddings)", "basic", base.f1 * 100.0);
+    let _ = writeln!(
+        out,
+        "{:>10}: f1 {:>6.2}%  (no embeddings)",
+        "basic",
+        base.f1 * 100.0
+    );
 
     for strategy in [WalkStrategy::Uniform, WalkStrategy::Weighted] {
         let graph = exp.world().build_graph(slice.graph_days.clone());
@@ -62,8 +67,7 @@ fn ablate_walks() {
             exp.world()
                 .basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX),
         );
-        let tr_e =
-            harness::embedding_dataset(exp.world(), &train_idx.1, &graph, &emb, "dw");
+        let tr_e = harness::embedding_dataset(exp.world(), &train_idx.1, &graph, &emb, "dw");
         let te_e = harness::embedding_dataset(exp.world(), &test_idx.1, &graph, &emb, "dw");
         let train = train_idx.0.hconcat(&tr_e);
         let test = test_idx.0.hconcat(&te_e);
@@ -111,8 +115,7 @@ fn ablate_mules() {
         .embed(&graph);
         let (train_b, train_idx) =
             world.basic_dataset(slice.train_days.clone(), slice.label_cutoff());
-        let (test_b, test_idx) =
-            world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+        let (test_b, test_idx) = world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
         let train = train_b.hconcat(&harness::embedding_dataset(
             &world, &train_idx, &graph, &emb, "dw",
         ));
@@ -125,10 +128,13 @@ fn ablate_mules() {
         let fit_rows: Vec<usize> = (val_rows.len()..n).collect();
         let model = GbdtConfig::default().fit(&train.subset(&fit_rows));
         let val = train.subset(&val_rows);
-        let (rate, _) =
-            titant_eval::best_f1_rate(&model.predict_batch(&val), val.labels());
+        let (rate, _) = titant_eval::best_f1_rate(&model.predict_batch(&val), val.labels());
         let f1 = titant_eval::f1_at_rate(&model.predict_batch(&test), test.labels(), rate);
-        let _ = writeln!(out, "mule_rate {mule_rate:.2}: DW+GBDT f1 {:>6.2}%", f1 * 100.0);
+        let _ = writeln!(
+            out,
+            "mule_rate {mule_rate:.2}: DW+GBDT f1 {:>6.2}%",
+            f1 * 100.0
+        );
     }
     out.push_str("\nexpected: F1 declines as more fraud routes through window-invisible mules\n");
     println!("{out}");

@@ -35,19 +35,51 @@ fn main() {
     let walks = scale.walks_per_node();
 
     let configs: Vec<(String, FeatureConfig, ModelKind)> = vec![
-        ("IF   basic".into(), FeatureConfig::BASIC, ModelKind::IsolationForest),
+        (
+            "IF   basic".into(),
+            FeatureConfig::BASIC,
+            ModelKind::IsolationForest,
+        ),
         ("ID3  basic".into(), FeatureConfig::BASIC, ModelKind::Id3),
         ("C5.0 basic".into(), FeatureConfig::BASIC, ModelKind::C50),
-        ("LR   basic".into(), FeatureConfig::BASIC, ModelKind::LogisticRegression),
+        (
+            "LR   basic".into(),
+            FeatureConfig::BASIC,
+            ModelKind::LogisticRegression,
+        ),
         ("GBDT basic".into(), FeatureConfig::BASIC, ModelKind::Gbdt),
-        ("LR   +S2V".into(), FeatureConfig::S2V, ModelKind::LogisticRegression),
+        (
+            "LR   +S2V".into(),
+            FeatureConfig::S2V,
+            ModelKind::LogisticRegression,
+        ),
         ("GBDT +S2V".into(), FeatureConfig::S2V, ModelKind::Gbdt),
-        ("LR   +DW".into(), FeatureConfig::DW, ModelKind::LogisticRegression),
+        (
+            "LR   +DW".into(),
+            FeatureConfig::DW,
+            ModelKind::LogisticRegression,
+        ),
         ("GBDT +DW".into(), FeatureConfig::DW, ModelKind::Gbdt),
-        ("LR   +DW+S2V".into(), FeatureConfig::DW_S2V, ModelKind::LogisticRegression),
-        ("GBDT +DW+S2V".into(), FeatureConfig::DW_S2V, ModelKind::Gbdt),
-        ("GBDT dwONLY".into(), FeatureConfig::DW_ONLY, ModelKind::Gbdt),
-        ("GBDT s2vONLY".into(), FeatureConfig::S2V_ONLY, ModelKind::Gbdt),
+        (
+            "LR   +DW+S2V".into(),
+            FeatureConfig::DW_S2V,
+            ModelKind::LogisticRegression,
+        ),
+        (
+            "GBDT +DW+S2V".into(),
+            FeatureConfig::DW_S2V,
+            ModelKind::Gbdt,
+        ),
+        (
+            "GBDT dwONLY".into(),
+            FeatureConfig::DW_ONLY,
+            ModelKind::Gbdt,
+        ),
+        (
+            "GBDT s2vONLY".into(),
+            FeatureConfig::S2V_ONLY,
+            ModelKind::Gbdt,
+        ),
     ];
 
     for (name, feat, model) in configs {

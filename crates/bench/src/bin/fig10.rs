@@ -49,14 +49,17 @@ fn main() {
         n_workers: threads,
         ..Default::default()
     };
-    let ps = ParamServer::new(2 * n_nodes * dim, 2, dist_word2vec::ps_init(n_nodes, dim, 1));
+    let ps = ParamServer::new(
+        2 * n_nodes * dim,
+        2,
+        dist_word2vec::ps_init(n_nodes, dim, 1),
+    );
     let t0 = std::time::Instant::now();
     dist_word2vec::train(&corpus, n_nodes, &w2v_cfg, &ps);
     let w2v_elapsed = t0.elapsed().as_secs_f64();
     let tokens = corpus.token_count() as f64;
     let w2v_throughput = tokens / (w2v_elapsed * threads as f64);
-    let w2v_bytes_round =
-        (ps.pulled_bytes() + ps.pushed_bytes()) as f64 / (threads as f64 * 1.0);
+    let w2v_bytes_round = (ps.pulled_bytes() + ps.pushed_bytes()) as f64 / (threads as f64 * 1.0);
     eprintln!(
         "  {tokens:.0} tokens in {w2v_elapsed:.1}s = {w2v_throughput:.0} tokens/s/thread, {:.1} MB per worker round",
         w2v_bytes_round / 1e6
@@ -76,8 +79,8 @@ fn main() {
     let t0 = std::time::Instant::now();
     dist_gbdt::train(&sample, &gbdt_cfg, &ps);
     let gbdt_elapsed = t0.elapsed().as_secs_f64();
-    let gbdt_work = (sample.n_rows() * sample.n_cols() * gbdt_cfg.max_depth * gbdt_cfg.n_trees)
-        as f64;
+    let gbdt_work =
+        (sample.n_rows() * sample.n_cols() * gbdt_cfg.max_depth * gbdt_cfg.n_trees) as f64;
     let gbdt_throughput = gbdt_work / (gbdt_elapsed * threads as f64);
     let gbdt_rounds = (gbdt_cfg.n_trees * gbdt_cfg.max_depth) as f64;
     let gbdt_bytes_round = ps.pushed_bytes() as f64 / (threads as f64 * gbdt_rounds);
@@ -95,7 +98,7 @@ fn main() {
         throughput_per_thread: w2v_throughput,
         rounds: 2.0,
         bytes_per_worker_round: 2.0 * 1.6e6 * dim as f64 * 4.0 * 2.0, // pull+push of syn0+syn1
-        };
+    };
     let gbdt_profile = WorkloadProfile {
         total_work: 8e6 * 116.0 * 400.0 * 3.0,
         throughput_per_thread: gbdt_throughput,

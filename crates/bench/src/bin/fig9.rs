@@ -5,9 +5,9 @@
 //! cargo run --release -p titant-bench --bin fig9
 //! ```
 
+use std::fmt::Write as _;
 use titant_bench::{harness, Experiment, FeatureConfig, ModelKind, Scale};
 use titant_datagen::DatasetSlice;
-use std::fmt::Write as _;
 
 fn main() {
     let scale = Scale::from_env();
@@ -23,9 +23,8 @@ fn main() {
         ModelKind::Gbdt,
     ];
 
-    let mut out = String::from(
-        "Figure 9: rec@top 1% of the most suspicious frauds per detection method\n\n",
-    );
+    let mut out =
+        String::from("Figure 9: rec@top 1% of the most suspicious frauds per detection method\n\n");
     for m in methods {
         let metrics = exp.train_and_eval(m, &train, &test);
         let bar_len = (metrics.rec_at_top1pct * 60.0).round() as usize;

@@ -29,7 +29,7 @@ fn main() {
         ..Default::default()
     })
     .run(&world, &slice);
-    let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+    let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
 
     eprintln!("replaying the test day…");
     let report = deployment.replay_test_day(&world, &slice);
@@ -42,17 +42,40 @@ fn main() {
         "frauds caught   {:>12} (missed {}, false alerts {})",
         report.true_alerts, report.missed_frauds, report.false_alerts
     );
+    let _ = writeln!(
+        out,
+        "rejected/degraded {:>10} / {}",
+        report.errors, report.degraded
+    );
     let _ = writeln!(out, "serving F1      {:>11.1}%", report.f1 * 100.0);
     for q in [0.5, 0.9, 0.99, 0.999] {
         let _ = writeln!(
             out,
             "p{:<5}          {:>12.1?}",
             q * 100.0,
-            lat.quantile(q).unwrap()
+            lat.quantile(q).unwrap_or_default()
         );
     }
-    let _ = writeln!(out, "mean            {:>12.1?}", lat.mean().unwrap());
-    out.push_str("\npaper bound: tens of milliseconds per prediction — measured here in microseconds\n");
+    let _ = writeln!(
+        out,
+        "mean            {:>12.1?}",
+        lat.mean().unwrap_or_default()
+    );
+    out.push_str("\nper-stage breakdown (p50 / p99):\n");
+    for (name, stage) in [
+        ("store fetch", report.fetch),
+        ("assembly", report.assemble),
+        ("predict", report.predict),
+    ] {
+        let _ = writeln!(
+            out,
+            "  {name:<12}  {:>10.1?} / {:<10.1?}",
+            stage.p50, stage.p99
+        );
+    }
+    out.push_str(
+        "\npaper bound: tens of milliseconds per prediction — measured here in microseconds\n",
+    );
     println!("{out}");
     harness::save_results("serving.txt", &out);
 }

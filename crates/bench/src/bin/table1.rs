@@ -21,17 +21,61 @@ fn main() {
 
     // The paper's eleven configurations, in row order.
     let configs: Vec<(String, FeatureConfig, ModelKind)> = vec![
-        ("Basic Features/Attributes+IF".into(), FeatureConfig::BASIC, ModelKind::IsolationForest),
-        ("Basic Features/Rules+ID3".into(), FeatureConfig::BASIC, ModelKind::Id3),
-        ("Basic Features/Rules+C5.0".into(), FeatureConfig::BASIC, ModelKind::C50),
-        ("Basic Features+LR".into(), FeatureConfig::BASIC, ModelKind::LogisticRegression),
-        ("Basic Features+GBDT".into(), FeatureConfig::BASIC, ModelKind::Gbdt),
-        ("Basic Features+S2V+LR".into(), FeatureConfig::S2V, ModelKind::LogisticRegression),
-        ("Basic Features+S2V+GBDT".into(), FeatureConfig::S2V, ModelKind::Gbdt),
-        ("Basic Features+DW+LR".into(), FeatureConfig::DW, ModelKind::LogisticRegression),
-        ("Basic Features+DW+GBDT".into(), FeatureConfig::DW, ModelKind::Gbdt),
-        ("Basic Features+DW+S2V+LR".into(), FeatureConfig::DW_S2V, ModelKind::LogisticRegression),
-        ("Basic Features+DW+S2V+GBDT".into(), FeatureConfig::DW_S2V, ModelKind::Gbdt),
+        (
+            "Basic Features/Attributes+IF".into(),
+            FeatureConfig::BASIC,
+            ModelKind::IsolationForest,
+        ),
+        (
+            "Basic Features/Rules+ID3".into(),
+            FeatureConfig::BASIC,
+            ModelKind::Id3,
+        ),
+        (
+            "Basic Features/Rules+C5.0".into(),
+            FeatureConfig::BASIC,
+            ModelKind::C50,
+        ),
+        (
+            "Basic Features+LR".into(),
+            FeatureConfig::BASIC,
+            ModelKind::LogisticRegression,
+        ),
+        (
+            "Basic Features+GBDT".into(),
+            FeatureConfig::BASIC,
+            ModelKind::Gbdt,
+        ),
+        (
+            "Basic Features+S2V+LR".into(),
+            FeatureConfig::S2V,
+            ModelKind::LogisticRegression,
+        ),
+        (
+            "Basic Features+S2V+GBDT".into(),
+            FeatureConfig::S2V,
+            ModelKind::Gbdt,
+        ),
+        (
+            "Basic Features+DW+LR".into(),
+            FeatureConfig::DW,
+            ModelKind::LogisticRegression,
+        ),
+        (
+            "Basic Features+DW+GBDT".into(),
+            FeatureConfig::DW,
+            ModelKind::Gbdt,
+        ),
+        (
+            "Basic Features+DW+S2V+LR".into(),
+            FeatureConfig::DW_S2V,
+            ModelKind::LogisticRegression,
+        ),
+        (
+            "Basic Features+DW+S2V+GBDT".into(),
+            FeatureConfig::DW_S2V,
+            ModelKind::Gbdt,
+        ),
     ];
 
     let columns: Vec<String> = (0..PAPER_DATASET_COUNT)

@@ -18,10 +18,13 @@ fn main() {
     let mut exp = Experiment::new(scale, 0x0711_4a47);
     let slice = DatasetSlice::paper(0);
 
-    let mut out = String::from(
-        "Table 2: F1 vs number of node samplings (Basic+DW+GBDT, Dataset 1)\n\n",
+    let mut out =
+        String::from("Table 2: F1 vs number of node samplings (Basic+DW+GBDT, Dataset 1)\n\n");
+    let _ = writeln!(
+        out,
+        "{:>12} | {:>8} | {:>12}",
+        "samplings", "F1", "embed time"
     );
-    let _ = writeln!(out, "{:>12} | {:>8} | {:>12}", "samplings", "F1", "embed time");
     let _ = writeln!(out, "{}", "-".repeat(40));
     for walks in [25usize, 50, 100, 200] {
         let t0 = std::time::Instant::now();

@@ -322,9 +322,8 @@ impl Experiment {
             (train_basic, test_basic)
         } else {
             // Embedding-only diagnostics: keep labels, drop basic columns.
-            let strip = |d: &Dataset| {
-                Dataset::from_parts(1, vec![0.0; d.n_rows()], d.labels().to_vec())
-            };
+            let strip =
+                |d: &Dataset| Dataset::from_parts(1, vec![0.0; d.n_rows()], d.labels().to_vec());
             (strip(&train_basic), strip(&test_basic))
         };
         let stripped = !features.basic;

@@ -67,9 +67,9 @@ pub fn slice_datasets(
     graph: &TxGraph,
     embeddings: &[(&str, &EmbeddingMatrix)],
 ) -> (Dataset, Dataset) {
-    let (mut train, train_idx) = world.basic_dataset(slice.train_days.clone(), slice.label_cutoff());
-    let (mut test, test_idx) =
-        world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+    let (mut train, train_idx) =
+        world.basic_dataset(slice.train_days.clone(), slice.label_cutoff());
+    let (mut test, test_idx) = world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
     for (tag, emb) in embeddings {
         train = train.hconcat(&embedding_columns(world, &train_idx, graph, emb, tag));
         test = test.hconcat(&embedding_columns(world, &test_idx, graph, emb, tag));
@@ -128,8 +128,7 @@ mod tests {
             },
         })
         .embed(&graph);
-        let (train, test) =
-            slice_datasets(&world, &slice, &graph, &[("dw", &emb)]);
+        let (train, test) = slice_datasets(&world, &slice, &graph, &[("dw", &emb)]);
         assert_eq!(train.n_cols(), titant_datagen::N_BASIC_FEATURES + 8);
         assert_eq!(test.n_cols(), train.n_cols());
         assert!(train.n_rows() > test.n_rows());
@@ -156,8 +155,7 @@ mod tests {
         // Empty graph: nobody is known.
         let graph = world.build_graph(0..0);
         let emb = titant_nrl::EmbeddingMatrix::zeros(0, 4);
-        let (_train, test_idx) = world
-            .basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+        let (_train, test_idx) = world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
         let _ = _train;
         let cols = embedding_columns(&world, &test_idx, &graph, &emb, "dw");
         for i in 0..cols.n_rows() {

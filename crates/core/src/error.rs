@@ -13,6 +13,8 @@ pub enum TitAntError {
     Storage(std::io::Error),
     /// A model file failed to parse.
     ModelFile(String),
+    /// The serving path rejected a request or a deployment.
+    Serving(titant_modelserver::ServeError),
 }
 
 impl fmt::Display for TitAntError {
@@ -25,6 +27,7 @@ impl fmt::Display for TitAntError {
             TitAntError::MaxCompute(m) => write!(f, "maxcompute: {m}"),
             TitAntError::Storage(e) => write!(f, "feature store: {e}"),
             TitAntError::ModelFile(m) => write!(f, "model file: {m}"),
+            TitAntError::Serving(e) => write!(f, "serving: {e}"),
         }
     }
 }
@@ -33,6 +36,7 @@ impl std::error::Error for TitAntError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TitAntError::Storage(e) => Some(e),
+            TitAntError::Serving(e) => Some(e),
             _ => None,
         }
     }
@@ -41,6 +45,12 @@ impl std::error::Error for TitAntError {
 impl From<std::io::Error> for TitAntError {
     fn from(e: std::io::Error) -> Self {
         TitAntError::Storage(e)
+    }
+}
+
+impl From<titant_modelserver::ServeError> for TitAntError {
+    fn from(e: titant_modelserver::ServeError) -> Self {
+        TitAntError::Serving(e)
     }
 }
 

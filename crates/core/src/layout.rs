@@ -26,9 +26,7 @@ pub const RECEIVER_SLOTS: [usize; 19] = [
 ];
 
 /// Indices of per-transaction context features.
-pub const CONTEXT_SLOTS: [usize; 15] = [
-    37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51,
-];
+pub const CONTEXT_SLOTS: [usize; 15] = [37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49, 50, 51];
 
 /// Build the model-server layout for a given embedding dimensionality
 /// (0 = a model trained on basic features only).
@@ -79,7 +77,11 @@ mod tests {
             assert!(names[i].starts_with("p_"), "{} is not payer-side", names[i]);
         }
         for &i in &RECEIVER_SLOTS {
-            assert!(names[i].starts_with("r_"), "{} is not receiver-side", names[i]);
+            assert!(
+                names[i].starts_with("r_"),
+                "{} is not receiver-side",
+                names[i]
+            );
         }
     }
 

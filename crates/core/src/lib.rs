@@ -22,13 +22,16 @@
 //! ```no_run
 //! use titant_core::prelude::*;
 //!
+//! # fn main() -> Result<(), titant_core::TitAntError> {
 //! let world = World::generate(WorldConfig::tiny(7));
 //! let slice = DatasetSlice::paper(0);
 //! let pipeline = OfflinePipeline::new(PipelineConfig::default());
 //! let artifacts = pipeline.run(&world, &slice);
-//! let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+//! let deployment = OnlineDeployment::new(&world, &slice, artifacts)?;
 //! let report = deployment.replay_test_day(&world, &slice);
 //! println!("caught {} frauds", report.true_alerts);
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod assemble;
@@ -40,15 +43,16 @@ pub mod tplus1;
 
 pub use error::TitAntError;
 pub use offline::{OfflineArtifacts, OfflinePipeline, PipelineConfig};
-pub use online::{OnlineDeployment, ServingReport};
+pub use online::{OnlineDeployment, ServingReport, StageBreakdown};
 pub use tplus1::{DailyResult, TPlusOneDriver};
 
 /// Convenient single-import surface for examples and downstream users.
 pub mod prelude {
     pub use crate::assemble::{self, EmbeddingChoice};
+    pub use crate::error::TitAntError;
     pub use crate::layout;
     pub use crate::offline::{OfflineArtifacts, OfflinePipeline, PipelineConfig};
-    pub use crate::online::{OnlineDeployment, ServingReport};
+    pub use crate::online::{OnlineDeployment, ServingReport, StageBreakdown};
     pub use crate::tplus1::{DailyResult, TPlusOneDriver};
     pub use titant_datagen::{DatasetSlice, World, WorldConfig};
     pub use titant_models::{Classifier, Dataset};

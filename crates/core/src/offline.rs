@@ -169,7 +169,8 @@ impl OfflinePipeline {
 
         // 4. Upload per-user serving features + the model file.
         let version = slice.test_day as u64;
-        let feature_table = Arc::new(self.upload_features(world, slice, &graph, &embeddings, version)?);
+        let feature_table =
+            Arc::new(self.upload_features(world, slice, &graph, &embeddings, version)?);
 
         let model_file = ModelFile {
             version,
@@ -223,9 +224,7 @@ impl OfflinePipeline {
                     ("to", ColumnType::Int),
                     ("weight", ColumnType::Int),
                 ]),
-                &|row: &[Value]| {
-                    vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)]
-                },
+                &|row: &[Value]| vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)],
                 &|k: &(i64, i64), vs: &[u32]| {
                     vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
                 },
@@ -271,7 +270,9 @@ impl OfflinePipeline {
         let mut payer_snap: HashMap<u64, Vec<f32>> = HashMap::new();
         let mut recv_snap: HashMap<u64, Vec<f32>> = HashMap::new();
         for i in world.record_range(slice.train_days.clone()) {
-            let Some(row) = world.features_of(i) else { continue };
+            let Some(row) = world.features_of(i) else {
+                continue;
+            };
             let (p, r, _c) = layout::split_row(row);
             let rec = &world.records()[i];
             payer_snap.insert(rec.transferor.0, p);
@@ -355,6 +356,7 @@ mod tests {
         let some_user = artifacts.graph.users()[0];
         assert!(codec
             .get_user(&artifacts.feature_table, some_user.0, u64::MAX)
+            .unwrap()
             .is_some());
     }
 

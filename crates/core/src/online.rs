@@ -1,11 +1,19 @@
 //! Online deployment: the Model Server behind the simulated Alipay front
 //! end, replaying live traffic (the right half of Figure 3 / Figure 5).
 
+use crate::error::TitAntError;
 use crate::layout;
 use crate::offline::OfflineArtifacts;
 use std::time::Duration;
 use titant_datagen::{DatasetSlice, World};
-use titant_modelserver::{AlipayServer, ModelServer, ScoreRequest, TransferOutcome};
+use titant_modelserver::{AlipayServer, ModelServer, ScoreRequest, Stage, TransferOutcome};
+
+/// p50/p99 of one serving stage over the replayed interval.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageBreakdown {
+    pub p50: Duration,
+    pub p99: Duration,
+}
 
 /// Outcome of replaying a test day through the serving stack.
 #[derive(Debug, Clone)]
@@ -24,6 +32,16 @@ pub struct ServingReport {
     pub p50: Duration,
     /// Tail serving latency — the paper's "mere milliseconds" claim.
     pub p99: Duration,
+    /// Feature-store fetch stage.
+    pub fetch: StageBreakdown,
+    /// Vector-assembly stage.
+    pub assemble: StageBreakdown,
+    /// Model-predict stage.
+    pub predict: StageBreakdown,
+    /// Requests the MS rejected as malformed during this replay.
+    pub errors: usize,
+    /// Transactions scored in degraded (context-only) mode.
+    pub degraded: usize,
 }
 
 /// A live deployment built from offline artifacts.
@@ -34,19 +52,24 @@ pub struct OnlineDeployment {
 
 impl OnlineDeployment {
     /// Stand up the Model Server over the uploaded feature table and front
-    /// it with the Alipay server.
-    pub fn new(_world: &World, _slice: &DatasetSlice, artifacts: OfflineArtifacts) -> Self {
+    /// it with the Alipay server. Fails when the shipped model file does
+    /// not match the serving layout.
+    pub fn new(
+        _world: &World,
+        _slice: &DatasetSlice,
+        artifacts: OfflineArtifacts,
+    ) -> Result<Self, TitAntError> {
         let embedding_dim =
             (artifacts.model_file.n_features - titant_datagen::N_BASIC_FEATURES) / 2;
         let ms = ModelServer::new(
             artifacts.feature_table,
             layout::serving_layout(embedding_dim),
             artifacts.model_file,
-        );
-        Self {
+        )?;
+        Ok(Self {
             alipay: AlipayServer::new(ms),
             embedding_dim,
-        }
+        })
     }
 
     /// The embedded model server (hot swaps, latency inspection).
@@ -63,8 +86,13 @@ impl OnlineDeployment {
     /// compare verdicts against the eventually-reported labels.
     pub fn replay_test_day(&self, world: &World, slice: &DatasetSlice) -> ServingReport {
         let range = world.record_range(slice.test_day..slice.test_day + 1);
+        // Snapshot the recorder so the report covers *this* replay only —
+        // cumulative stats would let earlier traffic pollute the quantiles.
+        let latency_before = self.model_server().latency().snapshot();
+        let stats_before = self.alipay.stats();
         let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
         let mut total = 0usize;
+        let mut errors = 0usize;
         for i in range {
             let rec = &world.records()[i];
             let context = match world.features_of(i) {
@@ -79,10 +107,13 @@ impl OnlineDeployment {
             });
             let is_fraud = world.label_as_of(i, i64::MAX) > 0.5;
             match (outcome, is_fraud) {
-                (TransferOutcome::Interrupted, true) => tp += 1,
-                (TransferOutcome::Interrupted, false) => fp += 1,
-                (TransferOutcome::Completed, true) => fn_ += 1,
-                (TransferOutcome::Completed, false) => {}
+                (Ok(TransferOutcome::Interrupted), true) => tp += 1,
+                (Ok(TransferOutcome::Interrupted), false) => fp += 1,
+                (Ok(TransferOutcome::Completed), true) => fn_ += 1,
+                (Ok(TransferOutcome::Completed), false) => {}
+                // A malformed record must not take the replay down; it is
+                // counted and the day continues.
+                (Err(_), _) => errors += 1,
             }
             total += 1;
         }
@@ -101,15 +132,32 @@ impl OnlineDeployment {
         } else {
             0.0
         };
-        let latency = self.model_server().latency();
+        let delta = self
+            .model_server()
+            .latency()
+            .snapshot()
+            .since(&latency_before);
+        let breakdown = |stage: Stage| {
+            let s = delta.stage(stage);
+            StageBreakdown {
+                p50: s.quantile(0.5).unwrap_or_default(),
+                p99: s.quantile(0.99).unwrap_or_default(),
+            }
+        };
+        let total_stage = delta.stage(Stage::Total);
         ServingReport {
             transactions: total,
             true_alerts: tp,
             false_alerts: fp,
             missed_frauds: fn_,
             f1,
-            p50: latency.quantile(0.5).unwrap_or_default(),
-            p99: latency.quantile(0.99).unwrap_or_default(),
+            p50: total_stage.quantile(0.5).unwrap_or_default(),
+            p99: total_stage.quantile(0.99).unwrap_or_default(),
+            fetch: breakdown(Stage::Fetch),
+            assemble: breakdown(Stage::Assemble),
+            predict: breakdown(Stage::Predict),
+            errors,
+            degraded: self.alipay.stats().degraded - stats_before.degraded,
         }
     }
 }
@@ -130,7 +178,7 @@ mod tests {
             test_day: world.config().n_days - 1,
         };
         let artifacts = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
-        let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+        let deployment = OnlineDeployment::new(&world, &slice, artifacts).unwrap();
         (world, slice, deployment)
     }
 
@@ -138,9 +186,7 @@ mod tests {
     fn replay_covers_the_whole_test_day_within_milliseconds() {
         let (world, slice, deployment) = deploy();
         let report = deployment.replay_test_day(&world, &slice);
-        let expected = world
-            .record_range(slice.test_day..slice.test_day + 1)
-            .len();
+        let expected = world.record_range(slice.test_day..slice.test_day + 1).len();
         assert_eq!(report.transactions, expected);
         // The paper's serving bound: tens of milliseconds at most.
         assert!(
@@ -149,6 +195,36 @@ mod tests {
             report.p99
         );
         assert!(report.p50 <= report.p99);
+        assert_eq!(report.errors, 0, "replayed records are well-formed");
+        // The per-stage breakdown is populated and each stage sits below
+        // the end-to-end tail.
+        for stage in [report.fetch, report.assemble, report.predict] {
+            assert!(stage.p50 <= stage.p99);
+            assert!(stage.p99 <= report.p99.mul_f64(1.1), "{report:?}");
+        }
+    }
+
+    #[test]
+    fn replay_report_covers_only_its_own_interval() {
+        let (world, slice, deployment) = deploy();
+        // Pollute the recorder with fake ten-second requests before the
+        // replay; a cumulative report would drag p99 over the bound.
+        for _ in 0..1000 {
+            deployment
+                .model_server()
+                .latency()
+                .record(Duration::from_secs(10));
+        }
+        let report = deployment.replay_test_day(&world, &slice);
+        assert!(
+            report.p99 < Duration::from_millis(50),
+            "replay report leaked earlier traffic: p99 {:?}",
+            report.p99
+        );
+        // A second replay is likewise unaffected by the first.
+        let second = deployment.replay_test_day(&world, &slice);
+        assert_eq!(second.transactions, report.transactions);
+        assert!(second.p99 < Duration::from_millis(50));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! basis and will be used for prediction for the next day on a real-time
 //! basis."
 
+use crate::error::TitAntError;
 use crate::offline::{OfflinePipeline, PipelineConfig};
 use crate::online::{OnlineDeployment, ServingReport};
 use titant_datagen::{DatasetSlice, World};
@@ -35,21 +36,26 @@ impl TPlusOneDriver {
     }
 
     /// Run the daily cycle for each slice: train on the window, deploy the
-    /// fresh model, replay the test day, roll forward.
-    pub fn run(&self, world: &World, slices: &[DatasetSlice]) -> Vec<DailyResult> {
+    /// fresh model, replay the test day, roll forward. Fails if a freshly
+    /// trained model cannot be deployed (layout/width mismatch).
+    pub fn run(
+        &self,
+        world: &World,
+        slices: &[DatasetSlice],
+    ) -> Result<Vec<DailyResult>, TitAntError> {
         slices
             .iter()
             .map(|slice| {
                 let artifacts = self.pipeline.run(world, slice);
                 let version = artifacts.version;
-                let deployment = OnlineDeployment::new(world, slice, artifacts);
+                let deployment = OnlineDeployment::new(world, slice, artifacts)?;
                 let report = deployment.replay_test_day(world, slice);
-                DailyResult {
+                Ok(DailyResult {
                     day_name: slice.test_day_name(),
                     slice_index: slice.index,
                     report,
                     model_version: version,
-                }
+                })
             })
             .collect()
     }
@@ -74,7 +80,9 @@ mod tests {
                 test_day: n_days - 2 + k as i64,
             })
             .collect();
-        let results = TPlusOneDriver::new(PipelineConfig::quick()).run(&world, &slices);
+        let results = TPlusOneDriver::new(PipelineConfig::quick())
+            .run(&world, &slices)
+            .unwrap();
         assert_eq!(results.len(), 2);
         // Fresh model per day, version = test day.
         assert_eq!(results[0].model_version + 1, results[1].model_version);

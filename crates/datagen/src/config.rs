@@ -106,7 +106,10 @@ impl WorldConfig {
                 && (0.0..=1.0).contains(&self.mule_rate),
             "rates must be fractions"
         );
-        assert!(self.mule_rotation_days >= 1, "mule rotation must be >= 1 day");
+        assert!(
+            self.mule_rotation_days >= 1,
+            "mule rotation must be >= 1 day"
+        );
         assert!(self.n_cities >= 1, "need at least one city");
         assert!(
             self.ring_size.0 >= 1 && self.ring_size.0 <= self.ring_size.1,

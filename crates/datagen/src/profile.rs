@@ -53,9 +53,7 @@ impl UserProfile {
     /// Whether this user is an active fraudster on `day`.
     pub fn is_active_fraudster(&self, day: i64) -> bool {
         matches!(self.role, Role::Fraudster)
-            && self
-                .active_window
-                .is_some_and(|(s, e)| day >= s && day < e)
+            && self.active_window.is_some_and(|(s, e)| day >= s && day < e)
     }
 }
 

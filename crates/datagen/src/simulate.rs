@@ -28,7 +28,7 @@ use crate::features::{
 use crate::profile::{Role, UserProfile};
 use rand::rngs::StdRng;
 use rand::Rng;
-use titant_txgraph::{AliasTable, TransactionRecord, Timestamp, TxId, UserId};
+use titant_txgraph::{AliasTable, Timestamp, TransactionRecord, TxId, UserId};
 
 /// Sentinel report day for "never reported".
 pub const NEVER_REPORTED: i64 = i64::MAX;
@@ -198,12 +198,7 @@ pub fn run(inputs: &SimInputs<'_>, rng: &mut StdRng) -> SimOutput {
 }
 
 /// Stage one day of legitimate transfers.
-fn stage_legit_day(
-    inputs: &SimInputs<'_>,
-    day: i64,
-    rng: &mut StdRng,
-    staged: &mut Vec<Staged>,
-) {
+fn stage_legit_day(inputs: &SimInputs<'_>, day: i64, rng: &mut StdRng, staged: &mut Vec<Staged>) {
     let cfg = inputs.config;
     let n = inputs.profiles.len();
     for u in 0..n as u32 {
@@ -334,7 +329,11 @@ fn stage_fraud_day(
                     vp.main_device
                 };
                 // Scam is often initiated from the fraudster's location.
-                let city = if rng.gen::<f64>() < 0.55 { p.city } else { vp.city };
+                let city = if rng.gen::<f64>() < 0.55 {
+                    p.city
+                } else {
+                    vp.city
+                };
                 (sec, dev, city)
             };
             let reported = rng.gen::<f64>() < cfg.report_rate;

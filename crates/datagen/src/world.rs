@@ -128,8 +128,9 @@ impl World {
     /// Label of record `i` as known on day `as_of`: fraud **and** reported
     /// by then. Pass `i64::MAX` for the eventual (evaluation-time) label.
     pub fn label_as_of(&self, i: usize, as_of: i64) -> f32 {
-        (self.sim.is_fraud[i] && self.sim.report_day[i] <= as_of && self.sim.report_day[i] != NEVER_REPORTED)
-            as u8 as f32
+        (self.sim.is_fraud[i]
+            && self.sim.report_day[i] <= as_of
+            && self.sim.report_day[i] != NEVER_REPORTED) as u8 as f32
     }
 
     /// Assemble a labelled basic-feature dataset over `days`.
@@ -267,9 +268,7 @@ fn gen_profiles(config: &WorldConfig, rng: &mut StdRng) -> Vec<UserProfile> {
                 community: (i / config.community_size) as u32,
                 ring: None,
                 active_window: None,
-                activity: (config.daily_tx_rate as f32
-                    * (0.3 + 1.4 * rng.gen::<f32>()))
-                .max(0.02),
+                activity: (config.daily_tx_rate as f32 * (0.3 + 1.4 * rng.gen::<f32>())).max(0.02),
                 main_device: rng.gen(),
             }
         })
@@ -432,7 +431,10 @@ mod tests {
         let w = tiny_world();
         let rate = w.fraud_rate(0..w.config().n_days);
         assert!(rate > 0.001, "fraud rate {rate} too low");
-        assert!(rate < 0.2, "fraud rate {rate} too high — labels not unbalanced");
+        assert!(
+            rate < 0.2,
+            "fraud rate {rate} too high — labels not unbalanced"
+        );
     }
 
     #[test]
@@ -503,9 +505,11 @@ mod tests {
         let labels = w.edge_labels(&g, days, i64::MAX);
         assert_eq!(labels.len(), g.edge_count());
         assert!(labels.iter().any(|&(_, _, y)| y), "no fraud edges labelled");
-        let pos_rate =
-            labels.iter().filter(|&&(_, _, y)| y).count() as f64 / labels.len() as f64;
-        assert!(pos_rate < 0.25, "edge labels should be unbalanced, got {pos_rate}");
+        let pos_rate = labels.iter().filter(|&&(_, _, y)| y).count() as f64 / labels.len() as f64;
+        assert!(
+            pos_rate < 0.25,
+            "edge labels should be unbalanced, got {pos_rate}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub mod metrics;
 pub mod table;
 
 pub use metrics::{
-    best_f1_rate, best_f1_threshold, confusion_at, f1_at, f1_at_rate, pr_auc, rec_at_top,
-    roc_auc, Confusion,
+    best_f1_rate, best_f1_threshold, confusion_at, f1_at, f1_at_rate, pr_auc, rec_at_top, roc_auc,
+    Confusion,
 };
 pub use table::ExperimentTable;

@@ -294,10 +294,7 @@ mod tests {
         let a = [0.9, 0.8, 0.3, 0.2, 0.1];
         let b = [0.09, 0.08, 0.03, 0.02, 0.01];
         let (rate, _) = best_f1_rate(&a, &labels);
-        assert_eq!(
-            f1_at_rate(&a, &labels, rate),
-            f1_at_rate(&b, &labels, rate)
-        );
+        assert_eq!(f1_at_rate(&a, &labels, rate), f1_at_rate(&b, &labels, rate));
     }
 
     #[test]
@@ -335,8 +332,8 @@ mod tests {
         // half the group's positives: recall = (4 * 5/10) / 4 = 0.5.
         let scores = [0.5f32; 10];
         let mut labels = [0.0f32; 10];
-        for i in 0..4 {
-            labels[i] = 1.0;
+        for l in labels.iter_mut().take(4) {
+            *l = 1.0;
         }
         let r = rec_at_top(&scores, &labels, 0.5);
         assert!((r - 0.5).abs() < 1e-12, "recall {r}");

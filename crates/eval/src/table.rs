@@ -80,13 +80,7 @@ impl ExperimentTable {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.title);
-        let label_w = self
-            .rows
-            .iter()
-            .map(|r| r.len())
-            .max()
-            .unwrap_or(4)
-            .max(13);
+        let label_w = self.rows.iter().map(|r| r.len()).max().unwrap_or(4).max(13);
         let cell_w = self
             .columns
             .iter()
@@ -165,10 +159,7 @@ mod tests {
     use super::*;
 
     fn sample() -> ExperimentTable {
-        let mut t = ExperimentTable::new(
-            "Table X",
-            vec!["Apr 10".into(), "Apr 11".into()],
-        );
+        let mut t = ExperimentTable::new("Table X", vec!["Apr 10".into(), "Apr 11".into()]);
         let a = t.row("Basic+GBDT");
         let b = t.row("Basic+DW+GBDT");
         t.set(a, 0, 0.5680);

@@ -105,8 +105,7 @@ impl CostModel {
         // All workers push to the server pool each round; aggregate server
         // bandwidth grows with the server count.
         let server_bw = self.spec.server_bandwidth * self.spec.servers() as f64;
-        let comm_s =
-            profile.rounds * profile.bytes_per_worker_round * workers / server_bw;
+        let comm_s = profile.rounds * profile.bytes_per_worker_round * workers / server_bw;
         let sync_s = profile.rounds
             * (self.spec.round_latency.as_secs_f64()
                 + self.spec.straggler_penalty.as_secs_f64() * (workers.max(2.0)).log2());
@@ -169,7 +168,11 @@ mod tests {
         let p = dw_like_profile();
         let times: Vec<f64> = [4usize, 10, 20, 40]
             .iter()
-            .map(|&m| CostModel::new(ClusterSpec::production(m)).wall_time(&p).as_secs_f64())
+            .map(|&m| {
+                CostModel::new(ClusterSpec::production(m))
+                    .wall_time(&p)
+                    .as_secs_f64()
+            })
             .collect();
         for w in times.windows(2) {
             assert!(w[1] < w[0], "DW time must keep decreasing: {times:?}");

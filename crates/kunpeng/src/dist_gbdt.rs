@@ -190,16 +190,16 @@ pub fn train(data: &Dataset, config: &DistGbdtConfig, ps: &ParamServer) -> DistG
                         let mut local = vec![0f32; region];
                         for i in shard {
                             let node = node_of_row[i];
-                            let Some(slot) = frontier.iter().position(|&x| x == node)
-                            else {
+                            let Some(slot) = frontier.iter().position(|&x| x == node) else {
                                 continue;
                             };
                             let base = slot * hist_stride;
                             for feat in 0..f {
                                 let code = matrix.code(i as u32, feat) as usize;
-                                let off = base + (feat * matrix_bins(matrix, feat, config)
-                                    + code.min(config.bins - 1))
-                                    * STATS;
+                                let off = base
+                                    + (feat * matrix_bins(matrix, feat, config)
+                                        + code.min(config.bins - 1))
+                                        * STATS;
                                 local[off] += grad[i];
                                 local[off + 1] += hess[i];
                                 local[off + 2] += 1.0;
@@ -215,8 +215,7 @@ pub fn train(data: &Dataset, config: &DistGbdtConfig, ps: &ParamServer) -> DistG
             ps.pull(0..region, &mut merged);
 
             let mut next_frontier: Vec<u32> = Vec::new();
-            let mut decisions: Vec<Option<(usize, usize, u32, u32)>> =
-                vec![None; frontier.len()];
+            let mut decisions: Vec<Option<(usize, usize, u32, u32)>> = vec![None; frontier.len()];
             for (slot, &node) in frontier.iter().enumerate() {
                 let base = slot * hist_stride;
                 // Node totals from feature 0's bins.
@@ -288,8 +287,7 @@ pub fn train(data: &Dataset, config: &DistGbdtConfig, ps: &ParamServer) -> DistG
                     scope.spawn(move || {
                         for i in shard {
                             let node = unsafe { nor.read(i) };
-                            let Some(slot) = frontier.iter().position(|&x| x == node)
-                            else {
+                            let Some(slot) = frontier.iter().position(|&x| x == node) else {
                                 continue;
                             };
                             if let Some((feat, s, left, right)) = decisions[slot] {

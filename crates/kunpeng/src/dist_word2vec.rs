@@ -93,7 +93,15 @@ pub fn train(
                         let mut params = vec![0f32; 2 * n_nodes * d];
                         ps.pull(0..2 * n_nodes * d, &mut params);
                         train_local(
-                            corpus, lo, hi, &mut params, n_nodes, d, config, neg_table, seed,
+                            corpus,
+                            lo,
+                            hi,
+                            &mut params,
+                            n_nodes,
+                            d,
+                            config,
+                            neg_table,
+                            seed,
                         );
                         params
                     })
@@ -205,7 +213,9 @@ pub fn ps_init(n_nodes: usize, dim: usize, seed: u64) -> impl Fn(usize) -> f32 {
     move |i| {
         if i < n_nodes * dim {
             // Cheap stateless hash-based uniform in (-0.5/dim, 0.5/dim).
-            let mut h = (i as u64).wrapping_add(seed).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut h = (i as u64)
+                .wrapping_add(seed)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15);
             h ^= h >> 33;
             h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
             h ^= h >> 33;

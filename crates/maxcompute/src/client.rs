@@ -75,14 +75,19 @@ impl MaxCompute {
     pub fn new(machines: usize, slots_per_machine: usize, datanodes: usize) -> Self {
         let fuxi = Fuxi::new(machines, slots_per_machine);
         let ots = Arc::new(Ots::new());
-        let scheduler = Scheduler::new(fuxi.clone(), Arc::clone(&ots), machines * slots_per_machine);
+        let scheduler =
+            Scheduler::new(fuxi.clone(), Arc::clone(&ots), machines * slots_per_machine);
         Self {
             tables: RwLock::new(HashMap::new()),
             accounts: Mutex::new(HashMap::new()),
             scheduler,
             fuxi,
             ots,
-            pangu: Arc::new(Pangu::new(datanodes.max(3), 1 << 16, 3.min(datanodes.max(1)))),
+            pangu: Arc::new(Pangu::new(
+                datanodes.max(3),
+                1 << 16,
+                3.min(datanodes.max(1)),
+            )),
         }
     }
 
@@ -150,8 +155,7 @@ impl Session<'_> {
     pub fn sql(&self, query: &str) -> Result<Table, McError> {
         let parsed = sql::parse(query).map_err(McError::Sql)?;
         let input = self.table(&parsed.table)?;
-        let result: Arc<Mutex<Option<Result<Table, sql::SqlError>>>> =
-            Arc::new(Mutex::new(None));
+        let result: Arc<Mutex<Option<Result<Table, sql::SqlError>>>> = Arc::new(Mutex::new(None));
         let slot_result = Arc::clone(&result);
         let task: Subtask = Box::new(move || {
             let r = sql::execute(&parsed, &input);
@@ -278,9 +282,7 @@ mod tests {
                     ("payee", ColumnType::Int),
                     ("weight", ColumnType::Int),
                 ]),
-                &|row: &[Value]| {
-                    vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)]
-                },
+                &|row: &[Value]| vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)],
                 &|k: &(i64, i64), vs: &[u32]| {
                     vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
                 },

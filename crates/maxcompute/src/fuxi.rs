@@ -115,12 +115,7 @@ impl Fuxi {
         }
         let deadline = std::time::Instant::now() + timeout;
         while state.free_slots < slots {
-            if self
-                .pool
-                .cv
-                .wait_until(&mut state, deadline)
-                .timed_out()
-            {
+            if self.pool.cv.wait_until(&mut state, deadline).timed_out() {
                 return None;
             }
         }

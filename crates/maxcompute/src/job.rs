@@ -166,11 +166,7 @@ impl Scheduler {
     }
 }
 
-fn executor_loop(
-    state: Arc<(Mutex<SchedulerState>, Condvar)>,
-    fuxi: Fuxi,
-    ots: Arc<Ots>,
-) {
+fn executor_loop(state: Arc<(Mutex<SchedulerState>, Condvar)>, fuxi: Fuxi, ots: Arc<Ots>) {
     loop {
         let entry = {
             let (lock, cv) = &*state;

@@ -175,11 +175,9 @@ impl Pangu {
             let Some(survivor) = survivor else { continue };
             let data = inner.nodes[survivor].chunks.get(&key).cloned();
             let Some(data) = data else { continue };
-            let replacement = (0..inner.nodes.len()).find(|&n| {
-                inner.nodes[n].alive && !holders.contains(&n)
-            });
-            let mut new_holders: Vec<usize> =
-                holders.into_iter().filter(|&n| n != node).collect();
+            let replacement =
+                (0..inner.nodes.len()).find(|&n| inner.nodes[n].alive && !holders.contains(&n));
+            let mut new_holders: Vec<usize> = holders.into_iter().filter(|&n| n != node).collect();
             if let Some(repl) = replacement {
                 inner.nodes[repl].chunks.insert(key.clone(), data);
                 new_holders.push(repl);
@@ -265,9 +263,6 @@ mod tests {
     fn insufficient_nodes_is_an_error() {
         let p = Pangu::new(2, 4, 2);
         p.fail_node(0);
-        assert_eq!(
-            p.put("b", b"x").unwrap_err(),
-            PanguError::InsufficientNodes
-        );
+        assert_eq!(p.put("b", b"x").unwrap_err(), PanguError::InsufficientNodes);
     }
 }

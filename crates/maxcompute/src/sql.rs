@@ -251,7 +251,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, SqlError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s),
-            other => Err(SqlError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 }
@@ -291,9 +293,7 @@ pub fn parse(input: &str) -> Result<Query, SqlError> {
                 };
                 match p.next() {
                     Some(Token::Sym(")")) => {}
-                    other => {
-                        return Err(SqlError::Parse(format!("expected ), got {other:?}")))
-                    }
+                    other => return Err(SqlError::Parse(format!("expected ), got {other:?}"))),
                 }
                 projections.push(Projection::Aggregate(agg, col));
             } else {
@@ -631,11 +631,7 @@ fn execute_grouped(query: &Query, table: &Table, rows: &[usize]) -> Result<Table
                                 .ok_or_else(|| SqlError::UnknownColumn(c.clone()))?;
                             table.schema().column_type(idx)
                         }
-                        None => {
-                            return Err(SqlError::Semantic(
-                                "MIN/MAX need a column".into(),
-                            ))
-                        }
+                        None => return Err(SqlError::Semantic("MIN/MAX need a column".into())),
                     },
                 };
                 schema_cols.push((name, ty));
@@ -643,12 +639,7 @@ fn execute_grouped(query: &Query, table: &Table, rows: &[usize]) -> Result<Table
             Projection::Star => unreachable!(),
         }
     }
-    let schema = Schema::new(
-        schema_cols
-            .iter()
-            .map(|(n, t)| (n.as_str(), *t))
-            .collect(),
-    );
+    let schema = Schema::new(schema_cols.iter().map(|(n, t)| (n.as_str(), *t)).collect());
 
     let mut out = Table::new(schema);
     for (key, members) in &groups {
@@ -831,7 +822,10 @@ mod tests {
     #[test]
     fn ungrouped_bare_column_with_aggregate_rejected() {
         let q = parse("SELECT user, COUNT(*) FROM tx").unwrap();
-        assert!(matches!(execute(&q, &tx_table()), Err(SqlError::Semantic(_))));
+        assert!(matches!(
+            execute(&q, &tx_table()),
+            Err(SqlError::Semantic(_))
+        ));
     }
 
     #[test]

@@ -73,7 +73,10 @@ impl Dataset {
     /// Append an unlabelled row (only valid while the dataset has no labels).
     pub fn push_unlabeled_row(&mut self, row: &[f32]) {
         assert_eq!(row.len(), self.n_cols, "row width mismatch");
-        assert!(self.labels.is_empty(), "cannot mix labelled and unlabelled rows");
+        assert!(
+            self.labels.is_empty(),
+            "cannot mix labelled and unlabelled rows"
+        );
         self.values.extend_from_slice(row);
     }
 
@@ -164,7 +167,11 @@ impl Dataset {
     /// Horizontally concatenate extra feature columns (e.g. node embeddings
     /// appended to basic features). `extra` must have the same row count.
     pub fn hconcat(&self, extra: &Dataset) -> Dataset {
-        assert_eq!(self.n_rows(), extra.n_rows(), "row count mismatch in hconcat");
+        assert_eq!(
+            self.n_rows(),
+            extra.n_rows(),
+            "row count mismatch in hconcat"
+        );
         let n_cols = self.n_cols + extra.n_cols;
         let mut values = Vec::with_capacity(self.n_rows() * n_cols);
         for i in 0..self.n_rows() {

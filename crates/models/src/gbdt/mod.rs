@@ -105,7 +105,9 @@ impl GbdtConfig {
         let matrix = BinnedMatrix::build(data, self.bins);
 
         let base_score = match self.objective {
-            GbdtObjective::SquaredError => data.labels().iter().map(|&y| y as f64).sum::<f64>() / n as f64,
+            GbdtObjective::SquaredError => {
+                data.labels().iter().map(|&y| y as f64).sum::<f64>() / n as f64
+            }
             GbdtObjective::Logistic => {
                 let p = data.positive_rate().clamp(1e-6, 1.0 - 1e-6);
                 (p / (1.0 - p)).ln()

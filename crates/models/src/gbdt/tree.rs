@@ -230,10 +230,26 @@ fn grow(
 
     nodes.push(RegNode::Leaf { value: 0.0 }); // placeholder
     let left = grow(
-        matrix, left_rows, features, grad, hess, params, depth + 1, nodes, hist,
+        matrix,
+        left_rows,
+        features,
+        grad,
+        hess,
+        params,
+        depth + 1,
+        nodes,
+        hist,
     );
     let right = grow(
-        matrix, right_rows, features, grad, hess, params, depth + 1, nodes, hist,
+        matrix,
+        right_rows,
+        features,
+        grad,
+        hess,
+        params,
+        depth + 1,
+        nodes,
+        hist,
     );
     nodes[idx as usize] = RegNode::Split {
         feature: best.feature as u32,

@@ -245,7 +245,10 @@ impl<'d> TrainContext<'d> {
                     })
                     .max()
                     .unwrap_or(0);
-                assert!(max < MAX_BINS, "feature {j} has {max} bins, exceeding {MAX_BINS}");
+                assert!(
+                    max < MAX_BINS,
+                    "feature {j} has {max} bins, exceeding {MAX_BINS}"
+                );
                 max + 1
             })
             .collect();
@@ -551,7 +554,9 @@ mod tests {
         let mut d = Dataset::new(3);
         let mut state = 12345u64;
         let mut rand01 = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64).fract()
         };
         for i in 0..400 {

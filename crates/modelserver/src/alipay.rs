@@ -6,6 +6,7 @@
 //! an alert to the Alipay server, which will further interrupt the
 //! corresponding on-going transaction".
 
+use crate::error::ServeError;
 use crate::server::{ModelServer, ScoreRequest};
 use parking_lot::Mutex;
 
@@ -24,6 +25,11 @@ pub struct SessionStats {
     pub completed: usize,
     pub interrupted: usize,
     pub notifications_sent: usize,
+    /// Requests the MS rejected (malformed); the transfer was neither
+    /// completed nor interrupted by scoring.
+    pub score_errors: usize,
+    /// Transfers scored in degraded (context-only) mode.
+    pub degraded: usize,
 }
 
 /// The Alipay server simulation.
@@ -41,17 +47,30 @@ impl AlipayServer {
         }
     }
 
-    /// Process one transfer request end to end.
-    pub fn transfer(&self, req: ScoreRequest) -> TransferOutcome {
-        let resp = self.ms.score(&req);
-        let mut stats = self.stats.lock();
-        if resp.alert {
-            stats.interrupted += 1;
-            stats.notifications_sent += 1; // notify the transferor
-            TransferOutcome::Interrupted
-        } else {
-            stats.completed += 1;
-            TransferOutcome::Completed
+    /// Process one transfer request end to end. A malformed request is
+    /// returned as the scoring error instead of taking the front end down;
+    /// the caller decides its business outcome (Alipay would complete the
+    /// transfer rather than block on an internal error).
+    pub fn transfer(&self, req: ScoreRequest) -> Result<TransferOutcome, ServeError> {
+        match self.ms.score(&req) {
+            Ok(resp) => {
+                let mut stats = self.stats.lock();
+                if resp.degraded {
+                    stats.degraded += 1;
+                }
+                if resp.alert {
+                    stats.interrupted += 1;
+                    stats.notifications_sent += 1; // notify the transferor
+                    Ok(TransferOutcome::Interrupted)
+                } else {
+                    stats.completed += 1;
+                    Ok(TransferOutcome::Completed)
+                }
+            }
+            Err(e) => {
+                self.stats.lock().score_errors += 1;
+                Err(e)
+            }
         }
     }
 
@@ -128,7 +147,7 @@ mod tests {
                 )
                 .unwrap();
         }
-        AlipayServer::new(ModelServer::new(table, layout, model))
+        AlipayServer::new(ModelServer::new(table, layout, model).unwrap())
     }
 
     fn req(tx_id: u64, context: f32) -> ScoreRequest {
@@ -143,19 +162,46 @@ mod tests {
     #[test]
     fn fraudulent_transfer_is_interrupted_with_notification() {
         let server = alipay();
-        assert_eq!(server.transfer(req(1, 0.95)), TransferOutcome::Interrupted);
-        assert_eq!(server.transfer(req(2, 0.05)), TransferOutcome::Completed);
+        assert_eq!(
+            server.transfer(req(1, 0.95)),
+            Ok(TransferOutcome::Interrupted)
+        );
+        assert_eq!(
+            server.transfer(req(2, 0.05)),
+            Ok(TransferOutcome::Completed)
+        );
         let stats = server.stats();
         assert_eq!(stats.interrupted, 1);
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.notifications_sent, 1);
+        assert_eq!(stats.score_errors, 0);
+    }
+
+    #[test]
+    fn malformed_transfer_is_an_error_and_counted() {
+        let server = alipay();
+        let bad = ScoreRequest {
+            tx_id: 3,
+            transferor: 1,
+            transferee: 2,
+            context: vec![0.1, 0.2],
+        };
+        assert!(server.transfer(bad).is_err());
+        let stats = server.stats();
+        assert_eq!(stats.score_errors, 1);
+        assert_eq!(stats.completed + stats.interrupted, 0);
+        // The front end keeps serving afterwards.
+        assert_eq!(
+            server.transfer(req(4, 0.05)),
+            Ok(TransferOutcome::Completed)
+        );
     }
 
     #[test]
     fn latency_is_recorded_per_transfer() {
         let server = alipay();
         for i in 0..10 {
-            server.transfer(req(i, 0.3));
+            server.transfer(req(i, 0.3)).unwrap();
         }
         assert_eq!(server.model_server().latency().count(), 10);
         // Serving is comfortably sub-millisecond at this scale; the paper's

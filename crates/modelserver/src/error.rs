@@ -1,0 +1,161 @@
+//! Typed errors for the serving path.
+//!
+//! The Model Server's contract is that a request can be *rejected* or
+//! *degraded* but must never take a worker down. Errors split into two
+//! classes:
+//!
+//! * **Request-fatal** — the request itself cannot be scored
+//!   ([`ServeError::ContextWidth`], [`ServeError::WorkerPanic`]). The pool
+//!   reports these through its error callback and keeps serving.
+//! * **Degradable** — the per-user feature fetch failed
+//!   ([`ServeError::TornCell`], [`ServeError::TornRow`]). The server falls
+//!   back to context-only scoring (zero-filled user slots — exactly the
+//!   cold-start input the trained models already saw) and counts the
+//!   degradation instead of failing the request.
+//!
+//! Deployment-time problems ([`ServeError::ModelWidth`],
+//! [`ServeError::LayoutSlots`]) are returned from `new`/`deploy` and never
+//! unseat a live model.
+
+use std::fmt;
+
+/// Everything that can go wrong on the serving path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request's context vector width does not match the layout.
+    ContextWidth {
+        /// Transaction the malformed request belonged to.
+        tx_id: u64,
+        /// Width the serving layout expects.
+        expected: usize,
+        /// Width the request carried.
+        got: usize,
+    },
+    /// A model's input width does not match the serving layout. Returned
+    /// by `new`/`deploy`; the previously deployed model stays live.
+    ModelWidth {
+        /// Width the serving layout expects.
+        expected: usize,
+        /// Width the offered model has.
+        got: usize,
+    },
+    /// The layout's payer/receiver/context slots do not cover the basic
+    /// block exactly, or point outside it.
+    LayoutSlots {
+        /// Slots the layout defines.
+        covered: usize,
+        /// Width of the basic block they must cover.
+        n_basic: usize,
+    },
+    /// A stored cell failed to decode as an `f32` (torn write / corrupt
+    /// upload). Degradable: scoring proceeds context-only.
+    TornCell {
+        /// User whose row held the bad cell.
+        user: u64,
+        /// `family:qualifier` of the offending cell.
+        column: String,
+        /// Byte length found (an `f32` cell must be 4 bytes).
+        len: usize,
+    },
+    /// A user row exists but is missing part of its basic block (a torn or
+    /// half-uploaded row). Degradable: scoring proceeds context-only.
+    TornRow {
+        /// User whose row is incomplete.
+        user: u64,
+        /// Basic-block cells present.
+        present: usize,
+        /// Basic-block cells expected.
+        expected: usize,
+    },
+    /// A pool worker caught a panic while scoring; the worker survived and
+    /// the request was dropped.
+    WorkerPanic {
+        /// Transaction whose scoring panicked.
+        tx_id: u64,
+        /// Panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// True when the server can degrade to context-only scoring instead of
+    /// failing the request.
+    pub fn is_degradable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::TornCell { .. } | ServeError::TornRow { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::ContextWidth {
+                tx_id,
+                expected,
+                got,
+            } => write!(
+                f,
+                "tx {tx_id}: context width {got} does not match the layout's {expected}"
+            ),
+            ServeError::ModelWidth { expected, got } => write!(
+                f,
+                "model width {got} does not match the serving layout's {expected}"
+            ),
+            ServeError::LayoutSlots { covered, n_basic } => write!(
+                f,
+                "layout slots cover {covered} positions but the basic block has {n_basic}"
+            ),
+            ServeError::TornCell { user, column, len } => write!(
+                f,
+                "user {user}: cell {column} holds {len} bytes, expected 4 (f32)"
+            ),
+            ServeError::TornRow {
+                user,
+                present,
+                expected,
+            } => write!(
+                f,
+                "user {user}: row holds {present}/{expected} basic cells (torn upload)"
+            ),
+            ServeError::WorkerPanic { tx_id, message } => {
+                write!(f, "tx {tx_id}: scoring worker panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = ServeError::ContextWidth {
+            tx_id: 7,
+            expected: 5,
+            got: 2,
+        };
+        assert!(e.to_string().contains("tx 7"));
+        assert!(!e.is_degradable());
+
+        let e = ServeError::TornCell {
+            user: 42,
+            column: "basic:p0".into(),
+            len: 3,
+        };
+        assert!(e.to_string().contains("basic:p0"));
+        assert!(e.is_degradable());
+
+        let e = ServeError::TornRow {
+            user: 42,
+            present: 1,
+            expected: 4,
+        };
+        assert!(e.is_degradable());
+        assert!(e.to_string().contains("1/4"));
+    }
+}

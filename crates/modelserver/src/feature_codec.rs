@@ -6,6 +6,7 @@
 //! so the MS always reads the newest consistent snapshot while older
 //! versions stay available for rollback.
 
+use crate::error::ServeError;
 use bytes::Bytes;
 use titant_alihbase::{CellKey, RegionedTable, RowKey, Version};
 
@@ -84,47 +85,81 @@ impl FeatureCodec {
     }
 
     /// Fetch a user's features at or below `as_of` (`Version::MAX` =
-    /// latest). Missing users yield `None`; users without embeddings get a
-    /// zero vector (the cold-start case).
+    /// latest) with a **single row read** — one store operation per user
+    /// instead of one point get per qualifier — and decode the returned
+    /// cells in one pass.
+    ///
+    /// Missing users yield `Ok(None)`; users without a (complete) embedding
+    /// get a zero vector (the cold-start case). A row that exists but is
+    /// missing part of its basic block, or holds a cell that is not a
+    /// 4-byte `f32`, is reported as a torn-row/torn-cell error the server
+    /// degrades on.
     pub fn get_user(
         &self,
         table: &RegionedTable,
         user: u64,
         as_of: Version,
-    ) -> Option<UserFeatures> {
+    ) -> Result<Option<UserFeatures>, ServeError> {
         let row = Self::row_key(user);
-        let read = |family: &str, qualifier: String| -> Option<f32> {
-            let key = CellKey {
-                row: row.clone(),
-                family: titant_alihbase::ColumnFamily(family.into()),
-                qualifier: titant_alihbase::Qualifier(qualifier),
+        let cells = table.get_row(&row, as_of);
+        if cells.is_empty() {
+            return Ok(None);
+        }
+        let mut payer_side = vec![None; self.payer_width];
+        let mut receiver_side = vec![None; self.receiver_width];
+        let mut embedding = vec![None; self.embedding_dim];
+        for (key, bytes) in &cells {
+            let slot = match key.family.0.as_str() {
+                "basic" => match key.qualifier.0.split_at_checked(1) {
+                    Some(("p", i)) => i.parse::<usize>().ok().and_then(|i| payer_side.get_mut(i)),
+                    Some(("r", i)) => i
+                        .parse::<usize>()
+                        .ok()
+                        .and_then(|i| receiver_side.get_mut(i)),
+                    _ => None,
+                },
+                "embedding" => key
+                    .qualifier
+                    .0
+                    .parse::<usize>()
+                    .ok()
+                    .and_then(|i| embedding.get_mut(i)),
+                _ => None,
             };
-            let bytes = table.get_versioned(&key, as_of)?;
-            Some(f32::from_le_bytes(bytes.as_ref().try_into().ok()?))
+            // Unknown families/qualifiers and out-of-range indices are
+            // ignored: the layout, not the row, decides what gets served.
+            let Some(slot) = slot else { continue };
+            let value: [u8; 4] = bytes
+                .as_ref()
+                .try_into()
+                .map_err(|_| ServeError::TornCell {
+                    user,
+                    column: format!("{}:{}", key.family.0, key.qualifier.0),
+                    len: bytes.len(),
+                })?;
+            *slot = Some(f32::from_le_bytes(value));
+        }
+        let present = payer_side.iter().flatten().count() + receiver_side.iter().flatten().count();
+        let expected = self.payer_width + self.receiver_width;
+        if present < expected {
+            return Err(ServeError::TornRow {
+                user,
+                present,
+                expected,
+            });
+        }
+        // Any missing embedding dimension downgrades the whole embedding to
+        // the zero vector — the cold-start input the models trained on.
+        let embedding = if embedding.iter().all(Option::is_some) {
+            embedding.into_iter().flatten().collect()
+        } else {
+            vec![0.0; self.embedding_dim]
         };
-        let mut payer_side = Vec::with_capacity(self.payer_width);
-        for i in 0..self.payer_width {
-            payer_side.push(read("basic", format!("p{i}"))?);
-        }
-        let mut receiver_side = Vec::with_capacity(self.receiver_width);
-        for i in 0..self.receiver_width {
-            receiver_side.push(read("basic", format!("r{i}"))?);
-        }
-        let mut embedding = Vec::with_capacity(self.embedding_dim);
-        for i in 0..self.embedding_dim {
-            match read("embedding", i.to_string()) {
-                Some(v) => embedding.push(v),
-                None => {
-                    embedding = vec![0.0; self.embedding_dim];
-                    break;
-                }
-            }
-        }
-        Some(UserFeatures {
-            payer_side,
-            receiver_side,
+        Ok(Some(UserFeatures {
+            payer_side: payer_side.into_iter().flatten().collect(),
+            receiver_side: receiver_side.into_iter().flatten().collect(),
             embedding,
-        })
+        }))
     }
 }
 
@@ -158,9 +193,26 @@ mod tests {
         let t = table();
         let c = codec();
         c.put_user(&t, 42, &features(1.5), 20170410).unwrap();
-        let got = c.get_user(&t, 42, u64::MAX).unwrap();
+        let got = c.get_user(&t, 42, u64::MAX).unwrap().unwrap();
         assert_eq!(got, features(1.5));
-        assert!(c.get_user(&t, 99, u64::MAX).is_none());
+        assert!(c.get_user(&t, 99, u64::MAX).unwrap().is_none());
+    }
+
+    #[test]
+    fn get_user_is_a_single_store_operation() {
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 42, &features(1.5), 20170410).unwrap();
+        t.flush().unwrap();
+        let before = t.op_counts();
+        c.get_user(&t, 42, u64::MAX).unwrap().unwrap();
+        let delta = t.op_counts().since(&before);
+        assert_eq!(delta.row_gets, 1);
+        assert_eq!(
+            delta.total(),
+            1,
+            "fetching a user must not fan out into per-qualifier gets: {delta:?}"
+        );
     }
 
     #[test]
@@ -170,9 +222,9 @@ mod tests {
         c.put_user(&t, 7, &features(1.0), 20170410).unwrap();
         c.put_user(&t, 7, &features(2.0), 20170411).unwrap();
         // Latest wins.
-        assert_eq!(c.get_user(&t, 7, u64::MAX).unwrap(), features(2.0));
+        assert_eq!(c.get_user(&t, 7, u64::MAX).unwrap().unwrap(), features(2.0));
         // Yesterday's snapshot still readable (rollback path).
-        assert_eq!(c.get_user(&t, 7, 20170410).unwrap(), features(1.0));
+        assert_eq!(c.get_user(&t, 7, 20170410).unwrap().unwrap(), features(1.0));
     }
 
     #[test]
@@ -191,8 +243,93 @@ mod tests {
             1,
         )
         .unwrap();
-        let got = c.get_user(&t, 5, u64::MAX).unwrap();
+        let got = c.get_user(&t, 5, u64::MAX).unwrap().unwrap();
         assert_eq!(got.embedding, vec![0.0; 4]);
         assert_eq!(got.payer_side, f.payer_side);
+    }
+
+    #[test]
+    fn partial_embedding_also_degrades_to_zero_vector() {
+        let t = table();
+        let c = codec();
+        let mut f = features(3.0);
+        f.embedding.truncate(2); // 2 of 4 dims uploaded
+        c.put_user(&t, 6, &f, 1).unwrap();
+        let got = c.get_user(&t, 6, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.embedding, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn torn_basic_row_is_an_error_not_a_panic() {
+        let t = table();
+        let c = codec();
+        // Only one of three payer cells uploaded: a torn row.
+        t.put(
+            CellKey {
+                row: FeatureCodec::row_key(8),
+                family: titant_alihbase::ColumnFamily("basic".into()),
+                qualifier: titant_alihbase::Qualifier("p0".into()),
+            },
+            1,
+            Bytes::copy_from_slice(&1.0f32.to_le_bytes()),
+        )
+        .unwrap();
+        let err = c.get_user(&t, 8, u64::MAX).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::TornRow {
+                user: 8,
+                present: 1,
+                expected: 5
+            }
+        ));
+        assert!(err.is_degradable());
+    }
+
+    #[test]
+    fn torn_cell_bytes_are_an_error_not_a_panic() {
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 9, &features(1.0), 1).unwrap();
+        // Overwrite one cell with a 3-byte torn value.
+        t.put(
+            CellKey {
+                row: FeatureCodec::row_key(9),
+                family: titant_alihbase::ColumnFamily("basic".into()),
+                qualifier: titant_alihbase::Qualifier("r1".into()),
+            },
+            2,
+            Bytes::from_static(b"xyz"),
+        )
+        .unwrap();
+        let err = c.get_user(&t, 9, u64::MAX).unwrap_err();
+        assert!(
+            matches!(&err, ServeError::TornCell { user: 9, column, len: 3 } if column == "basic:r1")
+        );
+        // The previous intact version remains readable.
+        assert_eq!(c.get_user(&t, 9, 1).unwrap().unwrap(), features(1.0));
+    }
+
+    #[test]
+    fn unknown_qualifiers_are_ignored() {
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 10, &features(2.0), 1).unwrap();
+        for (family, qualifier) in [("basic", "x9"), ("basic", "p99"), ("audit", "note")] {
+            t.put(
+                CellKey {
+                    row: FeatureCodec::row_key(10),
+                    family: titant_alihbase::ColumnFamily(family.into()),
+                    qualifier: titant_alihbase::Qualifier(qualifier.into()),
+                },
+                1,
+                Bytes::from_static(b"whatever"),
+            )
+            .unwrap();
+        }
+        assert_eq!(
+            c.get_user(&t, 10, u64::MAX).unwrap().unwrap(),
+            features(2.0)
+        );
     }
 }

@@ -16,15 +16,23 @@
 //!   thread-pooled request loop for load, and latency histograms.
 //! * [`alipay`] — the simulated Alipay front end that drives transfers
 //!   through the MS and interrupts flagged ones.
+//! * [`error`] — the typed [`ServeError`] taxonomy; see DESIGN.md
+//!   ("Serving-path failure semantics") for the degradation contract.
+
+// The serving path must never panic on a request: forbid the easy outs in
+// shipped code (tests may still unwrap freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod alipay;
+pub mod error;
 pub mod feature_codec;
 pub mod latency;
 pub mod model_file;
 pub mod server;
 
-pub use alipay::{AlipayServer, TransferOutcome};
+pub use alipay::{AlipayServer, SessionStats, TransferOutcome};
+pub use error::ServeError;
 pub use feature_codec::{FeatureCodec, UserFeatures};
-pub use latency::LatencyRecorder;
+pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageSnapshot};
 pub use model_file::{ModelFile, ServableModel};
-pub use server::{ModelServer, ScoreRequest, ScoreResponse};
+pub use server::{ModelServer, ScoreRequest, ScoreResponse, ServePool};

@@ -45,8 +45,8 @@ pub struct ModelFile {
 
 impl ModelFile {
     /// Serialise to bytes (JSON — human-inspectable, stable).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec(self).expect("model file serialisation cannot fail")
+    pub fn to_bytes(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
     }
 
     /// Parse from bytes.
@@ -84,7 +84,7 @@ mod tests {
     #[test]
     fn round_trips_through_bytes() {
         let mf = toy_model();
-        let bytes = mf.to_bytes();
+        let bytes = mf.to_bytes().unwrap();
         let loaded = ModelFile::from_bytes(&bytes).unwrap();
         assert_eq!(loaded.version, mf.version);
         assert_eq!(loaded.n_features, 2);

@@ -1,11 +1,19 @@
 //! The Model Server: feature fetch + scoring + hot model swap + load
 //! handling.
+//!
+//! The serving path is panic-free by construction: malformed requests are
+//! rejected with a typed [`ServeError`], feature-store trouble degrades to
+//! context-only scoring (counted, never fatal), and pool workers survive
+//! poisoned requests and report them through an error callback.
 
-use crate::feature_codec::FeatureCodec;
-use crate::latency::LatencyRecorder;
+use crate::error::ServeError;
+use crate::feature_codec::{FeatureCodec, UserFeatures};
+use crate::latency::{LatencyRecorder, Stage};
 use crate::model_file::ModelFile;
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, SendError, Sender};
 use parking_lot::RwLock;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use titant_alihbase::RegionedTable;
@@ -29,6 +37,9 @@ pub struct ScoreResponse {
     pub probability: f32,
     /// True when the transaction should be interrupted.
     pub alert: bool,
+    /// True when user features could not be fetched intact and the score
+    /// fell back to context-only input (zero-filled user slots).
+    pub degraded: bool,
 }
 
 /// The serving feature layout: where user-side and context features land in
@@ -52,6 +63,25 @@ impl FeatureLayout {
     pub fn width(&self) -> usize {
         self.n_basic + 2 * self.embedding_dim
     }
+
+    /// Check slot coverage: payer + receiver + context slots must cover the
+    /// basic block exactly and stay inside it.
+    fn validate(&self) -> Result<(), ServeError> {
+        let covered = self.payer_slots.len() + self.receiver_slots.len() + self.context_slots.len();
+        let in_range = self
+            .payer_slots
+            .iter()
+            .chain(&self.receiver_slots)
+            .chain(&self.context_slots)
+            .all(|&s| s < self.n_basic);
+        if covered != self.n_basic || !in_range {
+            return Err(ServeError::LayoutSlots {
+                covered,
+                n_basic: self.n_basic,
+            });
+        }
+        Ok(())
+    }
 }
 
 /// A model server instance. Cheap to clone (shared internals) — clones act
@@ -61,56 +91,72 @@ pub struct ModelServer {
     inner: Arc<Inner>,
 }
 
+impl std::fmt::Debug for ModelServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelServer")
+            .field("model_version", &self.inner.model.read().version)
+            .field("width", &self.inner.layout.width())
+            .finish_non_exhaustive()
+    }
+}
+
 struct Inner {
     model: RwLock<Arc<ModelFile>>,
     table: Arc<RegionedTable>,
     codec: FeatureCodec,
     layout: FeatureLayout,
     latency: LatencyRecorder,
+    /// Requests served context-only because a party's features could not
+    /// be fetched intact.
+    degraded: AtomicU64,
 }
 
 impl ModelServer {
-    /// Create a server over a feature table with an initial model.
+    /// Create a server over a feature table with an initial model. Fails
+    /// when the model width does not match the layout or the layout's
+    /// slots do not cover the basic block.
     pub fn new(
         table: Arc<RegionedTable>,
         layout: FeatureLayout,
         model: ModelFile,
-    ) -> Self {
-        assert_eq!(
-            model.n_features,
-            layout.width(),
-            "model width must match the serving layout"
-        );
-        assert_eq!(
-            layout.payer_slots.len() + layout.receiver_slots.len() + layout.context_slots.len(),
-            layout.n_basic,
-            "layout slots must cover the basic block exactly"
-        );
+    ) -> Result<Self, ServeError> {
+        layout.validate()?;
+        if model.n_features != layout.width() {
+            return Err(ServeError::ModelWidth {
+                expected: layout.width(),
+                got: model.n_features,
+            });
+        }
         let codec = FeatureCodec {
             embedding_dim: layout.embedding_dim,
             payer_width: layout.payer_slots.len(),
             receiver_width: layout.receiver_slots.len(),
         };
-        Self {
+        Ok(Self {
             inner: Arc::new(Inner {
                 model: RwLock::new(Arc::new(model)),
                 table,
                 codec,
                 layout,
                 latency: LatencyRecorder::new(),
+                degraded: AtomicU64::new(0),
             }),
-        }
+        })
     }
 
     /// Hot-swap the served model ("model files are periodically updated").
     /// In-flight requests keep the old model; new requests see the new one.
-    pub fn deploy(&self, model: ModelFile) {
-        assert_eq!(
-            model.n_features,
-            self.inner.layout.width(),
-            "model width must match the serving layout"
-        );
+    /// A model that does not match the layout is rejected **without
+    /// unseating the live model**.
+    pub fn deploy(&self, model: ModelFile) -> Result<(), ServeError> {
+        if model.n_features != self.inner.layout.width() {
+            return Err(ServeError::ModelWidth {
+                expected: self.inner.layout.width(),
+                got: model.n_features,
+            });
+        }
         *self.inner.model.write() = Arc::new(model);
+        Ok(())
     }
 
     /// Version of the currently served model.
@@ -118,91 +164,219 @@ impl ModelServer {
         self.inner.model.read().version
     }
 
-    /// The serving-path latency histogram.
+    /// The serving-path latency histogram (per-stage: fetch, assemble,
+    /// predict, total).
     pub fn latency(&self) -> &LatencyRecorder {
         &self.inner.latency
     }
 
+    /// Requests served in degraded (context-only) mode so far.
+    pub fn degraded_count(&self) -> u64 {
+        self.inner.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Fetch one party's features, degrading torn rows/cells to `None`
+    /// (context-only input) and counting the degradation.
+    fn fetch_party(&self, user: u64, degraded: &mut bool) -> Option<UserFeatures> {
+        match self.inner.codec.get_user(&self.inner.table, user, u64::MAX) {
+            Ok(found) => found,
+            Err(_torn) => {
+                *degraded = true;
+                None
+            }
+        }
+    }
+
     /// Score one transaction synchronously: HBase fetch for both parties,
-    /// vector assembly, model evaluation.
-    pub fn score(&self, req: &ScoreRequest) -> ScoreResponse {
+    /// vector assembly, model evaluation. Per-stage latencies land in
+    /// [`Self::latency`].
+    ///
+    /// A request whose context width does not match the layout is rejected;
+    /// feature-store trouble (absent users, torn rows) never fails the
+    /// request — the affected party's slots serve zeros (the cold-start
+    /// input the models trained on) and the response is marked degraded.
+    pub fn score(&self, req: &ScoreRequest) -> Result<ScoreResponse, ServeError> {
+        let layout = &self.inner.layout;
+        if req.context.len() != layout.context_slots.len() {
+            return Err(ServeError::ContextWidth {
+                tx_id: req.tx_id,
+                expected: layout.context_slots.len(),
+                got: req.context.len(),
+            });
+        }
         let start = Instant::now();
         let model = Arc::clone(&self.inner.model.read());
-        let layout = &self.inner.layout;
-        assert_eq!(
-            req.context.len(),
-            layout.context_slots.len(),
-            "context width mismatch"
-        );
+
+        let mut degraded = false;
+        let payer = self.fetch_party(req.transferor, &mut degraded);
+        let recv = self.fetch_party(req.transferee, &mut degraded);
+        let fetched = Instant::now();
 
         let mut features = vec![0f32; layout.width()];
-        // User-side features from the store; absent users (brand-new
-        // accounts) serve zeros — the trained models saw the same cold
-        // starts.
-        let payer = self
-            .inner
-            .codec
-            .get_user(&self.inner.table, req.transferor, u64::MAX);
-        let recv = self
-            .inner
-            .codec
-            .get_user(&self.inner.table, req.transferee, u64::MAX);
+        // Absent parties (brand-new accounts or degraded fetches) leave
+        // their slots at zero — the trained models saw the same cold starts.
         if let Some(p) = &payer {
             for (slot, v) in layout.payer_slots.iter().zip(&p.payer_side) {
-                features[*slot] = *v;
+                if let Some(f) = features.get_mut(*slot) {
+                    *f = *v;
+                }
             }
-            features[layout.n_basic..layout.n_basic + layout.embedding_dim]
-                .copy_from_slice(&p.embedding);
+            for (f, v) in features[layout.n_basic..].iter_mut().zip(&p.embedding) {
+                *f = *v;
+            }
         }
         if let Some(r) = &recv {
             for (slot, v) in layout.receiver_slots.iter().zip(&r.receiver_side) {
-                features[*slot] = *v;
+                if let Some(f) = features.get_mut(*slot) {
+                    *f = *v;
+                }
             }
             let base = layout.n_basic + layout.embedding_dim;
-            features[base..base + layout.embedding_dim].copy_from_slice(&r.embedding);
+            for (f, v) in features[base..].iter_mut().zip(&r.embedding) {
+                *f = *v;
+            }
         }
         for (slot, v) in layout.context_slots.iter().zip(&req.context) {
-            features[*slot] = *v;
+            if let Some(f) = features.get_mut(*slot) {
+                *f = *v;
+            }
         }
+        let assembled = Instant::now();
 
         let probability = model.model.predict_proba(&features);
-        let resp = ScoreResponse {
+        let done = Instant::now();
+
+        if degraded {
+            self.inner.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        let latency = &self.inner.latency;
+        latency.record_stage(Stage::Fetch, fetched - start);
+        latency.record_stage(Stage::Assemble, assembled - fetched);
+        latency.record_stage(Stage::Predict, done - assembled);
+        latency.record_stage(Stage::Total, done - start);
+
+        Ok(ScoreResponse {
             tx_id: req.tx_id,
             probability,
             alert: probability >= model.alert_threshold,
-        };
-        self.inner.latency.record(start.elapsed());
-        resp
+            degraded,
+        })
     }
 
     /// Spawn `n_threads` serving workers draining a bounded request queue —
     /// "MS are distributed to satisfy low latency and high service load".
-    /// Returns the request sender; responses go to the provided callback.
+    /// Scored responses go to `on_response`; rejected requests (and any
+    /// panic a worker caught) go to `on_error`. Workers never die on a
+    /// poisoned request; dropping or [`ServePool::shutdown`]-ing the pool
+    /// drains the queue and joins them.
     pub fn serve_pool(
         &self,
         n_threads: usize,
         on_response: impl Fn(ScoreResponse) + Send + Sync + 'static,
-    ) -> Sender<ScoreRequest> {
+        on_error: impl Fn(ServeError) + Send + Sync + 'static,
+    ) -> ServePool {
         let (tx, rx) = bounded::<ScoreRequest>(4096);
-        let callback = Arc::new(on_response);
+        let on_response = Arc::new(on_response);
+        let on_error = Arc::new(on_error);
+        let live = Arc::new(AtomicUsize::new(0));
+        let mut workers = Vec::with_capacity(n_threads.max(1));
         for _ in 0..n_threads.max(1) {
             let server = self.clone();
             let rx = rx.clone();
-            let callback = Arc::clone(&callback);
-            std::thread::spawn(move || {
+            let on_response = Arc::clone(&on_response);
+            let on_error = Arc::clone(&on_error);
+            let live = Arc::clone(&live);
+            live.fetch_add(1, Ordering::SeqCst);
+            workers.push(std::thread::spawn(move || {
                 while let Ok(req) = rx.recv() {
-                    callback(server.score(&req));
+                    let tx_id = req.tx_id;
+                    // `score` is panic-free by design; the catch is the
+                    // last line of defence so a future regression degrades
+                    // to an error report instead of a dead worker.
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| server.score(&req))) {
+                        Ok(Ok(resp)) => on_response(resp),
+                        Ok(Err(e)) => on_error(e),
+                        Err(payload) => on_error(ServeError::WorkerPanic {
+                            tx_id,
+                            message: panic_message(&payload),
+                        }),
+                    }
                 }
-            });
+                live.fetch_sub(1, Ordering::SeqCst);
+            }));
         }
-        tx
+        ServePool {
+            tx: Some(tx),
+            workers,
+            live,
+        }
+    }
+}
+
+/// Best-effort string form of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic>".to_string()
+    }
+}
+
+/// Handle to a running serving pool: send requests, then shut down cleanly.
+/// Dropping the handle also drains and joins the workers.
+pub struct ServePool {
+    tx: Option<Sender<ScoreRequest>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    live: Arc<AtomicUsize>,
+}
+
+impl ServePool {
+    /// Enqueue a request (blocks when the queue is full). Fails only after
+    /// shutdown has begun.
+    pub fn send(&self, req: ScoreRequest) -> Result<(), SendError<ScoreRequest>> {
+        match &self.tx {
+            Some(tx) => tx.send(req),
+            None => Err(SendError(req)),
+        }
+    }
+
+    /// A cloneable sender for feeding the pool from other threads.
+    pub fn sender(&self) -> Option<Sender<ScoreRequest>> {
+        self.tx.clone()
+    }
+
+    /// Workers currently alive. Equals the spawn count unless a worker
+    /// died — which the pool is designed to make impossible.
+    pub fn live_workers(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting requests, drain the queue, and join every worker.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.tx = None; // closes the channel once external senders drop
+        for w in self.workers.drain(..) {
+            // A worker that panicked outside the catch (impossible by
+            // design) still must not poison shutdown.
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::feature_codec::UserFeatures;
     use crate::model_file::ServableModel;
     use titant_alihbase::StoreConfig;
     use titant_models::{Dataset, GbdtConfig};
@@ -250,9 +424,9 @@ mod tests {
         }
     }
 
-    fn setup() -> ModelServer {
+    fn setup_with_table() -> (ModelServer, Arc<RegionedTable>) {
         let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
-        let ms = ModelServer::new(table.clone(), layout(), model());
+        let ms = ModelServer::new(table.clone(), layout(), model()).unwrap();
         let codec = FeatureCodec {
             embedding_dim: 2,
             payer_width: 2,
@@ -272,7 +446,11 @@ mod tests {
                 )
                 .unwrap();
         }
-        ms
+        (ms, table)
+    }
+
+    fn setup() -> ModelServer {
+        setup_with_table().0
     }
 
     fn req(tx_id: u64, context: f32) -> ScoreRequest {
@@ -284,28 +462,106 @@ mod tests {
         }
     }
 
+    /// Write a torn (3-byte) basic cell for a user, poisoning its row.
+    fn tear_user(table: &RegionedTable, user: u64) {
+        table
+            .put(
+                titant_alihbase::CellKey {
+                    row: FeatureCodec::row_key(user),
+                    family: titant_alihbase::ColumnFamily("basic".into()),
+                    qualifier: titant_alihbase::Qualifier("p0".into()),
+                },
+                99999999,
+                bytes::Bytes::from_static(b"bad"),
+            )
+            .unwrap();
+    }
+
     #[test]
     fn scores_and_alerts_on_suspicious_context() {
         let ms = setup();
-        let safe = ms.score(&req(1, 0.1));
-        let fraud = ms.score(&req(2, 0.9));
+        let safe = ms.score(&req(1, 0.1)).unwrap();
+        let fraud = ms.score(&req(2, 0.9)).unwrap();
         assert!(!safe.alert, "safe tx got p={}", safe.probability);
         assert!(fraud.alert, "fraud tx got p={}", fraud.probability);
         assert!(fraud.probability > safe.probability);
+        assert!(!safe.degraded && !fraud.degraded);
         assert_eq!(ms.latency().count(), 2);
+        assert_eq!(ms.degraded_count(), 0);
+    }
+
+    #[test]
+    fn per_stage_latencies_are_recorded() {
+        let ms = setup();
+        for i in 0..10 {
+            ms.score(&req(i, 0.2)).unwrap();
+        }
+        for stage in Stage::ALL {
+            assert_eq!(ms.latency().stage_count(stage), 10, "{stage:?}");
+            assert!(ms.latency().stage_quantile(stage, 0.99).is_some());
+        }
+        // Stage sum cannot exceed the total (each is a sub-interval).
+        let total = ms.latency().stage_mean(Stage::Total).unwrap();
+        let parts = ms.latency().stage_mean(Stage::Fetch).unwrap()
+            + ms.latency().stage_mean(Stage::Assemble).unwrap()
+            + ms.latency().stage_mean(Stage::Predict).unwrap();
+        assert!(parts <= total + std::time::Duration::from_micros(50));
     }
 
     #[test]
     fn unknown_users_serve_zero_features() {
         let ms = setup();
-        let resp = ms.score(&ScoreRequest {
-            tx_id: 9,
-            transferor: 777,
-            transferee: 888,
-            context: vec![0.9],
-        });
-        // Context still drives the decision.
+        let resp = ms
+            .score(&ScoreRequest {
+                tx_id: 9,
+                transferor: 777,
+                transferee: 888,
+                context: vec![0.9],
+            })
+            .unwrap();
+        // Context still drives the decision; unknown users are the normal
+        // cold-start case, not a degradation.
         assert!(resp.alert);
+        assert!(!resp.degraded);
+        assert_eq!(ms.degraded_count(), 0);
+    }
+
+    #[test]
+    fn torn_user_row_degrades_to_context_only_scoring() {
+        let (ms, table) = setup_with_table();
+        tear_user(&table, 1);
+        let resp = ms.score(&req(5, 0.9)).unwrap();
+        assert!(resp.alert, "context must still drive the verdict");
+        assert!(resp.degraded);
+        assert_eq!(ms.degraded_count(), 1);
+        // The intact receiver row does not mask the payer's torn row.
+        let resp = ms.score(&req(6, 0.1)).unwrap();
+        assert!(!resp.alert);
+        assert!(resp.degraded);
+        assert_eq!(ms.degraded_count(), 2);
+    }
+
+    #[test]
+    fn wrong_context_width_is_rejected_not_panicking() {
+        let ms = setup();
+        let err = ms
+            .score(&ScoreRequest {
+                tx_id: 41,
+                transferor: 1,
+                transferee: 2,
+                context: vec![0.9, 0.1, 0.4],
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ContextWidth {
+                tx_id: 41,
+                expected: 1,
+                got: 3
+            }
+        );
+        // Rejected requests record no latency sample.
+        assert_eq!(ms.latency().count(), 0);
     }
 
     #[test]
@@ -314,10 +570,49 @@ mod tests {
         assert_eq!(ms.model_version(), 20170410);
         let mut m2 = model();
         m2.version = 20170411;
-        ms.deploy(m2);
+        ms.deploy(m2).unwrap();
         assert_eq!(ms.model_version(), 20170411);
         // Still serving.
-        assert!(ms.score(&req(3, 0.9)).alert);
+        assert!(ms.score(&req(3, 0.9)).unwrap().alert);
+    }
+
+    #[test]
+    fn mismatched_model_rejected_at_construction() {
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let mut m = model();
+        m.n_features = 3;
+        let err = ModelServer::new(table, layout(), m).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ModelWidth {
+                expected: 9,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn bad_layout_rejected_at_construction() {
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let mut l = layout();
+        l.context_slots = vec![7]; // out of the 5-wide basic block
+        assert!(matches!(
+            ModelServer::new(table, l, model()).unwrap_err(),
+            ServeError::LayoutSlots { .. }
+        ));
+    }
+
+    #[test]
+    fn mismatched_deploy_keeps_the_live_model_serving() {
+        let ms = setup();
+        let mut bad = model();
+        bad.n_features = 4;
+        bad.version = 99999999;
+        let err = ms.deploy(bad).unwrap_err();
+        assert!(matches!(err, ServeError::ModelWidth { got: 4, .. }));
+        // The live model is untouched and still serving.
+        assert_eq!(ms.model_version(), 20170410);
+        assert!(ms.score(&req(8, 0.9)).unwrap().alert);
     }
 
     #[test]
@@ -325,25 +620,82 @@ mod tests {
         let ms = setup();
         let hits = Arc::new(parking_lot::Mutex::new(Vec::new()));
         let hits2 = Arc::clone(&hits);
-        let tx = ms.serve_pool(4, move |resp| hits2.lock().push(resp.tx_id));
+        let pool = ms.serve_pool(4, move |resp| hits2.lock().push(resp.tx_id), |_| {});
         for i in 0..100 {
-            tx.send(req(i, if i % 2 == 0 { 0.9 } else { 0.1 })).unwrap();
+            pool.send(req(i, if i % 2 == 0 { 0.9 } else { 0.1 }))
+                .unwrap();
         }
-        drop(tx);
-        // Wait for drain.
-        let deadline = Instant::now() + std::time::Duration::from_secs(5);
-        while hits.lock().len() < 100 && Instant::now() < deadline {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        pool.shutdown(); // drains the queue and joins the workers
         assert_eq!(hits.lock().len(), 100);
     }
 
     #[test]
-    #[should_panic(expected = "model width")]
-    fn mismatched_model_rejected() {
-        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
-        let mut m = model();
-        m.n_features = 3;
-        ModelServer::new(table, layout(), m);
+    fn pool_survives_a_storm_of_poisoned_requests() {
+        // 10k mixed requests: valid, wrong-width, unknown users, torn rows.
+        let (ms, table) = setup_with_table();
+        tear_user(&table, 3);
+        let responses = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let errors = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let (r2, e2) = (Arc::clone(&responses), Arc::clone(&errors));
+        let pool = ms.serve_pool(
+            4,
+            move |resp| r2.lock().push(resp),
+            move |err| e2.lock().push(err),
+        );
+
+        let mut expect_errors = 0usize;
+        for i in 0..10_000u64 {
+            let fraud = i % 2 == 0;
+            let context_val = if fraud { 0.9 } else { 0.1 };
+            let request = match i % 5 {
+                // Valid, known users.
+                0 | 1 => req(i, context_val),
+                // Valid, unknown users (cold start).
+                2 => ScoreRequest {
+                    transferor: 70_000 + i,
+                    transferee: 80_000 + i,
+                    ..req(i, context_val)
+                },
+                // Degraded: payer row is torn.
+                3 => ScoreRequest {
+                    transferor: 3,
+                    ..req(i, context_val)
+                },
+                // Poisoned: wrong context width.
+                _ => {
+                    expect_errors += 1;
+                    ScoreRequest {
+                        context: vec![],
+                        ..req(i, context_val)
+                    }
+                }
+            };
+            pool.send(request).unwrap();
+        }
+        assert_eq!(pool.live_workers(), 4, "no worker may die under poison");
+        pool.shutdown();
+
+        let responses = responses.lock();
+        let errors = errors.lock();
+        assert_eq!(responses.len() + errors.len(), 10_000, "no request lost");
+        assert_eq!(errors.len(), expect_errors);
+        assert!(errors
+            .iter()
+            .all(|e| matches!(e, ServeError::ContextWidth { .. })));
+        // Every scoreable request got the right verdict, degraded or not.
+        for resp in responses.iter() {
+            assert_eq!(
+                resp.alert,
+                resp.tx_id % 2 == 0,
+                "tx {} misjudged (degraded={})",
+                resp.tx_id,
+                resp.degraded
+            );
+        }
+        assert_eq!(
+            ms.degraded_count() as usize,
+            responses.iter().filter(|r| r.degraded).count()
+        );
+        assert!(ms.degraded_count() > 0);
     }
 }

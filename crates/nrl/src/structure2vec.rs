@@ -87,9 +87,15 @@ impl Structure2Vec {
         let x = structural_features(graph);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = (1.0 / d as f32).sqrt();
-        let mut w1: Vec<f32> = (0..d * p).map(|_| (rng.gen::<f32>() - 0.5) * scale).collect();
-        let mut w2: Vec<f32> = (0..d * d).map(|_| (rng.gen::<f32>() - 0.5) * scale).collect();
-        let mut readout: Vec<f32> = (0..2 * d).map(|_| (rng.gen::<f32>() - 0.5) * scale).collect();
+        let mut w1: Vec<f32> = (0..d * p)
+            .map(|_| (rng.gen::<f32>() - 0.5) * scale)
+            .collect();
+        let mut w2: Vec<f32> = (0..d * d)
+            .map(|_| (rng.gen::<f32>() - 0.5) * scale)
+            .collect();
+        let mut readout: Vec<f32> = (0..2 * d)
+            .map(|_| (rng.gen::<f32>() - 0.5) * scale)
+            .collect();
         let mut bias = 0.0f32;
 
         let mut order: Vec<u32> = (0..labeled_edges.len() as u32).collect();
@@ -100,8 +106,16 @@ impl Structure2Vec {
 
         for _epoch in 0..config.epochs {
             forward(
-                graph, &x, &w1, &w2, config.rounds, &mut mu, &mut mu_prev, &mut neighbor_mean,
-                &mut preact, d,
+                graph,
+                &x,
+                &w1,
+                &w2,
+                config.rounds,
+                &mut mu,
+                &mut mu_prev,
+                &mut neighbor_mean,
+                &mut preact,
+                d,
             );
 
             if labeled_edges.is_empty() {
@@ -159,8 +173,16 @@ impl Structure2Vec {
 
         // Final forward pass with the trained parameters.
         forward(
-            graph, &x, &w1, &w2, config.rounds, &mut mu, &mut mu_prev, &mut neighbor_mean,
-            &mut preact, d,
+            graph,
+            &x,
+            &w1,
+            &w2,
+            config.rounds,
+            &mut mu,
+            &mut mu_prev,
+            &mut neighbor_mean,
+            &mut preact,
+            d,
         );
         Self {
             embeddings: EmbeddingMatrix::from_raw(d, mu),

@@ -253,8 +253,7 @@ fn train_shard(args: ShardArgs<'_>) {
                         let (target, label) = if n == 0 {
                             (center, 1.0f32)
                         } else {
-                            let mut neg =
-                                neg_table[rng.gen_range(0..neg_table.len())];
+                            let mut neg = neg_table[rng.gen_range(0..neg_table.len())];
                             if neg == center {
                                 neg = neg_table[rng.gen_range(0..neg_table.len())];
                             }

@@ -98,13 +98,7 @@ impl TxGraphBuilder {
             .edge_weights
             .iter()
             .filter(|(_, &w)| w >= threshold)
-            .map(|(&(a, b), &w)| {
-                (
-                    self.index_of[&a].0,
-                    self.index_of[&b].0,
-                    w,
-                )
-            })
+            .map(|(&(a, b), &w)| (self.index_of[&a].0, self.index_of[&b].0, w))
             .collect();
         // Sort for deterministic CSR layout regardless of hash order.
         edges.sort_unstable_by_key(|x| (x.0, x.1));
@@ -112,11 +106,9 @@ impl TxGraphBuilder {
         let (out_offsets, out_targets, out_weights) =
             csr_from_sorted(n, edges.iter().map(|&(s, d, w)| (s, d, w)));
 
-        let mut rev: Vec<(u32, u32, f32)> =
-            edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
+        let mut rev: Vec<(u32, u32, f32)> = edges.iter().map(|&(s, d, w)| (d, s, w)).collect();
         rev.sort_unstable_by_key(|x| (x.0, x.1));
-        let (in_offsets, in_targets, in_weights) =
-            csr_from_sorted(n, rev.iter().copied());
+        let (in_offsets, in_targets, in_weights) = csr_from_sorted(n, rev.iter().copied());
 
         // Undirected adjacency: merge both directions, summing weights of
         // reciprocal edges.
@@ -131,8 +123,7 @@ impl TxGraphBuilder {
                 _ => merged.push((s, d, w)),
             }
         }
-        let (und_offsets, und_targets, und_weights) =
-            csr_from_sorted(n, merged.iter().copied());
+        let (und_offsets, und_targets, und_weights) = csr_from_sorted(n, merged.iter().copied());
 
         TxGraph::from_parts(
             self.users,

@@ -179,19 +179,11 @@ mod tests {
 
     fn diamond() -> crate::TxGraph {
         // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, and a reverse edge 3 -> 0.
-        let records = [
-            (0, 1),
-            (0, 2),
-            (1, 3),
-            (2, 3),
-            (3, 0),
-        ]
-        .iter()
-        .enumerate()
-        .map(|(i, &(a, b))| {
-            TransactionRecord::simple(UserId(a), UserId(b), 100, i as i64)
-        })
-        .collect::<Vec<_>>();
+        let records = [(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b))| TransactionRecord::simple(UserId(a), UserId(b), 100, i as i64))
+            .collect::<Vec<_>>();
         TxGraphBuilder::new().add_records(&records).build()
     }
 

@@ -42,5 +42,5 @@ pub use alias::AliasTable;
 pub use builder::TxGraphBuilder;
 pub use csr::TxGraph;
 pub use ids::{NodeId, TxId, UserId};
-pub use record::{TransactionRecord, Timestamp};
+pub use record::{Timestamp, TransactionRecord};
 pub use walk::{WalkConfig, WalkEngine, WalkStrategy};

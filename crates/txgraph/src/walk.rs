@@ -153,7 +153,10 @@ impl<'g> WalkEngine<'g> {
                 .map(|t| {
                     let lo = t * chunk;
                     let hi = ((t + 1) * chunk).min(n);
-                    let seed = self.config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
+                    let seed = self
+                        .config
+                        .seed
+                        .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(t as u64 + 1));
                     scope.spawn(move || self.generate_shard(lo, hi, seed))
                 })
                 .collect();

@@ -31,7 +31,7 @@ fn main() {
         ..Default::default()
     })
     .run(&world, &slice);
-    let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+    let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
 
     // The festival day: every test-day transaction replayed 20x — with the
     // fraud mixed in, because fraudsters love a busy day.
@@ -66,7 +66,6 @@ fn main() {
         ms.latency().reset();
         let caught = Arc::new(AtomicUsize::new(0));
         let done = Arc::new(AtomicUsize::new(0));
-        let total = day.len() * multiplier;
 
         let fraud_ids: std::collections::HashSet<u64> = day
             .iter()
@@ -74,33 +73,49 @@ fn main() {
             .map(|(r, _)| r.tx_id)
             .collect();
         let fraud_ids = Arc::new(fraud_ids);
-        let (caught2, done2, fraud2) = (Arc::clone(&caught), Arc::clone(&done), Arc::clone(&fraud_ids));
-        let tx = ms.serve_pool(pool, move |resp| {
-            done2.fetch_add(1, Ordering::Relaxed);
-            if resp.alert && fraud2.contains(&resp.tx_id) {
-                caught2.fetch_add(1, Ordering::Relaxed);
-            }
-        });
+        let (caught2, done2, fraud2) = (
+            Arc::clone(&caught),
+            Arc::clone(&done),
+            Arc::clone(&fraud_ids),
+        );
+        let worker_pool = ms.serve_pool(
+            pool,
+            move |resp| {
+                done2.fetch_add(1, Ordering::Relaxed);
+                if resp.alert && fraud2.contains(&resp.tx_id) {
+                    caught2.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            |err| eprintln!("rejected: {err}"),
+        );
 
         let t0 = std::time::Instant::now();
-        for _ in 0..multiplier {
+        'feed: for _ in 0..multiplier {
             for (req, _) in &day {
-                tx.send(req.clone()).unwrap();
+                if worker_pool.send(req.clone()).is_err() {
+                    eprintln!("pool shut down early");
+                    break 'feed;
+                }
             }
         }
-        drop(tx);
-        while done.load(Ordering::Relaxed) < total {
-            std::thread::sleep(std::time::Duration::from_millis(5));
-        }
+        // Drain the queue and join every worker before reading the clock.
+        worker_pool.shutdown();
         let elapsed = t0.elapsed();
         let lat = ms.latency();
         println!(
             "pool {pool}: {:.0} tx/s  p50 {:?}  p99 {:?}  fraud alerts {}/{} per pass",
-            total as f64 / elapsed.as_secs_f64(),
-            lat.quantile(0.5).unwrap(),
-            lat.quantile(0.99).unwrap(),
+            done.load(Ordering::Relaxed) as f64 / elapsed.as_secs_f64(),
+            lat.quantile(0.5).unwrap_or_default(),
+            lat.quantile(0.99).unwrap_or_default(),
             caught.load(Ordering::Relaxed) / multiplier,
             fraud_ids.len(),
         );
+        for stage in titant::modelserver::Stage::ALL {
+            println!(
+                "  {stage:?}: p50 {:?}  p99 {:?}",
+                lat.stage_quantile(stage, 0.5).unwrap_or_default(),
+                lat.stage_quantile(stage, 0.99).unwrap_or_default(),
+            );
+        }
     }
 }

@@ -57,7 +57,11 @@ fn main() {
     let (mut hits, mut misses) = (0usize, 0usize);
     let mut ring_members_found = 0usize;
     for &hub in hubs.iter().take(20) {
-        let truth = if is_fraudster(hub) { "fraudster" } else { "benign " };
+        let truth = if is_fraudster(hub) {
+            "fraudster"
+        } else {
+            "benign "
+        };
         // Expand the hub through its embedding neighbourhood.
         let neighbours = emb.nearest(hub, 6);
         let fraud_neighbours = neighbours.iter().filter(|(n, _)| is_fraudster(*n)).count();

@@ -48,8 +48,15 @@ fn main() {
         artifacts.version,
     );
 
-    // Online: deploy and serve the next day in real time.
-    let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+    // Online: deploy and serve the next day in real time. A model that
+    // does not match the serving layout is rejected here.
+    let deployment = match OnlineDeployment::new(&world, &slice, artifacts) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("deployment rejected: {e}");
+            return;
+        }
+    };
     let report = deployment.replay_test_day(&world, &slice);
     println!(
         "online ({}): {} transactions, {} frauds interrupted, {} false alerts, {} missed",
@@ -64,5 +71,9 @@ fn main() {
         report.f1 * 100.0,
         report.p50,
         report.p99,
+    );
+    println!(
+        "stages: fetch p99 {:?}, assemble p99 {:?}, predict p99 {:?} ({} degraded, {} rejected)",
+        report.fetch.p99, report.assemble.p99, report.predict.p99, report.degraded, report.errors,
     );
 }

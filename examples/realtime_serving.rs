@@ -33,7 +33,7 @@ fn main() {
     let mut next_model = artifacts.model_file.clone();
     next_model.version += 1;
 
-    let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+    let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
     let ms = deployment.model_server().clone();
 
     // Build the request stream from the test day.
@@ -54,53 +54,78 @@ fn main() {
         })
         .collect();
     // Replicate to a sustained burst.
-    let burst: Vec<ScoreRequest> = requests
-        .iter()
-        .cycle()
-        .take(50_000)
-        .cloned()
-        .collect();
+    let burst: Vec<ScoreRequest> = requests.iter().cycle().take(50_000).cloned().collect();
 
-    println!("serving {} requests through a 8-thread MS pool…", burst.len());
+    println!(
+        "serving {} requests through a 8-thread MS pool…",
+        burst.len()
+    );
     let done = Arc::new(AtomicUsize::new(0));
     let alerts = Arc::new(AtomicUsize::new(0));
-    let (done2, alerts2) = (Arc::clone(&done), Arc::clone(&alerts));
-    let tx = ms.serve_pool(8, move |resp| {
-        done2.fetch_add(1, Ordering::Relaxed);
-        if resp.alert {
-            alerts2.fetch_add(1, Ordering::Relaxed);
-        }
-    });
+    let errors = Arc::new(AtomicUsize::new(0));
+    let (done2, alerts2, errors2) = (Arc::clone(&done), Arc::clone(&alerts), Arc::clone(&errors));
+    // Malformed requests come back through the error callback instead of
+    // killing a worker; valid traffic keeps flowing.
+    let pool = ms.serve_pool(
+        8,
+        move |resp| {
+            done2.fetch_add(1, Ordering::Relaxed);
+            if resp.alert {
+                alerts2.fetch_add(1, Ordering::Relaxed);
+            }
+        },
+        move |err| {
+            errors2.fetch_add(1, Ordering::Relaxed);
+            eprintln!("rejected: {err}");
+        },
+    );
 
     let t0 = std::time::Instant::now();
-    let half = burst.len() / 2;
+    let total = burst.len();
+    let half = total / 2;
     for (i, req) in burst.into_iter().enumerate() {
         if i == half {
             // Hot swap mid-stream: no request is dropped, new requests see
-            // the new version immediately.
-            ms.deploy(next_model.clone());
-            println!("… hot-swapped to model v{} at request {i}", ms.model_version());
+            // the new version immediately. A mismatched file would be
+            // rejected here with the live model left serving.
+            match ms.deploy(next_model.clone()) {
+                Ok(()) => println!(
+                    "… hot-swapped to model v{} at request {i}",
+                    ms.model_version()
+                ),
+                Err(e) => eprintln!("… hot swap rejected, keeping v{}: {e}", ms.model_version()),
+            }
         }
-        tx.send(req).unwrap();
+        if pool.send(req).is_err() {
+            eprintln!("pool shut down early");
+            break;
+        }
     }
-    drop(tx);
-    while done.load(Ordering::Relaxed) < 50_000 {
-        std::thread::sleep(std::time::Duration::from_millis(10));
-    }
+    // Clean shutdown: drains the queue and joins every worker.
+    pool.shutdown();
     let elapsed = t0.elapsed();
 
     let lat = ms.latency();
     println!(
-        "done: {} requests in {:.2?} = {:.0} tx/s, {} alerts raised",
+        "done: {} requests in {:.2?} = {:.0} tx/s, {} alerts raised, {} rejected",
         done.load(Ordering::Relaxed),
         elapsed,
-        50_000.0 / elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
         alerts.load(Ordering::Relaxed),
+        errors.load(Ordering::Relaxed),
     );
+    let q = |q| lat.quantile(q).unwrap_or_default();
     println!(
         "latency p50 {:?}  p99 {:?}  mean {:?} — \"predict online real-time transaction fraud within only milliseconds\"",
-        lat.quantile(0.5).unwrap(),
-        lat.quantile(0.99).unwrap(),
-        lat.mean().unwrap(),
+        q(0.5),
+        q(0.99),
+        lat.mean().unwrap_or_default(),
     );
+    for stage in titant::modelserver::Stage::ALL {
+        println!(
+            "  {stage:?}: p50 {:?}  p99 {:?}",
+            lat.stage_quantile(stage, 0.5).unwrap_or_default(),
+            lat.stage_quantile(stage, 0.99).unwrap_or_default(),
+        );
+    }
 }

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification recipe: build, the full test suite, lints, formatting.
+# Run from anywhere; exits non-zero on the first failure.
+#
+#   ./scripts/verify.sh
+#
+# The clippy gate runs with -D warnings across every target (libs, tests,
+# benches, examples); crates/modelserver additionally denies unwrap/expect
+# in non-test code via a crate-level lint (see its lib.rs) so the serving
+# hot path stays panic-free.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "verify: all green"

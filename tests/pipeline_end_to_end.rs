@@ -25,7 +25,7 @@ fn offline_online_cycle_catches_fraud_in_real_time() {
     assert_eq!(artifacts.version, slice.test_day as u64);
     assert!(artifacts.model_file.n_features > titant::datagen::N_BASIC_FEATURES);
 
-    let deployment = OnlineDeployment::new(&world, &slice, artifacts);
+    let deployment = OnlineDeployment::new(&world, &slice, artifacts).unwrap();
     let report = deployment.replay_test_day(&world, &slice);
 
     // Every test-day transaction was scored, in real time.
@@ -45,7 +45,9 @@ fn offline_online_cycle_catches_fraud_in_real_time() {
 #[test]
 fn t_plus_1_driver_retrains_daily() {
     let (world, slice0) = tiny_world(7);
-    let results = TPlusOneDriver::new(PipelineConfig::quick()).run(&world, &[slice0]);
+    let results = TPlusOneDriver::new(PipelineConfig::quick())
+        .run(&world, &[slice0])
+        .unwrap();
     assert_eq!(results.len(), 1);
     assert!(results[0].report.transactions > 0);
     assert!(!results[0].day_name.is_empty());

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use titant::alihbase::{CellKey, Store, StoreConfig};
 use titant::eval;
 use titant::models::{BinningStrategy, Dataset, Discretizer};
-use titant::txgraph::{AliasTable, TransactionRecord, TxGraphBuilder, NodeId, UserId};
+use titant::txgraph::{AliasTable, NodeId, TransactionRecord, TxGraphBuilder, UserId};
 
 proptest! {
     /// CSR construction: in-degree totals equal out-degree totals, node

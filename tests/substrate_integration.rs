@@ -47,9 +47,7 @@ fn sql_over_simulated_transactions_matches_direct_counts() {
 
     // Aggregate over all days: SUM of amounts equals the direct sum.
     let result = session.sql("SELECT SUM(amount) FROM tx").unwrap();
-    let direct: f64 = range
-        .map(|i| world.records()[i].amount_cents as f64)
-        .sum();
+    let direct: f64 = range.map(|i| world.records()[i].amount_cents as f64).sum();
     let got = result.cell(0, 0).as_f64().unwrap();
     assert!((got - direct).abs() / direct < 1e-9);
 }
@@ -79,8 +77,14 @@ fn feature_store_recovers_user_features_after_crash() {
         // Drop without flushing user 999's memtable = crash; WAL replays.
     }
     let table = RegionedTable::new(vec![RowKey::from_user(500)], cfg).unwrap();
-    assert_eq!(codec.get_user(&table, 42, u64::MAX).unwrap(), features);
-    assert_eq!(codec.get_user(&table, 999, u64::MAX).unwrap(), features);
+    assert_eq!(
+        codec.get_user(&table, 42, u64::MAX).unwrap().unwrap(),
+        features
+    );
+    assert_eq!(
+        codec.get_user(&table, 999, u64::MAX).unwrap().unwrap(),
+        features
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the group/bench API surface this workspace's benches use with
+//! a small wall-clock harness: each benchmark warms up briefly, then times
+//! `sample_size` batches and reports min/mean/p50 per iteration plus
+//! throughput when configured. No plotting, no statistics beyond that.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for convenience; benches here import `std::hint::black_box`
+/// directly, but the real crate exposes it too.
+pub use std::hint::black_box;
+
+/// Throughput annotation used to derive per-element/byte rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warmup: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warmup = d;
+        self
+    }
+
+    /// Accept (and ignore) CLI arguments, as the real crate does.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self, id, None, f);
+        self
+    }
+}
+
+/// A set of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self.criterion, id, self.throughput, f);
+        self
+    }
+
+    /// End the group (marker only; output is already printed).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; times the supplied routine.
+pub struct Bencher {
+    /// Mean per-iteration time measured by the last `iter` call.
+    mean: Duration,
+    samples: Vec<Duration>,
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, recording per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate a batch size targeting ~1ms per sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (1_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / batch as u32);
+        }
+        let total: Duration = self.samples.iter().sum();
+        self.mean = total / self.samples.len() as u32;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+        samples: Vec::new(),
+        sample_size: criterion.sample_size,
+        warmup: criterion.warmup,
+    };
+    f(&mut b);
+    b.samples.sort_unstable();
+    let min = b.samples.first().copied().unwrap_or_default();
+    let p50 = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.0} elem/s", n as f64 / b.mean.as_secs_f64().max(1e-12))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.0} B/s", n as f64 / b.mean.as_secs_f64().max(1e-12))
+        }
+        None => String::new(),
+    };
+    println!("  {id}: min {min:?}  p50 {p50:?}  mean {:?}{rate}", b.mean);
+}
+
+/// Define a benchmark entry point: either `criterion_group!(name, fns...)`
+/// or the configured form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("add", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+
+    criterion_group!(simple, smoke);
+    criterion_group! {
+        name = configured;
+        config = crate::Criterion::default().sample_size(3)
+            .warm_up_time(std::time::Duration::from_millis(1));
+        targets = smoke
+    }
+
+    fn smoke(c: &mut Criterion) {
+        c.sample_size = 2;
+        c.warmup = Duration::from_millis(1);
+        c.bench_function("smoke", |b| b.iter(|| black_box(1u64.wrapping_mul(3))));
+    }
+
+    #[test]
+    fn macros_expand() {
+        simple();
+        configured();
+    }
+}

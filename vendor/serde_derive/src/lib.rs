@@ -1,0 +1,412 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the simplified value-tree `serde::Serialize` / `serde::Deserialize`
+//! traits of the vendored `serde` crate. The input item is parsed directly
+//! from the `proc_macro::TokenStream` (no `syn`/`quote` available offline):
+//! attributes and visibility are skipped, fields are split on top-level
+//! commas with angle-bracket depth tracking, and the impls are emitted as
+//! source strings. Supports non-generic named/tuple/unit structs and enums
+//! with unit, tuple, and struct variants — the full shape set used in this
+//! workspace. Encoding follows serde's externally-tagged JSON conventions.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Split a group's tokens at commas that sit outside `<...>` nesting.
+/// Parenthesised/braced subtrees arrive as single `Group` tokens, so only
+/// angle brackets need explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks
+            .last_mut()
+            .expect("chunk list starts non-empty")
+            .push(tt);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Skip leading attributes (`#[...]`, including rendered doc comments) and
+/// a `pub` / `pub(...)` visibility qualifier.
+fn strip_meta(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    &tokens[i..]
+}
+
+/// `name: Type` chunk → `name`.
+fn field_name(chunk: &[TokenTree]) -> String {
+    match strip_meta(chunk).first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected field name, found {other:?}"),
+    }
+}
+
+fn named_fields(group_stream: TokenStream) -> Vec<String> {
+    split_top_level(group_stream)
+        .iter()
+        .map(|c| field_name(c))
+        .collect()
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let rest = strip_meta(chunk);
+    let name = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected variant name, found {other:?}"),
+    };
+    let payload = match rest.get(1) {
+        None => Payload::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Payload::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Payload::Named(named_fields(g.stream()))
+        }
+        other => panic!("serde derive: unsupported variant shape after `{name}`: {other:?}"),
+    };
+    Variant { name, payload }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let rest = strip_meta(&tokens);
+    let kw = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match rest.get(1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = rest.get(2) {
+        if p.as_char() == '<' {
+            panic!("serde derive stand-in does not support generic type `{name}`");
+        }
+    }
+    let kind = match kw.as_str() {
+        "struct" => match rest.get(2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(split_top_level(g.stream()).len())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match rest.get(2) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => ItemKind::Enum(
+                split_top_level(g.stream())
+                    .iter()
+                    .map(|c| parse_variant(c))
+                    .collect(),
+            ),
+            other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn map_entry(out: &mut String, key: &str, value_expr: &str) {
+    let _ = write!(
+        out,
+        "(::std::string::String::from(\"{key}\"), {value_expr}),"
+    );
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            body.push_str("::serde::Value::Map(::std::vec![");
+            for f in fields {
+                map_entry(
+                    &mut body,
+                    f,
+                    &format!("::serde::Serialize::serialize(&self.{f})"),
+                );
+            }
+            body.push_str("])");
+        }
+        ItemKind::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::serialize(&self.0)");
+        }
+        ItemKind::TupleStruct(n) => {
+            body.push_str("::serde::Value::Seq(::std::vec![");
+            for i in 0..*n {
+                let _ = write!(body, "::serde::Serialize::serialize(&self.{i}),");
+            }
+            body.push_str("])");
+        }
+        ItemKind::UnitStruct => body.push_str("::serde::Value::Null"),
+        ItemKind::Enum(variants) => {
+            body.push_str("match self {");
+            for v in variants {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        );
+                    }
+                    Payload::Tuple(1) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}(f0) => ::serde::Value::Map(::std::vec!["
+                        );
+                        map_entry(&mut body, vname, "::serde::Serialize::serialize(f0)");
+                        body.push_str("]),");
+                    }
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![",
+                            binds.join(", ")
+                        );
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        map_entry(
+                            &mut body,
+                            vname,
+                            &format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", ")),
+                        );
+                        body.push_str("]),");
+                    }
+                    Payload::Named(fields) => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![",
+                            fields.join(", ")
+                        );
+                        let mut inner = String::from("::serde::Value::Map(::std::vec![");
+                        for f in fields {
+                            map_entry(
+                                &mut inner,
+                                f,
+                                &format!("::serde::Serialize::serialize({f})"),
+                            );
+                        }
+                        inner.push_str("])");
+                        map_entry(&mut body, vname, &inner);
+                        body.push_str("]),");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Serialize impl must parse")
+}
+
+/// Emit the deserialization expression for one payload-carrying variant,
+/// reading from a `payload: &::serde::Value` binding in scope.
+fn variant_from_payload(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.payload {
+        Payload::Unit => unreachable!("unit variants are handled in the string arm"),
+        Payload::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::deserialize(payload)?))"
+        ),
+        Payload::Tuple(n) => {
+            let mut s = format!(
+                "{{ let items = payload.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected sequence payload for variant `{vname}`\"))?;\
+                   if items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong payload arity for variant `{vname}`\")); }}\
+                   ::std::result::Result::Ok({name}::{vname}("
+            );
+            for i in 0..*n {
+                let _ = write!(s, "::serde::Deserialize::deserialize(&items[{i}])?,");
+            }
+            s.push_str(")) }");
+            s
+        }
+        Payload::Named(fields) => {
+            let mut s = format!(
+                "{{ let entries = payload.as_map().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected map payload for variant `{vname}`\"))?;\
+                   ::std::result::Result::Ok({name}::{vname} {{"
+            );
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "{f}: ::serde::Deserialize::deserialize(::serde::field(entries, \"{f}\")?)?,"
+                );
+            }
+            s.push_str("}) }");
+            s
+        }
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let mut body = String::new();
+    match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let _ = write!(
+                body,
+                "let entries = value.as_map().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected map for struct `{name}`\"))?;\
+                 ::std::result::Result::Ok({name} {{"
+            );
+            for f in fields {
+                let _ = write!(
+                    body,
+                    "{f}: ::serde::Deserialize::deserialize(::serde::field(entries, \"{f}\")?)?,"
+                );
+            }
+            body.push_str("})");
+        }
+        ItemKind::TupleStruct(1) => {
+            let _ = write!(
+                body,
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(value)?))"
+            );
+        }
+        ItemKind::TupleStruct(n) => {
+            let _ = write!(
+                body,
+                "let items = value.as_seq().ok_or_else(|| ::serde::Error::custom(\
+                     \"expected sequence for struct `{name}`\"))?;\
+                 if items.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong arity for struct `{name}`\")); }}\
+                 ::std::result::Result::Ok({name}("
+            );
+            for i in 0..*n {
+                let _ = write!(body, "::serde::Deserialize::deserialize(&items[{i}])?,");
+            }
+            body.push_str("))");
+        }
+        ItemKind::UnitStruct => {
+            let _ = write!(body, "::std::result::Result::Ok({name})");
+        }
+        ItemKind::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.payload, Payload::Unit))
+                .collect();
+            body.push_str("match value {");
+            if !units.is_empty() {
+                body.push_str("::serde::Value::Str(s) => match s.as_str() {");
+                for v in &units {
+                    let vname = &v.name;
+                    let _ = write!(
+                        body,
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                    );
+                }
+                let _ = write!(
+                    body,
+                    "other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of enum `{name}`\"))),"
+                );
+                body.push_str("},");
+            }
+            if !tagged.is_empty() {
+                body.push_str(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {\
+                         let (tag, payload) = &entries[0];\
+                         match tag.as_str() {",
+                );
+                for v in &tagged {
+                    let vname = &v.name;
+                    let _ = write!(body, "\"{vname}\" => {},", variant_from_payload(name, v));
+                }
+                let _ = write!(
+                    body,
+                    "other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{other}}` of enum `{name}`\"))),"
+                );
+                body.push_str("}},");
+            }
+            let _ = write!(
+                body,
+                "other => ::std::result::Result::Err(::serde::Error::custom(\
+                     ::std::format!(\"invalid encoding for enum `{name}`: {{}}\", other.kind()))),"
+            );
+            body.push('}');
+        }
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    );
+    out.parse().expect("generated Deserialize impl must parse")
+}
