@@ -95,6 +95,35 @@ impl RegionedTable {
         Self::new(Vec::new(), config)
     }
 
+    /// A table pre-split into (at most) `n_regions` regions at quantile
+    /// boundaries of `sorted_user_ids`, so a bulk upload that walks the
+    /// sorted id list in contiguous shards keeps each worker inside its own
+    /// region's store — concurrent writers never contend on a region lock.
+    /// Table *contents* after identical puts do not depend on the split
+    /// points, only the physical sharding does.
+    ///
+    /// # Panics
+    /// Panics if `sorted_user_ids` is not strictly increasing.
+    pub fn with_user_splits(
+        sorted_user_ids: &[u64],
+        n_regions: usize,
+        config: StoreConfig,
+    ) -> std::io::Result<Self> {
+        assert!(
+            sorted_user_ids.windows(2).all(|w| w[0] < w[1]),
+            "user ids must be sorted and distinct"
+        );
+        let n = sorted_user_ids.len();
+        let parts = n_regions.max(1).min(n.max(1));
+        // Boundaries at i*n/parts match titant_parallel::chunk_ranges, so a
+        // chunked iteration over the same sorted list aligns shard == region.
+        let mut splits: Vec<RowKey> = (1..parts)
+            .map(|i| RowKey::from_user(sorted_user_ids[i * n / parts]))
+            .collect();
+        splits.dedup();
+        Self::new(splits, config)
+    }
+
     /// Number of regions.
     pub fn region_count(&self) -> usize {
         self.regions.len()
@@ -211,6 +240,57 @@ mod tests {
         for row in ["alpha", "mike", "zulu"] {
             assert_eq!(t.get(&key(row)).as_deref(), Some(row.as_bytes()));
         }
+    }
+
+    #[test]
+    fn user_splits_shard_a_sorted_upload_contiguously() {
+        let users: Vec<u64> = (0..100).map(|i| i * 7 + 3).collect();
+        let t = RegionedTable::with_user_splits(&users, 4, StoreConfig::default()).unwrap();
+        assert_eq!(t.region_count(), 4);
+        // Quantile chunks of the sorted id list land in distinct regions,
+        // one region per chunk, in order.
+        for (chunk, expect_region) in users.chunks(25).zip(0..) {
+            for &u in chunk {
+                assert_eq!(t.region_of(&RowKey::from_user(u)), expect_region, "u{u}");
+            }
+        }
+        // Concurrent shard writes produce the same contents as serial puts.
+        std::thread::scope(|scope| {
+            for chunk in users.chunks(25) {
+                let t = &t;
+                scope.spawn(move || {
+                    for &u in chunk {
+                        t.put(
+                            CellKey::new(RowKey::from_user(u).to_string(), "basic", "v"),
+                            1,
+                            Bytes::from(u.to_le_bytes().to_vec()),
+                        )
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let single = RegionedTable::single(StoreConfig::default()).unwrap();
+        for &u in &users {
+            single
+                .put(
+                    CellKey::new(RowKey::from_user(u).to_string(), "basic", "v"),
+                    1,
+                    Bytes::from(u.to_le_bytes().to_vec()),
+                )
+                .unwrap();
+        }
+        let lo = RowKey::from_str("");
+        let hi = RowKey::from_str("v");
+        assert_eq!(t.scan_rows(&lo, &hi), single.scan_rows(&lo, &hi));
+    }
+
+    #[test]
+    fn more_regions_than_users_collapses_gracefully() {
+        let t = RegionedTable::with_user_splits(&[5, 9], 8, StoreConfig::default()).unwrap();
+        assert!(t.region_count() <= 2);
+        let empty = RegionedTable::with_user_splits(&[], 4, StoreConfig::default()).unwrap();
+        assert_eq!(empty.region_count(), 1);
     }
 
     #[test]

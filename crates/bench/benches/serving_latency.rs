@@ -40,7 +40,8 @@ fn setup() -> Setup {
         use_batch_layer: false,
         ..Default::default()
     })
-    .run(&world, &slice);
+    .run(&world, &slice)
+    .expect("offline pipeline");
     let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
     let requests: Vec<ScoreRequest> = world
         .record_range(slice.test_day..slice.test_day + 1)

@@ -1,0 +1,212 @@
+//! **Offline throughput** — wall-clock per offline stage (graph build,
+//! walks+SGNS, assembly, GBDT fit, upload) across thread counts, tracking
+//! how the T+1 training path scales with cores (§5.1: the daily retrain
+//! must fit a fixed wall-clock budget).
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin offline_throughput            # full sweep, 1/2/4/8 threads
+//! cargo run --release -p titant-bench --bin offline_throughput -- --quick # tiny world + determinism check
+//! ```
+//!
+//! Writes `BENCH_offline.json`. The quick mode doubles as a cross-thread
+//! determinism gate: it runs the pipeline with embeddings disabled (Hogwild
+//! SGNS is thread-count-dependent by design) and exits nonzero if the model
+//! bytes or the uploaded feature-table contents differ between thread
+//! counts.
+
+use serde::Serialize;
+use titant_alihbase::RowKey;
+use titant_bench::harness;
+use titant_core::offline::StageTimings;
+use titant_core::prelude::*;
+
+#[derive(Serialize)]
+struct StageMs {
+    graph_ms: f64,
+    embed_ms: f64,
+    assemble_ms: f64,
+    fit_ms: f64,
+    upload_ms: f64,
+    total_ms: f64,
+}
+
+impl StageMs {
+    fn from_timings(t: &StageTimings) -> Self {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        Self {
+            graph_ms: ms(t.graph),
+            embed_ms: ms(t.embed),
+            assemble_ms: ms(t.assemble),
+            fit_ms: ms(t.fit),
+            upload_ms: ms(t.upload),
+            total_ms: ms(t.total()),
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct ThreadRun {
+    threads: usize,
+    stages: StageMs,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    detected_cores: usize,
+    train_rows: usize,
+    graph_nodes: usize,
+    runs: Vec<ThreadRun>,
+    /// GBDT fit wall-clock at 1 thread over 4 threads (full mode; >= 2.0 is
+    /// the acceptance bar on a >= 4-core machine).
+    fit_speedup_4_threads: Option<f64>,
+    deterministic_across_threads: Option<bool>,
+}
+
+/// Serialized model bytes + feature-table dump, compared across thread
+/// counts in quick mode.
+type Fingerprint = (Vec<u8>, Vec<(String, Vec<u8>)>);
+
+struct RunOutcome {
+    timings: StageTimings,
+    train_rows: usize,
+    graph_nodes: usize,
+    fingerprint: Option<Fingerprint>,
+}
+
+fn run_once(
+    world: &World,
+    slice: &DatasetSlice,
+    threads: usize,
+    quick: bool,
+) -> Result<RunOutcome, TitAntError> {
+    let config = PipelineConfig {
+        // Quick mode disables embeddings so every stage is bit-deterministic
+        // across thread counts and the run doubles as a correctness gate.
+        embedding_dim: if quick { 0 } else { 16 },
+        walks_per_node: if quick { 0 } else { 10 },
+        walk_length: if quick { 0 } else { 20 },
+        threads,
+        use_batch_layer: true,
+        ..PipelineConfig::default()
+    };
+    let artifacts = OfflinePipeline::new(config).run(world, slice)?;
+    let fingerprint = if quick {
+        let model_bytes = artifacts
+            .model_file
+            .to_bytes()
+            .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
+        let table = artifacts
+            .feature_table
+            .scan_rows(&RowKey::from_str(""), &RowKey::from_str("\u{10FFFF}"))
+            .into_iter()
+            .map(|(key, value)| (format!("{key:?}"), value.to_vec()))
+            .collect();
+        Some((model_bytes, table))
+    } else {
+        None
+    };
+    Ok(RunOutcome {
+        timings: artifacts.timings,
+        train_rows: artifacts.train_rows,
+        graph_nodes: artifacts.graph.node_count(),
+        fingerprint,
+    })
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let detected_cores = titant_parallel::resolve_threads(0);
+
+    let world = if quick {
+        World::generate(WorldConfig::tiny(42))
+    } else {
+        World::generate(WorldConfig {
+            n_users: 5_000,
+            seed: 0x00ff_11ee,
+            ..Default::default()
+        })
+    };
+    let slice = if quick {
+        let start = world.config().feature_start_day;
+        DatasetSlice {
+            index: 0,
+            graph_days: 0..start,
+            train_days: start..world.config().n_days - 1,
+            test_day: world.config().n_days - 1,
+        }
+    } else {
+        DatasetSlice::paper(0)
+    };
+
+    let thread_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+    eprintln!(
+        "offline throughput ({} mode, {detected_cores} cores detected): sweeping {thread_counts:?} threads",
+        if quick { "quick" } else { "full" },
+    );
+
+    let mut runs = Vec::new();
+    let mut outcomes = Vec::new();
+    for &threads in thread_counts {
+        let outcome = match run_once(&world, &slice, threads, quick) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("offline pipeline failed at {threads} threads: {e}");
+                std::process::exit(1);
+            }
+        };
+        let stages = StageMs::from_timings(&outcome.timings);
+        eprintln!(
+            "  {threads} thread(s): graph {:.0}ms  embed {:.0}ms  assemble {:.0}ms  fit {:.0}ms  upload {:.0}ms  total {:.0}ms",
+            stages.graph_ms,
+            stages.embed_ms,
+            stages.assemble_ms,
+            stages.fit_ms,
+            stages.upload_ms,
+            stages.total_ms,
+        );
+        runs.push(ThreadRun { threads, stages });
+        outcomes.push(outcome);
+    }
+
+    let fit_speedup_4_threads = (!quick).then(|| {
+        let fit_at = |t: usize| {
+            runs.iter()
+                .find(|r| r.threads == t)
+                .map(|r| r.stages.fit_ms)
+                .unwrap_or(f64::NAN)
+        };
+        fit_at(1) / fit_at(4)
+    });
+    if let Some(speedup) = fit_speedup_4_threads {
+        eprintln!("GBDT fit speedup, 4 threads vs 1: {speedup:.2}x");
+    }
+
+    let deterministic_across_threads = quick.then(|| {
+        let first = outcomes[0].fingerprint.as_ref().expect("quick fingerprint");
+        outcomes[1..]
+            .iter()
+            .all(|o| o.fingerprint.as_ref().expect("quick fingerprint") == first)
+    });
+
+    let report = Report {
+        bench: "offline_throughput".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        detected_cores,
+        train_rows: outcomes[0].train_rows,
+        graph_nodes: outcomes[0].graph_nodes,
+        runs,
+        fit_speedup_4_threads,
+        deterministic_across_threads,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_offline.json", &json).expect("write BENCH_offline.json");
+    eprintln!("results written to BENCH_offline.json");
+    harness::save_results("offline_throughput.json", &json);
+
+    if deterministic_across_threads == Some(false) {
+        eprintln!("FAIL: model or feature table differs across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -28,7 +28,8 @@ fn main() {
         threads: 8,
         ..Default::default()
     })
-    .run(&world, &slice);
+    .run(&world, &slice)
+    .expect("offline pipeline");
     let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
 
     eprintln!("replaying the test day…");

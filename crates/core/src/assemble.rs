@@ -4,7 +4,11 @@
 use titant_datagen::{DatasetSlice, World};
 use titant_models::Dataset;
 use titant_nrl::EmbeddingMatrix;
+use titant_parallel::Pool;
 use titant_txgraph::{TxGraph, UserId};
+
+/// Below this many rows the per-chunk spawn cost outweighs the copy work.
+const PAR_ASSEMBLE_MIN_ROWS: usize = 4 * 1024;
 
 /// Which embeddings a configuration appends to the basic features.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +33,21 @@ pub fn embedding_columns(
     emb: &EmbeddingMatrix,
     tag: &str,
 ) -> Dataset {
+    embedding_columns_with_pool(world, record_idx, graph, emb, tag, &Pool::serial())
+}
+
+/// [`embedding_columns`] with row materialization sharded across the pool's
+/// workers. Each worker fills a disjoint row-aligned span of one
+/// preallocated value buffer, so the output is byte-identical to the serial
+/// path for any thread count.
+pub fn embedding_columns_with_pool(
+    world: &World,
+    record_idx: &[usize],
+    graph: &TxGraph,
+    emb: &EmbeddingMatrix,
+    tag: &str,
+    pool: &Pool,
+) -> Dataset {
     let d = emb.dim();
     let mut names = Vec::with_capacity(2 * d);
     for side in ["p", "r"] {
@@ -36,15 +55,30 @@ pub fn embedding_columns(
             names.push(format!("{tag}_{side}{k}"));
         }
     }
-    let mut data = Dataset::new(2 * d).with_feature_names(names);
-    let mut row = vec![0f32; 2 * d];
-    for &i in record_idx {
-        let rec = &world.records()[i];
-        fill(&mut row[..d], graph, emb, rec.transferor);
-        fill(&mut row[d..], graph, emb, rec.transferee);
-        data.push_unlabeled_row(&row);
+    let width = 2 * d;
+    if width == 0 {
+        let mut data = Dataset::new(0);
+        for _ in record_idx {
+            data.push_unlabeled_row(&[]);
+        }
+        return data;
     }
-    data
+    let mut values = vec![0f32; record_idx.len() * width];
+    let fill_span = |first_row: usize, span: &mut [f32]| {
+        for (offset, chunk) in span.chunks_exact_mut(width).enumerate() {
+            let rec = &world.records()[record_idx[first_row + offset]];
+            fill(&mut chunk[..d], graph, emb, rec.transferor);
+            fill(&mut chunk[d..], graph, emb, rec.transferee);
+        }
+    };
+    if pool.threads() > 1 && record_idx.len() >= PAR_ASSEMBLE_MIN_ROWS {
+        pool.for_chunks_mut(&mut values, width, |first_row, span| {
+            fill_span(first_row, span)
+        });
+    } else {
+        fill_span(0, &mut values);
+    }
+    Dataset::from_parts(width, values, Vec::new()).with_feature_names(names)
 }
 
 #[inline]
@@ -67,12 +101,28 @@ pub fn slice_datasets(
     graph: &TxGraph,
     embeddings: &[(&str, &EmbeddingMatrix)],
 ) -> (Dataset, Dataset) {
+    slice_datasets_with_pool(world, slice, graph, embeddings, &Pool::serial())
+}
+
+/// [`slice_datasets`] with embedding-row materialization sharded across the
+/// pool's workers (same output for any thread count).
+pub fn slice_datasets_with_pool(
+    world: &World,
+    slice: &DatasetSlice,
+    graph: &TxGraph,
+    embeddings: &[(&str, &EmbeddingMatrix)],
+    pool: &Pool,
+) -> (Dataset, Dataset) {
     let (mut train, train_idx) =
         world.basic_dataset(slice.train_days.clone(), slice.label_cutoff());
     let (mut test, test_idx) = world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
     for (tag, emb) in embeddings {
-        train = train.hconcat(&embedding_columns(world, &train_idx, graph, emb, tag));
-        test = test.hconcat(&embedding_columns(world, &test_idx, graph, emb, tag));
+        train = train.hconcat(&embedding_columns_with_pool(
+            world, &train_idx, graph, emb, tag, pool,
+        ));
+        test = test.hconcat(&embedding_columns_with_pool(
+            world, &test_idx, graph, emb, tag, pool,
+        ));
     }
     (train, test)
 }
@@ -146,6 +196,45 @@ mod tests {
         // Oldest rows go to validation.
         assert_eq!(val.row(0), train.row(0));
         assert_eq!(fit.row(0), train.row(val.n_rows()));
+    }
+
+    /// The pooled materialization path must be byte-identical to the serial
+    /// one. The repeated index list pushes the row count past the parallel
+    /// threshold so the sharded path actually runs.
+    #[test]
+    fn pooled_embedding_columns_match_serial() {
+        let world = tiny_world();
+        let slice = tiny_slice(&world);
+        let graph = world.build_graph(slice.graph_days.clone());
+        let emb = DeepWalk::new(DeepWalkConfig {
+            walk: WalkConfig {
+                walk_length: 6,
+                walks_per_node: 3,
+                ..Default::default()
+            },
+            word2vec: Word2VecConfig {
+                dim: 4,
+                epochs: 1,
+                ..Default::default()
+            },
+        })
+        .embed(&graph);
+        let (_, test_idx) = world.basic_dataset(slice.test_day..slice.test_day + 1, i64::MAX);
+        let idx: Vec<usize> = test_idx
+            .iter()
+            .cycle()
+            .take(super::PAR_ASSEMBLE_MIN_ROWS + 77)
+            .copied()
+            .collect();
+        let serial = embedding_columns(&world, &idx, &graph, &emb, "dw");
+        for threads in [2usize, 3, 8] {
+            let pooled =
+                embedding_columns_with_pool(&world, &idx, &graph, &emb, "dw", &Pool::new(threads));
+            assert_eq!(pooled.n_rows(), serial.n_rows());
+            for i in 0..serial.n_rows() {
+                assert_eq!(pooled.row(i), serial.row(i), "row {i}, threads {threads}");
+            }
+        }
     }
 
     #[test]

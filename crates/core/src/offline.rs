@@ -19,6 +19,7 @@ use crate::error::TitAntError;
 use crate::layout;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use titant_alihbase::{RegionedTable, StoreConfig};
 use titant_datagen::{DatasetSlice, World};
 use titant_eval as eval;
@@ -26,6 +27,7 @@ use titant_maxcompute::{Account, ColumnType, MaxCompute, Schema, Table, Value};
 use titant_models::{Classifier, GbdtConfig};
 use titant_modelserver::{FeatureCodec, ModelFile, ServableModel, UserFeatures};
 use titant_nrl::{DeepWalk, DeepWalkConfig, EmbeddingMatrix, Word2VecConfig};
+use titant_parallel::Pool;
 use titant_txgraph::{TxGraph, TxGraphBuilder, UserId, WalkConfig};
 
 /// Offline-pipeline configuration.
@@ -37,7 +39,9 @@ pub struct PipelineConfig {
     pub walks_per_node: usize,
     /// Walk length (paper: 50).
     pub walk_length: usize,
-    /// Worker threads for walks + SGNS.
+    /// Worker threads for every parallel stage (walks, SGNS, MapReduce,
+    /// GBDT, assembly, upload). `0` auto-detects via
+    /// [`std::thread::available_parallelism`].
     pub threads: usize,
     /// Classifier configuration (paper: 400 trees, depth 3, subsample 0.4).
     pub gbdt: GbdtConfig,
@@ -55,7 +59,7 @@ impl Default for PipelineConfig {
             embedding_dim: 32,
             walks_per_node: 20,
             walk_length: 50,
-            threads: 4,
+            threads: 0,
             gbdt: GbdtConfig::default(),
             val_fraction: 0.25,
             use_batch_layer: true,
@@ -81,6 +85,30 @@ impl PipelineConfig {
     }
 }
 
+/// Wall-clock time spent in each offline stage, recorded by every
+/// [`OfflinePipeline::run`]. The offline-throughput bench reports these
+/// per thread count; production would export them as training-job metrics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Network construction (MaxCompute MR or direct build).
+    pub graph: Duration,
+    /// DeepWalk walks + SGNS training.
+    pub embed: Duration,
+    /// Dataset assembly (basic ⊕ embedding columns, fit/val split).
+    pub assemble: Duration,
+    /// GBDT fit, including validation scoring and threshold tuning.
+    pub fit: Duration,
+    /// Per-user feature upload to Ali-HBase.
+    pub upload: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stage durations.
+    pub fn total(&self) -> Duration {
+        self.graph + self.embed + self.assemble + self.fit + self.upload
+    }
+}
+
 /// Everything one offline run produces.
 pub struct OfflineArtifacts {
     /// The transaction network of the 90-day window.
@@ -95,6 +123,8 @@ pub struct OfflineArtifacts {
     pub version: u64,
     /// Training-time diagnostics.
     pub train_rows: usize,
+    /// Per-stage wall-clock timings for this run.
+    pub timings: StageTimings,
 }
 
 /// The offline pipeline driver.
@@ -109,12 +139,12 @@ impl OfflinePipeline {
     }
 
     /// Run one offline training cycle for `slice`.
-    pub fn run(&self, world: &World, slice: &DatasetSlice) -> OfflineArtifacts {
-        self.try_run(world, slice).expect("offline pipeline failed")
-    }
-
-    /// Fallible variant of [`OfflinePipeline::run`].
-    pub fn try_run(
+    ///
+    /// Fallible: every stage that touches the batch layer or the feature
+    /// store propagates its error instead of panicking, so the T+1 driver
+    /// (and anything else that retrains daily) can skip a bad day and keep
+    /// serving yesterday's model.
+    pub fn run(
         &self,
         world: &World,
         slice: &DatasetSlice,
@@ -126,14 +156,22 @@ impl OfflinePipeline {
             });
         }
 
+        // One resolved thread count + one pool drives every stage.
+        let threads = titant_parallel::resolve_threads(self.config.threads);
+        let pool = Pool::new(threads);
+        let mut timings = StageTimings::default();
+
         // 1. Network construction: through MaxCompute MR or directly.
+        let t0 = Instant::now();
         let graph = if self.config.use_batch_layer {
-            self.build_graph_via_maxcompute(world, slice)?
+            self.build_graph_via_maxcompute(world, slice, threads)?
         } else {
             world.build_graph(slice.graph_days.clone())
         };
+        timings.graph = t0.elapsed();
 
         // 2. User node embeddings.
+        let t0 = Instant::now();
         let embeddings = if self.config.embedding_dim == 0 {
             EmbeddingMatrix::zeros(graph.node_count(), 1)
         } else {
@@ -142,35 +180,50 @@ impl OfflinePipeline {
                     walk_length: self.config.walk_length,
                     walks_per_node: self.config.walks_per_node,
                     strategy: titant_txgraph::WalkStrategy::Weighted,
-                    threads: self.config.threads,
+                    threads,
                     ..Default::default()
                 },
                 word2vec: Word2VecConfig {
                     dim: self.config.embedding_dim,
-                    threads: self.config.threads,
+                    threads,
                     ..Default::default()
                 },
             })
             .embed(&graph)
         };
+        timings.embed = t0.elapsed();
 
         // 3. Train the classifier and tune the alert operating point.
+        let t0 = Instant::now();
         let emb_pairs: Vec<(&str, &EmbeddingMatrix)> = if self.config.embedding_dim > 0 {
             vec![("dw", &embeddings)]
         } else {
             Vec::new()
         };
-        let (train, _test) = assemble::slice_datasets(world, slice, &graph, &emb_pairs);
+        let (train, _test) =
+            assemble::slice_datasets_with_pool(world, slice, &graph, &emb_pairs, &pool);
         let (fit, val) = fit_val_split(&train, self.config.val_fraction);
-        let model = self.config.gbdt.fit(&fit);
+        timings.assemble = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut gbdt_config = self.config.gbdt.clone();
+        if gbdt_config.threads == 0 {
+            gbdt_config.threads = threads;
+        }
+        // Persist the user-configured thread count, not the resolved one:
+        // the shipped artifact must not vary with the training machine.
+        let model = gbdt_config.fit(&fit).with_threads(self.config.gbdt.threads);
         let val_scores = model.predict_batch(&val);
         let (rate, _f1) = eval::best_f1_rate(&val_scores, val.labels());
         let alert_threshold = score_at_rate(&val_scores, rate);
+        timings.fit = t0.elapsed();
 
         // 4. Upload per-user serving features + the model file.
+        let t0 = Instant::now();
         let version = slice.test_day as u64;
         let feature_table =
-            Arc::new(self.upload_features(world, slice, &graph, &embeddings, version)?);
+            Arc::new(self.upload_features(world, slice, &graph, &embeddings, version, &pool)?);
+        timings.upload = t0.elapsed();
 
         let model_file = ModelFile {
             version,
@@ -186,6 +239,7 @@ impl OfflinePipeline {
             feature_table,
             version,
             train_rows: train.n_rows(),
+            timings,
         })
     }
 
@@ -195,8 +249,9 @@ impl OfflinePipeline {
         &self,
         world: &World,
         slice: &DatasetSlice,
+        threads: usize,
     ) -> Result<TxGraph, TitAntError> {
-        let mc = MaxCompute::new(2, self.config.threads.max(1), 3);
+        let mc = MaxCompute::new(2, threads, 3);
         mc.create_account(&Account::new("titant", "offline"));
         let session = mc
             .login("titant", "offline")
@@ -228,7 +283,7 @@ impl OfflinePipeline {
                 &|k: &(i64, i64), vs: &[u32]| {
                     vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
                 },
-                self.config.threads.max(1),
+                threads,
             )
             .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
 
@@ -246,6 +301,12 @@ impl OfflinePipeline {
     /// Per-user feature snapshot: the last observed values in the training
     /// window (production T+1 serves yesterday's snapshot), plus the node
     /// embedding for users inside the network window.
+    ///
+    /// The upload is sharded across the pool's workers: the table is
+    /// pre-split at the same quantile boundaries the worker shards use, so
+    /// each worker streams its contiguous id range into its own region
+    /// without contending on region locks. Table contents are independent
+    /// of the thread count — only the physical sharding varies.
     fn upload_features(
         &self,
         world: &World,
@@ -253,8 +314,8 @@ impl OfflinePipeline {
         graph: &TxGraph,
         embeddings: &EmbeddingMatrix,
         version: u64,
+        pool: &Pool,
     ) -> Result<RegionedTable, TitAntError> {
-        let table = RegionedTable::single(StoreConfig::default())?;
         let dim = if self.config.embedding_dim > 0 {
             embeddings.dim()
         } else {
@@ -266,7 +327,8 @@ impl OfflinePipeline {
             receiver_width: layout::RECEIVER_SLOTS.len(),
         };
 
-        // Latest snapshot per user over the train window.
+        // Latest snapshot per user over the train window. Serial: insertion
+        // order is last-write-wins and must follow record order.
         let mut payer_snap: HashMap<u64, Vec<f32>> = HashMap::new();
         let mut recv_snap: HashMap<u64, Vec<f32>> = HashMap::new();
         for i in world.record_range(slice.train_days.clone()) {
@@ -279,12 +341,21 @@ impl OfflinePipeline {
             recv_snap.insert(rec.transferee.0, r);
         }
 
-        let mut users: std::collections::HashSet<u64> = payer_snap.keys().copied().collect();
-        users.extend(recv_snap.keys().copied());
+        let mut user_set: std::collections::HashSet<u64> = payer_snap.keys().copied().collect();
+        user_set.extend(recv_snap.keys().copied());
         for &user in graph.users() {
-            users.insert(user.0);
+            user_set.insert(user.0);
         }
-        for user in users {
+        let mut users: Vec<u64> = user_set.into_iter().collect();
+        users.sort_unstable();
+
+        let table = if pool.threads() > 1 && !users.is_empty() {
+            RegionedTable::with_user_splits(&users, pool.threads(), StoreConfig::default())?
+        } else {
+            RegionedTable::single(StoreConfig::default())?
+        };
+
+        let put_user = |user: u64| -> std::io::Result<()> {
             let embedding = match (dim, graph.node_of(UserId(user))) {
                 (0, _) | (_, None) => vec![0.0; dim],
                 (_, Some(node)) => embeddings.row(node).to_vec(),
@@ -300,8 +371,16 @@ impl OfflinePipeline {
                     .unwrap_or_else(|| vec![0.0; layout::RECEIVER_SLOTS.len()]),
                 embedding,
             };
-            codec.put_user(&table, user, &features, version)?;
-        }
+            codec.put_user(&table, user, &features, version)
+        };
+        pool.map_ranges(users.len(), |_, range| -> std::io::Result<()> {
+            for &user in &users[range] {
+                put_user(user)?;
+            }
+            Ok(())
+        })
+        .into_iter()
+        .collect::<std::io::Result<()>>()?;
         table.flush()?;
         Ok(table)
     }
@@ -338,8 +417,11 @@ mod tests {
     #[test]
     fn pipeline_produces_complete_artifacts() {
         let (world, slice) = tiny_setup();
-        let artifacts = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
+        let artifacts = OfflinePipeline::new(PipelineConfig::quick())
+            .run(&world, &slice)
+            .unwrap();
         assert!(artifacts.graph.node_count() > 50);
+        assert!(artifacts.timings.total() > Duration::ZERO);
         assert_eq!(artifacts.embeddings.dim(), 8);
         assert_eq!(
             artifacts.model_file.n_features,
@@ -368,7 +450,9 @@ mod tests {
             ..PipelineConfig::quick()
         });
         let direct = world.build_graph(slice.graph_days.clone());
-        let mc_graph = via_mc.build_graph_via_maxcompute(&world, &slice).unwrap();
+        let mc_graph = via_mc
+            .build_graph_via_maxcompute(&world, &slice, 2)
+            .unwrap();
         assert_eq!(mc_graph.node_count(), direct.node_count());
         assert_eq!(mc_graph.edge_count(), direct.edge_count());
     }
@@ -377,7 +461,7 @@ mod tests {
     fn out_of_range_slice_is_rejected() {
         let (world, mut slice) = tiny_setup();
         slice.test_day = 10_000;
-        let result = OfflinePipeline::new(PipelineConfig::quick()).try_run(&world, &slice);
+        let result = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
         assert!(matches!(
             result.err(),
             Some(TitAntError::SliceOutOfRange { .. })
@@ -399,10 +483,39 @@ mod tests {
             embedding_dim: 0,
             ..PipelineConfig::quick()
         })
-        .run(&world, &slice);
+        .run(&world, &slice)
+        .unwrap();
         assert_eq!(
             artifacts.model_file.n_features,
             titant_datagen::N_BASIC_FEATURES
         );
+    }
+
+    /// The feature store must not depend on the upload thread count: the
+    /// same users, cells, and bytes regardless of how the work is sharded.
+    /// `embedding_dim: 0` keeps every upstream stage bit-deterministic
+    /// (Hogwild SGNS is thread-count-dependent by design).
+    #[test]
+    fn upload_is_identical_across_thread_counts() {
+        let (world, slice) = tiny_setup();
+        let dump = |threads: usize| {
+            let artifacts = OfflinePipeline::new(PipelineConfig {
+                embedding_dim: 0,
+                threads,
+                use_batch_layer: false,
+                ..PipelineConfig::quick()
+            })
+            .run(&world, &slice)
+            .unwrap();
+            let rows = artifacts.feature_table.scan_rows(
+                &titant_alihbase::RowKey::from_str(""),
+                &titant_alihbase::RowKey::from_str("\u{10FFFF}"),
+            );
+            assert!(!rows.is_empty());
+            rows
+        };
+        let serial = dump(1);
+        assert_eq!(serial, dump(2));
+        assert_eq!(serial, dump(4));
     }
 }

@@ -177,7 +177,9 @@ mod tests {
             train_days: start..world.config().n_days - 1,
             test_day: world.config().n_days - 1,
         };
-        let artifacts = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
+        let artifacts = OfflinePipeline::new(PipelineConfig::quick())
+            .run(&world, &slice)
+            .unwrap();
         let deployment = OnlineDeployment::new(&world, &slice, artifacts).unwrap();
         (world, slice, deployment)
     }

@@ -46,7 +46,7 @@ impl TPlusOneDriver {
         slices
             .iter()
             .map(|slice| {
-                let artifacts = self.pipeline.run(world, slice);
+                let artifacts = self.pipeline.run(world, slice)?;
                 let version = artifacts.version;
                 let deployment = OnlineDeployment::new(world, slice, artifacts)?;
                 let report = deployment.replay_test_day(world, slice);

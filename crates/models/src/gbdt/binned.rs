@@ -6,6 +6,7 @@
 //! trained trees carry raw `f32` thresholds for binning-free serving.
 
 use crate::dataset::Dataset;
+use titant_parallel::Pool;
 
 /// Column-major quantised view of a dataset.
 #[derive(Debug)]
@@ -18,45 +19,64 @@ pub struct BinnedMatrix {
 }
 
 impl BinnedMatrix {
-    /// Quantise `data` into at most `max_bins` (≤ 256) buckets per feature.
+    /// Quantise `data` into at most `max_bins` (≤ 256) buckets per feature,
+    /// single-threaded. See [`BinnedMatrix::build_with_pool`].
     ///
     /// # Panics
     /// Panics if `max_bins` is not in `2..=256` or the dataset is empty.
     pub fn build(data: &Dataset, max_bins: usize) -> Self {
+        Self::build_with_pool(data, max_bins, &Pool::serial())
+    }
+
+    /// Quantise `data` with the cut-point fits and code fills spread
+    /// feature-wise over `pool`. Every feature is processed end-to-end by
+    /// exactly one worker, so the result is identical for any thread count.
+    ///
+    /// # Panics
+    /// Panics if `max_bins` is not in `2..=256` or the dataset is empty.
+    pub fn build_with_pool(data: &Dataset, max_bins: usize, pool: &Pool) -> Self {
         assert!((2..=256).contains(&max_bins), "max_bins must be in 2..=256");
         assert!(data.n_rows() > 0, "cannot bin an empty dataset");
         let n_rows = data.n_rows();
         let n_cols = data.n_cols();
-        let mut cuts = Vec::with_capacity(n_cols);
         let mut codes = vec![0u8; n_rows * n_cols];
 
-        for j in 0..n_cols {
-            let mut col = data.column(j);
-            // NaNs sort to the front deterministically and land in bin 0.
-            col.sort_unstable_by(|a, b| a.total_cmp(b));
-            // Greedy quantile cuts: close a bin once it holds >= n/max_bins
-            // rows and the next value is distinct, so duplicate-heavy
-            // columns never get empty bins.
-            let mut c: Vec<f32> = Vec::with_capacity(max_bins - 1);
-            let target = (n_rows / max_bins).max(1);
-            let mut in_bin = 0usize;
-            for i in 0..n_rows {
-                in_bin += 1;
-                if in_bin >= target
-                    && i + 1 < n_rows
-                    && col[i + 1] > col[i]
-                    && col[i + 1].is_finite()
-                    && c.len() < max_bins - 1
-                {
-                    c.push(col[i + 1]);
-                    in_bin = 0;
+        // Feature-parallel: worker chunks own contiguous column ranges of
+        // the code matrix; cut vectors come back in chunk order and are
+        // flattened back into feature order.
+        let mut cuts: Vec<Vec<f32>> = Vec::with_capacity(n_cols);
+        let chunk_cuts: Vec<Vec<Vec<f32>>> = {
+            let codes_chunks: Vec<(usize, &mut [u8])> = {
+                let mut out = Vec::new();
+                let mut rest = &mut codes[..];
+                for r in titant_parallel::chunk_ranges(n_cols, pool.threads()) {
+                    let (chunk, tail) = rest.split_at_mut((r.end - r.start) * n_rows);
+                    rest = tail;
+                    out.push((r.start, chunk));
                 }
-            }
-            let dst = &mut codes[j * n_rows..(j + 1) * n_rows];
-            for (i, slot) in dst.iter_mut().enumerate() {
-                *slot = bin_code(&c, data.row(i)[j]);
-            }
-            cuts.push(c);
+                out
+            };
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = codes_chunks
+                    .into_iter()
+                    .map(|(first_col, chunk)| {
+                        scope.spawn(move || {
+                            chunk
+                                .chunks_mut(n_rows)
+                                .enumerate()
+                                .map(|(k, dst)| fit_feature(data, first_col + k, max_bins, dst))
+                                .collect::<Vec<Vec<f32>>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("binning worker panicked"))
+                    .collect()
+            })
+        };
+        for chunk in chunk_cuts {
+            cuts.extend(chunk);
         }
         Self {
             n_rows,
@@ -101,6 +121,36 @@ impl BinnedMatrix {
     pub fn threshold(&self, j: usize, s: usize) -> f32 {
         self.cuts[j][s - 1]
     }
+}
+
+/// Fit cut points for feature `j` and fill its code column.
+fn fit_feature(data: &Dataset, j: usize, max_bins: usize, dst: &mut [u8]) -> Vec<f32> {
+    let n_rows = data.n_rows();
+    let mut col = data.column(j);
+    // NaNs sort to the front deterministically and land in bin 0.
+    col.sort_unstable_by(|a, b| a.total_cmp(b));
+    // Greedy quantile cuts: close a bin once it holds >= n/max_bins
+    // rows and the next value is distinct, so duplicate-heavy
+    // columns never get empty bins.
+    let mut c: Vec<f32> = Vec::with_capacity(max_bins - 1);
+    let target = (n_rows / max_bins).max(1);
+    let mut in_bin = 0usize;
+    for i in 0..n_rows {
+        in_bin += 1;
+        if in_bin >= target
+            && i + 1 < n_rows
+            && col[i + 1] > col[i]
+            && col[i + 1].is_finite()
+            && c.len() < max_bins - 1
+        {
+            c.push(col[i + 1]);
+            in_bin = 0;
+        }
+    }
+    for (i, slot) in dst.iter_mut().enumerate() {
+        *slot = bin_code(&c, data.row(i)[j]);
+    }
+    c
 }
 
 #[inline]
@@ -172,6 +222,26 @@ mod tests {
         let d = dataset_one_col(&[f32::NAN, 1.0, 2.0, 3.0, 4.0, 5.0]);
         let m = BinnedMatrix::build(&d, 4);
         assert_eq!(m.code(0, 0), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let mut d = Dataset::new(5);
+        let mut state = 3u64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32
+        };
+        for _ in 0..500 {
+            let row: Vec<f32> = (0..5).map(|_| rand01()).collect();
+            d.push_row(&row, 0.0);
+        }
+        let serial = BinnedMatrix::build(&d, 16);
+        for threads in [2usize, 3, 8] {
+            let par = BinnedMatrix::build_with_pool(&d, 16, &Pool::new(threads));
+            assert_eq!(par.codes, serial.codes, "threads={threads}");
+            assert_eq!(par.cuts, serial.cuts, "threads={threads}");
+        }
     }
 
     #[test]

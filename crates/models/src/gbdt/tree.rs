@@ -4,9 +4,20 @@
 //! for the sampled features, then scans bins once to find the best split by
 //! the second-order gain formula `G_L²/(H_L+λ) + G_R²/(H_R+λ) − G²/(H+λ)`.
 //! Leaves output `−G/(H+λ)` (the Newton step).
+//!
+//! Split finding is **feature-parallel**: the sampled features are chunked
+//! across the pool's workers, each worker accumulates histograms for its
+//! features into a private scratch buffer, and the per-chunk bests are
+//! reduced in chunk order. Row accumulation order inside one feature never
+//! changes and the strictly-greater / first-wins reduction matches the
+//! serial scan exactly, so the chosen split — and therefore the whole tree
+//! — is bit-identical for any thread count. The row partition after a
+//! split is likewise chunked contiguously and concatenated in chunk order,
+//! preserving the serial row order.
 
 use super::binned::BinnedMatrix;
 use serde::{Deserialize, Serialize};
+use titant_parallel::Pool;
 
 /// Tree-growing hyperparameters shared across all boosting rounds.
 #[derive(Debug, Clone)]
@@ -15,6 +26,12 @@ pub struct TreeParams {
     pub reg_lambda: f64,
     pub min_samples_leaf: usize,
 }
+
+/// Below this many `rows × features` histogram cells a node's split search
+/// runs inline — scoped-thread spawn overhead would dominate.
+const PAR_HIST_MIN_CELLS: usize = 16 * 1024;
+/// Below this many rows the post-split partition runs inline.
+const PAR_PARTITION_MIN_ROWS: usize = 8 * 1024;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
 enum RegNode {
@@ -54,7 +71,8 @@ struct BestSplit {
 }
 
 impl RegTree {
-    /// Fit a tree on the sampled `rows` using only the sampled `features`.
+    /// Fit a tree on the sampled `rows` using only the sampled `features`,
+    /// with split finding and row partitioning spread over `pool`.
     pub fn fit(
         matrix: &BinnedMatrix,
         rows: &[u32],
@@ -62,6 +80,7 @@ impl RegTree {
         grad: &[f32],
         hess: &[f32],
         params: &TreeParams,
+        pool: &Pool,
     ) -> Self {
         let mut nodes = Vec::new();
         let mut scratch_hist = vec![HistBin::default(); 256];
@@ -75,6 +94,7 @@ impl RegTree {
             0,
             &mut nodes,
             &mut scratch_hist,
+            pool,
         );
         Self { nodes }
     }
@@ -144,35 +164,21 @@ impl RegTree {
     }
 }
 
+/// Best split over one contiguous chunk of the sorted feature sample.
+/// `hist` is a ≥256-bin scratch buffer private to the caller.
 #[allow(clippy::too_many_arguments)]
-fn grow(
+fn best_split_for(
     matrix: &BinnedMatrix,
-    rows: Vec<u32>,
+    rows: &[u32],
     features: &[u32],
     grad: &[f32],
     hess: &[f32],
     params: &TreeParams,
-    depth: usize,
-    nodes: &mut Vec<RegNode>,
+    total: &HistBin,
+    parent_obj: f64,
     hist: &mut [HistBin],
-) -> u32 {
-    let idx = nodes.len() as u32;
-    let mut total = HistBin::default();
-    for &r in &rows {
-        total.g += f64::from(grad[r as usize]);
-        total.h += f64::from(hess[r as usize]);
-        total.n += 1;
-    }
-    let leaf_value = (-total.g / (total.h + params.reg_lambda)) as f32;
-
-    if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
-        nodes.push(RegNode::Leaf { value: leaf_value });
-        return idx;
-    }
-
-    let parent_obj = total.g * total.g / (total.h + params.reg_lambda);
+) -> Option<BestSplit> {
     let mut best: Option<BestSplit> = None;
-
     for &fu in features {
         let f = fu as usize;
         let k = matrix.n_bins(f);
@@ -183,7 +189,7 @@ fn grow(
             *b = HistBin::default();
         }
         let col = matrix.column(f);
-        for &r in &rows {
+        for &r in rows {
             let code = col[r as usize] as usize;
             let b = &mut hist[code];
             b.g += f64::from(grad[r as usize]);
@@ -217,6 +223,69 @@ fn grow(
             }
         }
     }
+    best
+}
+
+#[allow(clippy::too_many_arguments)]
+fn grow(
+    matrix: &BinnedMatrix,
+    rows: Vec<u32>,
+    features: &[u32],
+    grad: &[f32],
+    hess: &[f32],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<RegNode>,
+    hist: &mut [HistBin],
+    pool: &Pool,
+) -> u32 {
+    let idx = nodes.len() as u32;
+    // Node totals accumulate serially in row order: a chunked reduction
+    // would reassociate the f64 sums and break cross-thread determinism.
+    let mut total = HistBin::default();
+    for &r in &rows {
+        total.g += f64::from(grad[r as usize]);
+        total.h += f64::from(hess[r as usize]);
+        total.n += 1;
+    }
+    let leaf_value = (-total.g / (total.h + params.reg_lambda)) as f32;
+
+    if depth >= params.max_depth || rows.len() < 2 * params.min_samples_leaf {
+        nodes.push(RegNode::Leaf { value: leaf_value });
+        return idx;
+    }
+
+    let parent_obj = total.g * total.g / (total.h + params.reg_lambda);
+    let best = if pool.threads() > 1 && rows.len() * features.len() >= PAR_HIST_MIN_CELLS {
+        // Feature-parallel: each worker owns a contiguous chunk of the
+        // sorted feature sample and a private histogram buffer; the
+        // chunk-ordered reduction with strict `>` keeps the same
+        // lowest-feature-index tie-break as the serial scan.
+        pool.map_ranges(features.len(), |_, fr| {
+            let mut scratch = vec![HistBin::default(); 256];
+            best_split_for(
+                matrix,
+                &rows,
+                &features[fr],
+                grad,
+                hess,
+                params,
+                &total,
+                parent_obj,
+                &mut scratch,
+            )
+        })
+        .into_iter()
+        .flatten()
+        .fold(None::<BestSplit>, |best, cand| match best {
+            Some(b) if cand.gain <= b.gain => Some(b),
+            _ => Some(cand),
+        })
+    } else {
+        best_split_for(
+            matrix, &rows, features, grad, hess, params, &total, parent_obj, hist,
+        )
+    };
 
     let Some(best) = best else {
         nodes.push(RegNode::Leaf { value: leaf_value });
@@ -224,9 +293,24 @@ fn grow(
     };
 
     let col = matrix.column(best.feature);
-    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
-        .into_iter()
-        .partition(|&r| (col[r as usize] as usize) < best.bin_split);
+    let goes_left = |r: u32| (col[r as usize] as usize) < best.bin_split;
+    let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+        if pool.threads() > 1 && rows.len() >= PAR_PARTITION_MIN_ROWS {
+            // Chunk-partition then concatenate in chunk order: identical to
+            // the serial order-preserving partition.
+            let parts: Vec<(Vec<u32>, Vec<u32>)> = pool.map_ranges(rows.len(), |_, r| {
+                rows[r].iter().copied().partition(|&row| goes_left(row))
+            });
+            let mut left = Vec::with_capacity(rows.len());
+            let mut right = Vec::new();
+            for (l, r) in parts {
+                left.extend_from_slice(&l);
+                right.extend_from_slice(&r);
+            }
+            (left, right)
+        } else {
+            rows.into_iter().partition(|&row| goes_left(row))
+        };
 
     nodes.push(RegNode::Leaf { value: 0.0 }); // placeholder
     let left = grow(
@@ -239,6 +323,7 @@ fn grow(
         depth + 1,
         nodes,
         hist,
+        pool,
     );
     let right = grow(
         matrix,
@@ -250,6 +335,7 @@ fn grow(
         depth + 1,
         nodes,
         hist,
+        pool,
     );
     nodes[idx as usize] = RegNode::Split {
         feature: best.feature as u32,
@@ -298,6 +384,7 @@ mod tests {
                 reg_lambda: 0.0,
                 min_samples_leaf: 1,
             },
+            &Pool::serial(),
         );
         // Leaf values approximate -mean(g): 0 on the left, +1 on the right.
         assert!(tree.predict_raw(&[10.0]) < 0.1);
@@ -321,6 +408,7 @@ mod tests {
                 reg_lambda: 1.0,
                 min_samples_leaf: 2,
             },
+            &Pool::serial(),
         );
         for i in 0..100u32 {
             let raw = tree.predict_raw(d.row(i as usize));
@@ -348,6 +436,7 @@ mod tests {
                 reg_lambda: 0.0,
                 min_samples_leaf: 60, // no split can satisfy both sides
             },
+            &Pool::serial(),
         );
         assert_eq!(tree.node_count(), 1);
     }
@@ -368,6 +457,7 @@ mod tests {
                 reg_lambda: 1.0,
                 min_samples_leaf: 1,
             },
+            &Pool::serial(),
         );
         let mut imp = vec![0.0];
         tree.accumulate_importance(&mut imp);
@@ -396,8 +486,51 @@ mod tests {
                 reg_lambda: 0.0,
                 min_samples_leaf: 1,
             },
+            &Pool::serial(),
         );
         assert_eq!(tree.node_count(), 1);
         assert!((tree.predict_raw(&[5.0]) - 1.0).abs() < 1e-6);
+    }
+
+    /// Multi-feature tree grown with 1 and 4 workers must be identical —
+    /// the cross-thread determinism contract of the parallel split search
+    /// (5000 rows × 6 features clears `PAR_HIST_MIN_CELLS`, so the root
+    /// search runs feature-parallel; the ensemble-level test in
+    /// `gbdt::tests` additionally covers the parallel partition).
+    #[test]
+    fn parallel_and_serial_trees_agree() {
+        let mut d = Dataset::new(6);
+        let mut state = 5u64;
+        let mut rand01 = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f32 / (1u64 << 31) as f32
+        };
+        let mut grad = Vec::new();
+        let n = 5000;
+        for _ in 0..n {
+            let row: Vec<f32> = (0..6).map(|_| rand01()).collect();
+            let y = ((row[0] > 0.5) != (row[3] > 0.5)) as u8 as f32;
+            grad.push(0.0 - y);
+            d.push_row(&row, y);
+        }
+        let hess = vec![1.0f32; n];
+        let m = BinnedMatrix::build(&d, 32);
+        let rows: Vec<u32> = (0..n as u32).collect();
+        let feats: Vec<u32> = (0..6).collect();
+        let params = TreeParams {
+            max_depth: 4,
+            reg_lambda: 1.0,
+            min_samples_leaf: 2,
+        };
+        let serial = RegTree::fit(&m, &rows, &feats, &grad, &hess, &params, &Pool::serial());
+        let parallel = RegTree::fit(&m, &rows, &feats, &grad, &hess, &params, &Pool::new(4));
+        assert_eq!(serial.node_count(), parallel.node_count());
+        for i in 0..n as u32 {
+            assert_eq!(
+                serial.predict_binned(&m, i),
+                parallel.predict_binned(&m, i),
+                "row {i}"
+            );
+        }
     }
 }

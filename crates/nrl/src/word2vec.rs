@@ -32,7 +32,10 @@ pub struct Word2VecConfig {
     pub initial_lr: f32,
     /// Floor for the decayed learning rate.
     pub min_lr: f32,
-    /// Worker threads (Hogwild).
+    /// Worker threads (Hogwild); `0` = auto-detect via
+    /// [`std::thread::available_parallelism`]. More than one worker makes
+    /// training non-deterministic (the documented Hogwild trade-off); pin
+    /// `threads: 1` where bit-reproducible embeddings matter.
     pub threads: usize,
     /// RNG seed.
     pub seed: u64,
@@ -47,7 +50,7 @@ impl Default for Word2VecConfig {
             epochs: 2,
             initial_lr: 0.025,
             min_lr: 1e-4,
-            threads: 1,
+            threads: 0,
             seed: 0x576f_7264,
         }
     }
@@ -156,7 +159,7 @@ impl Word2VecTrainer {
         let processed = AtomicU64::new(0);
 
         let n_walks = corpus.walk_count();
-        let threads = cfg.threads.max(1).min(n_walks.max(1));
+        let threads = titant_parallel::resolve_threads(cfg.threads).min(n_walks.max(1));
         let chunk = n_walks.div_ceil(threads);
 
         std::thread::scope(|scope| {

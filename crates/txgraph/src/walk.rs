@@ -32,10 +32,13 @@ pub struct WalkConfig {
     pub walks_per_node: usize,
     /// Neighbour selection strategy.
     pub strategy: WalkStrategy,
-    /// RNG seed; walks are fully deterministic for a given seed and thread
-    /// count of 1. Parallel generation is deterministic per shard.
+    /// RNG seed; walks are fully deterministic for a given seed and
+    /// resolved thread count (shards are seeded per worker, so different
+    /// worker counts yield different — equally valid — corpora).
     pub seed: u64,
-    /// Worker threads for walk generation.
+    /// Worker threads for walk generation; `0` = auto-detect via
+    /// [`std::thread::available_parallelism`]. Pin an explicit count when
+    /// the corpus must be reproducible across machines.
     pub threads: usize,
 }
 
@@ -46,7 +49,7 @@ impl Default for WalkConfig {
             walks_per_node: 100,
             strategy: WalkStrategy::Uniform,
             seed: 0x7174_616e, // "titan"
-            threads: 1,
+            threads: 0,
         }
     }
 }
@@ -142,7 +145,7 @@ impl<'g> WalkEngine<'g> {
     /// split across `config.threads` workers by start-node shard.
     pub fn generate(&self) -> WalkCorpus {
         let n = self.graph.node_count();
-        let threads = self.config.threads.max(1).min(n.max(1));
+        let threads = titant_parallel::resolve_threads(self.config.threads).min(n.max(1));
         if threads <= 1 {
             return self.generate_shard(0, n, self.config.seed);
         }
@@ -301,6 +304,25 @@ mod tests {
             starts[w[0] as usize] += 1;
         }
         assert!(starts.iter().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn zero_threads_autodetects() {
+        let g = line_graph(12);
+        let auto = WalkConfig {
+            walk_length: 4,
+            walks_per_node: 2,
+            threads: 0,
+            ..Default::default()
+        };
+        let pinned = WalkConfig {
+            threads: titant_parallel::resolve_threads(0),
+            ..auto.clone()
+        };
+        let ca = WalkEngine::new(&g, auto).generate();
+        let cp = WalkEngine::new(&g, pinned).generate();
+        assert_eq!(ca.walk_count(), 12 * 2);
+        assert_eq!(ca.tokens, cp.tokens, "0 must behave as the detected count");
     }
 
     #[test]

@@ -30,7 +30,8 @@ fn main() {
         threads: 4,
         ..Default::default()
     })
-    .run(&world, &slice);
+    .run(&world, &slice)
+    .expect("offline pipeline");
     let deployment = OnlineDeployment::new(&world, &slice, artifacts).expect("deployable model");
 
     // The festival day: every test-day transaction replayed 20x — with the

@@ -39,7 +39,7 @@ fn main() {
         threads: 4,
         ..Default::default()
     });
-    let artifacts = pipeline.run(&world, &slice);
+    let artifacts = pipeline.run(&world, &slice).expect("offline pipeline");
     println!(
         "offline: trained on {} rows over a {}-node network in {:.1?} (model v{})",
         artifacts.train_rows,

@@ -28,7 +28,7 @@ fn main() {
         threads: 4,
         ..Default::default()
     });
-    let artifacts = pipeline.run(&world, &slice);
+    let artifacts = pipeline.run(&world, &slice).expect("offline pipeline");
     // Keep a second model file ready for the hot swap.
     let mut next_model = artifacts.model_file.clone();
     next_model.version += 1;

@@ -2,7 +2,10 @@
 # Tier-1 verification recipe: build, the full test suite, lints, formatting.
 # Run from anywhere; exits non-zero on the first failure.
 #
-#   ./scripts/verify.sh
+#   ./scripts/verify.sh           # build + tests + clippy + fmt + bench compile
+#   ./scripts/verify.sh --quick   # also smoke-run the offline-throughput
+#                                 # bench on a tiny world (cross-thread
+#                                 # determinism gate; writes BENCH_offline.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -10,6 +13,17 @@
 # hot path stays panic-free.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+        echo "unknown argument: $arg" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo build --release"
 cargo build --release
@@ -22,5 +36,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
+if [[ $QUICK -eq 1 ]]; then
+    echo "==> offline-throughput smoke run (--quick)"
+    cargo run --release -q -p titant-bench --bin offline_throughput -- --quick
+fi
 
 echo "verify: all green"

@@ -18,7 +18,9 @@ fn tiny_world(seed: u64) -> (World, DatasetSlice) {
 #[test]
 fn offline_online_cycle_catches_fraud_in_real_time() {
     let (world, slice) = tiny_world(2024);
-    let artifacts = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
+    let artifacts = OfflinePipeline::new(PipelineConfig::quick())
+        .run(&world, &slice)
+        .unwrap();
 
     // The offline stage produced a versioned model over basic + embedding
     // features.
@@ -58,7 +60,9 @@ fn serving_features_match_training_schema() {
     // The MS feature layout must reconstruct exactly the training column
     // order; a mismatch would silently mis-score everything.
     let (world, slice) = tiny_world(31);
-    let artifacts = OfflinePipeline::new(PipelineConfig::quick()).run(&world, &slice);
+    let artifacts = OfflinePipeline::new(PipelineConfig::quick())
+        .run(&world, &slice)
+        .unwrap();
     let dim = (artifacts.model_file.n_features - titant::datagen::N_BASIC_FEATURES) / 2;
     let layout = titant::core::layout::serving_layout(dim);
     assert_eq!(layout.width(), artifacts.model_file.n_features);
