@@ -16,8 +16,13 @@
 //! * full memtables flush to immutable sorted [`sstable`] runs;
 //! * reads merge memtable + runs newest-first; background-style
 //!   [`store::Store::compact`] merges runs and discards superseded versions;
-//! * [`region`] shards a table by row-key range, HBase-style.
+//! * [`region`] shards a table by row-key range, HBase-style, with
+//!   optional per-region read replicas for failover;
+//! * [`fault`] injects seeded, deterministic storage faults (transient
+//!   errors, latency, torn cells, region outages) into the online read
+//!   path via a [`fault::FaultHook`] threaded through the table.
 
+pub mod fault;
 pub mod memtable;
 pub mod region;
 pub mod sstable;
@@ -25,6 +30,11 @@ pub mod store;
 pub mod types;
 pub mod wal;
 
+pub use fault::{
+    FaultAction, FaultHook, FaultKind, FaultPlan, FaultPlanConfig, ReadCtx, ReadFault, ReadOptions,
+    RowRead, UnavailableWindow,
+};
 pub use region::{RegionedTable, StoreOpCounts};
 pub use store::{Store, StoreConfig};
 pub use types::{Cell, CellKey, ColumnFamily, Qualifier, RowKey, Version};
+pub use wal::SyncPolicy;

@@ -5,17 +5,33 @@
 //! HBase the regions live on different region servers; here they give the
 //! model server independent shards (and the serving bench a realistic
 //! routing step).
+//!
+//! Each region can carry **read replicas** ([`StoreConfig::replicas`] or
+//! [`RegionedTable::with_replicas`]): writes fan out to every replica,
+//! plain reads serve from the primary (replica 0), and
+//! [`RegionedTable::try_get_row`] lets the caller pick a replica — the
+//! failover/hedge substrate the Model Server uses when a fault hook
+//! ([`RegionedTable::set_fault_hook`]) declares the primary unavailable or
+//! slow.
 
+use crate::fault::{FaultHook, ReadCtx, ReadFault, ReadOptions, RowRead};
 use crate::store::{Store, StoreConfig};
 use crate::types::{CellKey, RowKey, Version};
 use bytes::Bytes;
+use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A table split into `splits.len() + 1` regions.
 pub struct RegionedTable {
     /// Sorted split points; region `i` owns `[splits[i-1], splits[i])`.
     splits: Vec<RowKey>,
-    regions: Vec<Store>,
+    /// `regions[r][k]` = replica `k` of region `r`; replica 0 is primary.
+    regions: Vec<Vec<Store>>,
+    /// Config the regions were built with (replica growth reuses it).
+    config: StoreConfig,
+    /// Fault hook consulted by [`Self::try_get_row`]; `None` = clean reads.
+    fault: RwLock<Option<Arc<dyn FaultHook>>>,
     ops: OpCounters,
 }
 
@@ -75,19 +91,37 @@ impl RegionedTable {
             "split points must be sorted and distinct"
         );
         let n_regions = splits.len() + 1;
+        let n_replicas = config.replicas.max(1);
         let mut regions = Vec::with_capacity(n_regions);
         for i in 0..n_regions {
-            let mut cfg = config.clone();
-            if let Some(dir) = &config.dir {
-                cfg.dir = Some(dir.join(format!("region-{i:04}")));
+            let mut replicas = Vec::with_capacity(n_replicas);
+            for k in 0..n_replicas {
+                replicas.push(Store::open(Self::replica_config(&config, i, k))?);
             }
-            regions.push(Store::open(cfg)?);
+            regions.push(replicas);
         }
         Ok(Self {
             splits,
             regions,
+            config,
+            fault: RwLock::new(None),
             ops: OpCounters::default(),
         })
+    }
+
+    /// Store config for replica `k` of region `i`. Replica 0 keeps the
+    /// original `region-NNNN` directory (on-disk compatibility); extra
+    /// replicas get their own suffixed directories.
+    fn replica_config(config: &StoreConfig, region: usize, replica: usize) -> StoreConfig {
+        let mut cfg = config.clone();
+        if let Some(dir) = &config.dir {
+            cfg.dir = Some(if replica == 0 {
+                dir.join(format!("region-{region:04}"))
+            } else {
+                dir.join(format!("region-{region:04}-r{replica}"))
+            });
+        }
+        cfg
     }
 
     /// A single-region table.
@@ -129,21 +163,64 @@ impl RegionedTable {
         self.regions.len()
     }
 
+    /// Read replicas per region (1 = primary only).
+    pub fn replica_count(&self) -> usize {
+        self.regions.first().map_or(1, Vec::len)
+    }
+
+    /// Install (or clear) the fault hook consulted by [`Self::try_get_row`].
+    /// Plain reads and all writes bypass it — injection targets the online
+    /// fetch path only.
+    pub fn set_fault_hook(&self, hook: Option<Arc<dyn FaultHook>>) {
+        *self.fault.write() = hook;
+    }
+
+    /// Grow every region to `n` read replicas, seeding new replicas with a
+    /// full copy of the primary's cells. Never shrinks.
+    pub fn with_replicas(self, n: usize) -> std::io::Result<Self> {
+        let n = n.max(1);
+        let mut regions = self.regions;
+        for (i, replicas) in regions.iter_mut().enumerate() {
+            if replicas.len() >= n {
+                continue;
+            }
+            let cells = replicas[0].export_cells();
+            for k in replicas.len()..n {
+                let store = Store::open(Self::replica_config(&self.config, i, k))?;
+                for (key, version, value) in &cells {
+                    match value {
+                        Some(v) => store.put(key.clone(), *version, v.clone())?,
+                        None => store.delete(key.clone(), *version)?,
+                    }
+                }
+                replicas.push(store);
+            }
+        }
+        Ok(Self { regions, ..self })
+    }
+
     /// Which region owns a row key.
     pub fn region_of(&self, row: &RowKey) -> usize {
         self.splits.partition_point(|s| s <= row)
     }
 
-    /// Write a cell.
+    /// Write a cell to every replica of the owning region (one logical op
+    /// in the counters).
     pub fn put(&self, key: CellKey, version: Version, value: Bytes) -> std::io::Result<()> {
         self.ops.puts.fetch_add(1, Ordering::Relaxed);
-        self.regions[self.region_of(&key.row)].put(key, version, value)
+        for store in &self.regions[self.region_of(&key.row)] {
+            store.put(key.clone(), version, value.clone())?;
+        }
+        Ok(())
     }
 
-    /// Delete a cell.
+    /// Delete a cell on every replica of the owning region.
     pub fn delete(&self, key: CellKey, version: Version) -> std::io::Result<()> {
         self.ops.deletes.fetch_add(1, Ordering::Relaxed);
-        self.regions[self.region_of(&key.row)].delete(key, version)
+        for store in &self.regions[self.region_of(&key.row)] {
+            store.delete(key.clone(), version)?;
+        }
+        Ok(())
     }
 
     /// Read the latest value.
@@ -151,18 +228,44 @@ impl RegionedTable {
         self.get_versioned(key, Version::MAX)
     }
 
-    /// Read the latest value at or below a version.
+    /// Read the latest value at or below a version (primary replica).
     pub fn get_versioned(&self, key: &CellKey, as_of: Version) -> Option<Bytes> {
         self.ops.point_gets.fetch_add(1, Ordering::Relaxed);
-        self.regions[self.region_of(&key.row)].get_versioned(key, as_of)
+        self.regions[self.region_of(&key.row)][0].get_versioned(key, as_of)
     }
 
     /// Read every live cell of one row at or below a version, in key order.
     /// A single store operation against the owning region — the multi-get
     /// the Model Server uses to fetch a party's features in one round trip.
+    /// Always a clean primary read: the fault hook applies only to
+    /// [`Self::try_get_row`].
     pub fn get_row(&self, row: &RowKey, as_of: Version) -> Vec<(CellKey, Bytes)> {
         self.ops.row_gets.fetch_add(1, Ordering::Relaxed);
-        self.regions[self.region_of(row)].get_row(row, as_of)
+        self.regions[self.region_of(row)][0].get_row(row, as_of)
+    }
+
+    /// [`Self::get_row`] through the fault hook, against the replica the
+    /// caller picked. The table routes and injects; the *policy* (retry,
+    /// failover, hedge) stays with the caller, which sees exactly which
+    /// replica faulted and how much simulated time the attempt consumed.
+    pub fn try_get_row(
+        &self,
+        row: &RowKey,
+        as_of: Version,
+        opts: ReadOptions,
+    ) -> Result<RowRead, ReadFault> {
+        self.ops.row_gets.fetch_add(1, Ordering::Relaxed);
+        let region = self.region_of(row);
+        let replica = opts.replica % self.regions[region].len();
+        let hook = self.fault.read().clone();
+        let ctx = ReadCtx {
+            region,
+            replica,
+            row,
+            tick: opts.tick,
+            attempt: opts.attempt,
+        };
+        self.regions[region][replica].try_get_row(row, as_of, hook.as_deref(), &ctx, opts.max_wait)
     }
 
     /// Snapshot the lifetime operation counters.
@@ -176,28 +279,28 @@ impl RegionedTable {
         }
     }
 
-    /// Flush every region.
+    /// Flush every region (all replicas).
     pub fn flush(&self) -> std::io::Result<()> {
-        for r in &self.regions {
+        for r in self.regions.iter().flatten() {
             r.flush()?;
         }
         Ok(())
     }
 
-    /// Compact every region.
+    /// Compact every region (all replicas).
     pub fn compact(&self) -> std::io::Result<()> {
-        for r in &self.regions {
+        for r in self.regions.iter().flatten() {
             r.compact()?;
         }
         Ok(())
     }
 
-    /// Scan rows across regions in key order.
+    /// Scan rows across regions in key order (primary replicas).
     pub fn scan_rows(&self, start: &RowKey, end: &RowKey) -> Vec<(CellKey, Bytes)> {
         self.ops.scans.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::new();
         for r in &self.regions {
-            out.extend(r.scan_rows(start, end));
+            out.extend(r[0].scan_rows(start, end));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -345,6 +448,146 @@ mod tests {
         assert_eq!(ops.scans, 1);
         assert_eq!(ops.row_gets, 0);
         assert_eq!(ops.total(), 5);
+    }
+
+    #[test]
+    fn replicas_serve_identical_rows() {
+        let t = RegionedTable::new(
+            vec![RowKey::from_str("m")],
+            StoreConfig {
+                replicas: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.replica_count(), 3);
+        for row in ["alpha", "zulu"] {
+            t.put(key(row), 1, Bytes::from(row.as_bytes().to_vec()))
+                .unwrap();
+        }
+        let row = RowKey::from_str("alpha");
+        let primary = t.get_row(&row, u64::MAX);
+        for replica in 0..3 {
+            let read = t
+                .try_get_row(
+                    &row,
+                    u64::MAX,
+                    crate::fault::ReadOptions {
+                        replica,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(read.cells, primary, "replica {replica}");
+        }
+    }
+
+    #[test]
+    fn with_replicas_seeds_new_replicas_from_the_primary() {
+        let t = table();
+        for row in ["alpha", "mike", "zulu"] {
+            t.put(key(row), 1, Bytes::from(row.as_bytes().to_vec()))
+                .unwrap();
+        }
+        // Flush half the data into runs so the copy covers both tiers.
+        t.flush().unwrap();
+        t.put(key("alpha"), 2, Bytes::from_static(b"newer"))
+            .unwrap();
+        let t = t.with_replicas(2).unwrap();
+        assert_eq!(t.replica_count(), 2);
+        for row in ["alpha", "mike", "zulu"] {
+            let read = t
+                .try_get_row(
+                    &RowKey::from_str(row),
+                    u64::MAX,
+                    crate::fault::ReadOptions {
+                        replica: 1,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(read.cells, t.get_row(&RowKey::from_str(row), u64::MAX));
+        }
+        // Writes after growth keep fanning out.
+        t.put(key("mike"), 3, Bytes::from_static(b"post")).unwrap();
+        let read = t
+            .try_get_row(
+                &RowKey::from_str("mike"),
+                u64::MAX,
+                crate::fault::ReadOptions {
+                    replica: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(read.cells[0].1.as_ref(), b"post");
+    }
+
+    #[test]
+    fn unavailable_primary_fails_over_to_a_replica() {
+        use crate::fault::{FaultKind, FaultPlan, FaultPlanConfig, ReadOptions, UnavailableWindow};
+        let t = RegionedTable::single(StoreConfig {
+            replicas: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        t.put(key("sam"), 1, Bytes::from_static(b"v")).unwrap();
+        t.set_fault_hook(Some(std::sync::Arc::new(FaultPlan::new(FaultPlanConfig {
+            unavailable: Some(UnavailableWindow {
+                region: 0,
+                replica: Some(0),
+                from_tick: 0,
+                to_tick: 100,
+            }),
+            ..Default::default()
+        }))));
+        let row = RowKey::from_str("sam");
+        // Primary is down for tick 5…
+        let err = t
+            .try_get_row(
+                &row,
+                u64::MAX,
+                ReadOptions {
+                    tick: 5,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unavailable);
+        // …but replica 1 serves, and after the window the primary recovers.
+        assert!(t
+            .try_get_row(
+                &row,
+                u64::MAX,
+                ReadOptions {
+                    replica: 1,
+                    tick: 5,
+                    ..Default::default()
+                },
+            )
+            .is_ok());
+        assert!(t
+            .try_get_row(
+                &row,
+                u64::MAX,
+                ReadOptions {
+                    tick: 100,
+                    ..Default::default()
+                },
+            )
+            .is_ok());
+        // Clearing the hook restores clean reads everywhere.
+        t.set_fault_hook(None);
+        assert!(t
+            .try_get_row(
+                &row,
+                u64::MAX,
+                ReadOptions {
+                    tick: 5,
+                    ..Default::default()
+                },
+            )
+            .is_ok());
     }
 
     #[test]

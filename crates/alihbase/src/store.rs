@@ -1,12 +1,14 @@
 //! The LSM store: WAL + memtable + sorted runs + compaction.
 
+use crate::fault::{FaultAction, FaultHook, FaultKind, ReadCtx, ReadFault, RowRead};
 use crate::memtable::MemTable;
 use crate::sstable::SsTable;
 use crate::types::{Cell, CellKey, Version};
-use crate::wal::{Wal, WalRecord};
+use crate::wal::{SyncPolicy, Wal, WalRecord};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Store tuning knobs.
 #[derive(Debug, Clone)]
@@ -21,6 +23,12 @@ pub struct StoreConfig {
     /// Directory for the WAL and persisted runs; `None` = fully in-memory
     /// (no durability, used by tests and benchmarks).
     pub dir: Option<PathBuf>,
+    /// WAL durability policy (see [`SyncPolicy`]).
+    pub sync: SyncPolicy,
+    /// Read replicas per region when this config builds a
+    /// [`crate::RegionedTable`] (a single `Store` ignores it). Writes fan
+    /// out to every replica; reads pick one and can fail over.
+    pub replicas: usize,
 }
 
 impl Default for StoreConfig {
@@ -30,6 +38,8 @@ impl Default for StoreConfig {
             max_runs: 6,
             max_versions: 3,
             dir: None,
+            sync: SyncPolicy::default(),
+            replicas: 1,
         }
     }
 }
@@ -77,7 +87,7 @@ impl Store {
             for (_, path) in run_files {
                 runs.push(SsTable::load(&path)?);
             }
-            let (w, replayed) = Wal::open(&dir.join("wal.log"))?;
+            let (w, replayed) = Wal::open_with(&dir.join("wal.log"), config.sync)?;
             for r in replayed {
                 memtable.put(r.key, r.version, r.value);
             }
@@ -171,6 +181,91 @@ impl Store {
         best.into_iter()
             .filter_map(|(k, c)| c.value.clone().map(|v| (k.clone(), v)))
             .collect()
+    }
+
+    /// [`Self::get_row`] behind a fault hook: consult `hook` (when present)
+    /// for this read's fate before touching the LSM.
+    ///
+    /// * `FaultAction::None` — a clean read, `waited` is zero.
+    /// * `FaultAction::Transient` / `FaultAction::Unavailable` — the read
+    ///   fails immediately with the matching [`ReadFault`].
+    /// * `FaultAction::Latency(d)` — sleeps `d` then reads; but when the
+    ///   caller passed `max_wait < d`, sleeps only `max_wait` and fails
+    ///   with [`FaultKind::TimedOut`] (the hedge trigger).
+    /// * `FaultAction::TornCell` — reads, then truncates the first cell's
+    ///   bytes (the corruption the serving codec degrades on).
+    ///
+    /// The sleeps are real (so wall-clock histograms stay honest) but every
+    /// *decision* is the hook's, i.e. deterministic; callers account time
+    /// via the returned `waited`, never the wall clock.
+    pub fn try_get_row(
+        &self,
+        row: &crate::types::RowKey,
+        as_of: Version,
+        hook: Option<&dyn FaultHook>,
+        ctx: &ReadCtx<'_>,
+        max_wait: Option<Duration>,
+    ) -> Result<RowRead, ReadFault> {
+        let action = hook.map_or(FaultAction::None, |h| h.on_read(ctx));
+        let fault = |kind: FaultKind, waited: Duration, injected: Duration| ReadFault {
+            kind,
+            region: ctx.region,
+            replica: ctx.replica,
+            waited,
+            injected,
+        };
+        let mut waited = Duration::ZERO;
+        let mut tear = false;
+        match action {
+            FaultAction::None => {}
+            FaultAction::TornCell => tear = true,
+            FaultAction::Transient => {
+                return Err(fault(FaultKind::Transient, Duration::ZERO, Duration::ZERO))
+            }
+            FaultAction::Unavailable => {
+                return Err(fault(
+                    FaultKind::Unavailable,
+                    Duration::ZERO,
+                    Duration::ZERO,
+                ))
+            }
+            FaultAction::Latency(d) => match max_wait {
+                Some(cap) if d > cap => {
+                    std::thread::sleep(cap);
+                    return Err(fault(FaultKind::TimedOut, cap, d));
+                }
+                _ => {
+                    std::thread::sleep(d);
+                    waited = d;
+                }
+            },
+        }
+        let mut cells = self.get_row(row, as_of);
+        if tear {
+            if let Some((_, value)) = cells.first_mut() {
+                let keep = value.len().min(3);
+                *value = Bytes::copy_from_slice(&value.as_ref()[..keep]);
+            }
+        }
+        Ok(RowRead { cells, waited })
+    }
+
+    /// Export every cell (all versions, tombstones included) — the bulk
+    /// copy that seeds a fresh read replica from the primary.
+    pub fn export_cells(&self) -> Vec<(CellKey, Version, Option<Bytes>)> {
+        let inner = self.inner.read();
+        let mut out = Vec::new();
+        for (k, cells) in inner.memtable.iter() {
+            for c in cells {
+                out.push((k.clone(), c.version, c.value.clone()));
+            }
+        }
+        for run in &inner.runs {
+            for (k, c) in run.iter() {
+                out.push((k.clone(), c.version, c.value.clone()));
+            }
+        }
+        out
     }
 
     /// Force-flush the memtable into a new run.
@@ -417,6 +512,142 @@ mod tests {
         assert_eq!(row[0].1.as_ref(), b"a1");
 
         assert!(s.get_row(&RowKey::from_str("nope"), u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn try_get_row_without_hook_matches_get_row() {
+        let s = mem_store();
+        s.put(key("u1", "a"), 1, Bytes::from_static(b"aaaa"))
+            .unwrap();
+        let ctx = crate::fault::ReadCtx {
+            region: 0,
+            replica: 0,
+            row: &RowKey::from_str("u1"),
+            tick: 0,
+            attempt: 0,
+        };
+        let read = s
+            .try_get_row(&RowKey::from_str("u1"), u64::MAX, None, &ctx, None)
+            .unwrap();
+        assert_eq!(read.cells, s.get_row(&RowKey::from_str("u1"), u64::MAX));
+        assert_eq!(read.waited, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn try_get_row_applies_hook_actions() {
+        use crate::fault::{FaultAction, FaultHook, FaultKind, ReadCtx};
+        use std::time::Duration;
+
+        struct Scripted(FaultAction);
+        impl FaultHook for Scripted {
+            fn on_read(&self, _ctx: &ReadCtx<'_>) -> FaultAction {
+                self.0
+            }
+        }
+
+        let s = mem_store();
+        s.put(key("u1", "a"), 1, Bytes::from_static(b"aaaa"))
+            .unwrap();
+        let row = RowKey::from_str("u1");
+        let ctx = ReadCtx {
+            region: 2,
+            replica: 1,
+            row: &row,
+            tick: 9,
+            attempt: 0,
+        };
+
+        let err = s
+            .try_get_row(
+                &row,
+                u64::MAX,
+                Some(&Scripted(FaultAction::Transient)),
+                &ctx,
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Transient);
+        assert_eq!((err.region, err.replica), (2, 1));
+        assert_eq!(err.waited, Duration::ZERO);
+
+        let err = s
+            .try_get_row(
+                &row,
+                u64::MAX,
+                Some(&Scripted(FaultAction::Unavailable)),
+                &ctx,
+                None,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::Unavailable);
+
+        // Injected latency under the cap: the read succeeds and reports
+        // the simulated wait.
+        let slow = Scripted(FaultAction::Latency(Duration::from_micros(200)));
+        let read = s
+            .try_get_row(
+                &row,
+                u64::MAX,
+                Some(&slow),
+                &ctx,
+                Some(Duration::from_millis(5)),
+            )
+            .unwrap();
+        assert_eq!(read.waited, Duration::from_micros(200));
+        assert_eq!(read.cells.len(), 1);
+
+        // Over the cap: timed out after waiting only the cap.
+        let err = s
+            .try_get_row(
+                &row,
+                u64::MAX,
+                Some(&slow),
+                &ctx,
+                Some(Duration::from_micros(50)),
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::TimedOut);
+        assert_eq!(err.waited, Duration::from_micros(50));
+        assert_eq!(err.injected, Duration::from_micros(200));
+
+        // Torn cell: data returns but the first cell is truncated to 3 bytes.
+        let read = s
+            .try_get_row(
+                &row,
+                u64::MAX,
+                Some(&Scripted(FaultAction::TornCell)),
+                &ctx,
+                None,
+            )
+            .unwrap();
+        assert_eq!(read.cells[0].1.as_ref(), b"aaa");
+    }
+
+    #[test]
+    fn export_cells_covers_memtable_and_runs() {
+        let s = mem_store();
+        s.put(key("u1", "a"), 1, Bytes::from_static(b"x")).unwrap();
+        s.flush().unwrap();
+        s.put(key("u1", "a"), 2, Bytes::from_static(b"y")).unwrap();
+        s.delete(key("u2", "a"), 1).unwrap();
+        let mut exported = s.export_cells();
+        exported.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        assert_eq!(exported.len(), 3);
+        // Replaying the export into a fresh store reproduces every read.
+        let copy = mem_store();
+        for (k, v, val) in exported {
+            match val {
+                Some(bytes) => copy.put(k, v, bytes).unwrap(),
+                None => copy.delete(k, v).unwrap(),
+            }
+        }
+        for as_of in [1, 2, u64::MAX] {
+            assert_eq!(
+                copy.get_row(&RowKey::from_str("u1"), as_of),
+                s.get_row(&RowKey::from_str("u1"), as_of)
+            );
+        }
+        assert!(copy.get(&key("u2", "a")).is_none());
     }
 
     #[test]

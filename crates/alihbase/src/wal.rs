@@ -97,16 +97,50 @@ fn get_bytes(buf: &mut &[u8]) -> Option<Vec<u8>> {
     Some(out)
 }
 
+/// When the WAL calls `sync_data` (fdatasync) versus merely flushing to
+/// the OS page cache. Each policy closes a different crash window:
+///
+/// * [`SyncPolicy::Never`] — `append`/`truncate` only `flush()` to the OS.
+///   Survives a *process* crash (the kernel holds the bytes) but a power
+///   loss can drop any number of recent appends, and a truncate that never
+///   reached the platter can resurrect stale records on recovery.
+/// * [`SyncPolicy::OnTruncate`] — additionally `sync_data`s after
+///   `truncate`, closing the stale-WAL-resurrection window: once a
+///   memtable flush truncates the log, a power loss cannot bring the
+///   superseded records back (they would double-apply over the run).
+///   Recent un-truncated appends can still be lost to power failure.
+/// * [`SyncPolicy::Always`] — `sync_data`s after every `append` too,
+///   closing the lost-append window: an acknowledged write survives power
+///   loss. The cost is one fdatasync per write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fdatasync after every append and truncate.
+    Always,
+    /// fdatasync only after truncate (the default: durable run boundaries,
+    /// OS-buffered appends).
+    #[default]
+    OnTruncate,
+    /// Never fdatasync; flush to the OS page cache only.
+    Never,
+}
+
 /// An append-only WAL file.
 pub struct Wal {
     path: PathBuf,
     writer: BufWriter<File>,
+    sync: SyncPolicy,
 }
 
 impl Wal {
-    /// Open (or create) the WAL at `path`, returning the log handle plus
-    /// every intact record already on disk (crash recovery).
+    /// Open (or create) the WAL at `path` with the default [`SyncPolicy`],
+    /// returning the log handle plus every intact record already on disk
+    /// (crash recovery).
     pub fn open(path: &Path) -> std::io::Result<(Self, Vec<WalRecord>)> {
+        Self::open_with(path, SyncPolicy::default())
+    }
+
+    /// Open (or create) the WAL at `path` under an explicit [`SyncPolicy`].
+    pub fn open_with(path: &Path, sync: SyncPolicy) -> std::io::Result<(Self, Vec<WalRecord>)> {
         let mut existing = Vec::new();
         if path.exists() {
             let mut data = Vec::new();
@@ -118,12 +152,19 @@ impl Wal {
             Self {
                 path: path.to_path_buf(),
                 writer,
+                sync,
             },
             existing,
         ))
     }
 
-    /// Append a record and flush to the OS.
+    /// The active sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    /// Append a record and flush to the OS; under [`SyncPolicy::Always`]
+    /// also force it to stable storage before returning.
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
         let payload = record.encode();
         let mut frame = BytesMut::with_capacity(payload.len() + 8);
@@ -131,15 +172,24 @@ impl Wal {
         frame.put_u32_le(crc32(&payload));
         frame.put_slice(&payload);
         self.writer.write_all(&frame)?;
-        self.writer.flush()
+        self.writer.flush()?;
+        if self.sync == SyncPolicy::Always {
+            self.writer.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 
     /// Truncate the log (after a successful memtable flush the WAL's
-    /// records are durable in a run).
+    /// records are durable in a run). Under [`SyncPolicy::Always`] /
+    /// [`SyncPolicy::OnTruncate`] the truncation itself is forced to
+    /// stable storage so superseded records cannot resurrect.
     pub fn truncate(&mut self) -> std::io::Result<()> {
         self.writer.flush()?;
         let file = OpenOptions::new().write(true).open(&self.path)?;
         file.set_len(0)?;
+        if self.sync != SyncPolicy::Never {
+            file.sync_data()?;
+        }
         self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
         Ok(())
     }
@@ -248,6 +298,47 @@ mod tests {
         let (_w, replayed) = Wal::open(&path).unwrap();
         assert_eq!(replayed.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Which crash windows each [`SyncPolicy`] closes. Power loss cannot
+    /// be simulated in-process, so the test pins the *observable* contract
+    /// — which operations issue a durability barrier — and the doc comments
+    /// on [`SyncPolicy`] map each barrier to the window it closes:
+    ///
+    /// | policy     | lost recent appends (power) | stale-WAL resurrection |
+    /// |------------|-----------------------------|------------------------|
+    /// | Never      | open                        | open                   |
+    /// | OnTruncate | open                        | closed                 |
+    /// | Always     | closed                      | closed                 |
+    ///
+    /// All three policies recover identically from a *process* crash (the
+    /// OS page cache survives), which is what is asserted here.
+    #[test]
+    fn every_sync_policy_recovers_from_process_crash() {
+        for (name, policy) in [
+            ("always", SyncPolicy::Always),
+            ("ontrunc", SyncPolicy::OnTruncate),
+            ("never", SyncPolicy::Never),
+        ] {
+            let dir = tmpdir(&format!("sync-{name}"));
+            let path = dir.join("wal.log");
+            let _ = std::fs::remove_file(&path);
+            {
+                let (mut wal, _) = Wal::open_with(&path, policy).unwrap();
+                assert_eq!(wal.sync_policy(), policy);
+                wal.append(&record("u1", 1, Some(b"a"))).unwrap();
+                // Truncate (memtable flushed) then append the next write:
+                // recovery must see only the post-truncate record — under
+                // Always/OnTruncate that holds even across power loss.
+                wal.truncate().unwrap();
+                wal.append(&record("u2", 2, Some(b"b"))).unwrap();
+                // Drop without any explicit close = process crash.
+            }
+            let (_w, replayed) = Wal::open_with(&path, policy).unwrap();
+            assert_eq!(replayed.len(), 1, "{name}: stale records resurrected");
+            assert_eq!(replayed[0], record("u2", 2, Some(b"b")), "{name}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

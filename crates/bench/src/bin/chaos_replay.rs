@@ -1,0 +1,451 @@
+//! **Chaos replay** — the serving path under escalating seeded fault plans.
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin chaos_replay            # full gate
+//! cargo run --release -p titant-bench --bin chaos_replay -- --quick # smaller side levels
+//! ```
+//!
+//! Replays a request stream (test-day transactions, cycled) through a
+//! Model Server whose feature table carries a seeded
+//! [`titant_alihbase::FaultPlan`]: transient read errors, latency spikes,
+//! torn cells, and a region-unavailable window, at three escalating levels
+//! (baseline / transient / storm). The server answers with its SLO stack —
+//! deadline budgets, bounded retry, hedged reads, replica failover — and
+//! the gate asserts, per level:
+//!
+//! * **zero panics** — every pool worker survives every level;
+//! * **zero lost requests** — every request resolves as scored (possibly
+//!   degraded) or deadline-exceeded, and the counts add up;
+//! * **bit-identical counters** — the same seed reproduces every counter
+//!   exactly across re-runs *and across worker counts*, because fault
+//!   draws, backoff jitter, and deadline charging are pure functions of
+//!   the seed and request coordinates.
+//!
+//! A final burst phase drives a non-blocking flood through a small queue
+//! and asserts conservation: accepted + shed == sent. Writes
+//! `BENCH_chaos.json`. Exits nonzero when any gate fails.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use titant_bench::harness;
+use titant_core::prelude::*;
+use titant_modelserver::{ModelFile, ModelServer, ScoreRequest, ServeError, Stage, StageSnapshot};
+
+/// The storm's region-unavailable window, in request ticks.
+const OUTAGE_TICKS: std::ops::Range<u64> = 2000..3000;
+
+struct Level {
+    name: &'static str,
+    seed: u64,
+    transient_rate: f64,
+    latency_rate: f64,
+    latency: Duration,
+    torn_cell_rate: f64,
+    outage: bool,
+    n_requests: usize,
+}
+
+fn levels(quick: bool) -> Vec<Level> {
+    let side = if quick { 2_000 } else { 10_000 };
+    vec![
+        Level {
+            name: "baseline",
+            seed: 0xBA5E,
+            transient_rate: 0.0,
+            latency_rate: 0.0,
+            latency: Duration::ZERO,
+            torn_cell_rate: 0.0,
+            outage: false,
+            n_requests: side,
+        },
+        Level {
+            name: "transient",
+            seed: 0x7274,
+            transient_rate: 0.05,
+            latency_rate: 0.01,
+            latency: Duration::from_millis(2),
+            torn_cell_rate: 0.002,
+            outage: false,
+            n_requests: side,
+        },
+        // The acceptance storm: >= 5% transient + latency spikes + a
+        // region-unavailable window, always at 10k requests.
+        Level {
+            name: "storm",
+            seed: 0x5708,
+            transient_rate: 0.06,
+            latency_rate: 0.03,
+            latency: Duration::from_millis(4),
+            torn_cell_rate: 0.005,
+            outage: true,
+            n_requests: 10_000,
+        },
+    ]
+}
+
+fn fault_plan(level: &Level) -> FaultPlan {
+    FaultPlan::new(FaultPlanConfig {
+        seed: level.seed,
+        transient_rate: level.transient_rate,
+        latency_rate: level.latency_rate,
+        latency: level.latency,
+        torn_cell_rate: level.torn_cell_rate,
+        unavailable: level.outage.then_some(UnavailableWindow {
+            region: 0,
+            replica: Some(0),
+            from_tick: OUTAGE_TICKS.start,
+            to_tick: OUTAGE_TICKS.end,
+        }),
+    })
+}
+
+fn slo(seed: u64) -> SloConfig {
+    SloConfig {
+        // Budget below 2x the hedge threshold: a request whose primary AND
+        // hedge both hit a spike deterministically exhausts its budget.
+        deadline: Some(Duration::from_micros(1800)),
+        retry: RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(50),
+            cap: Duration::from_micros(200),
+        },
+        hedge: Some(HedgePolicy {
+            after: Duration::from_millis(1),
+        }),
+        seed,
+    }
+}
+
+/// Everything one run must reproduce bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+struct Counters {
+    scored: u64,
+    degraded: u64,
+    deadline_exceeded: u64,
+    retried: u64,
+    hedged: u64,
+    failovers: u64,
+    shed: u64,
+}
+
+#[derive(Serialize)]
+struct StageQuantilesMs {
+    p50: f64,
+    p99: f64,
+    p999: f64,
+}
+
+fn quantiles(s: &StageSnapshot) -> StageQuantilesMs {
+    let ms = |q: f64| s.quantile(q).unwrap_or_default().as_secs_f64() * 1e3;
+    StageQuantilesMs {
+        p50: ms(0.5),
+        p99: ms(0.99),
+        p999: ms(0.999),
+    }
+}
+
+#[derive(Serialize)]
+struct LevelReport {
+    level: String,
+    seed: u64,
+    n_requests: usize,
+    transient_rate: f64,
+    latency_rate: f64,
+    torn_cell_rate: f64,
+    outage: bool,
+    counters: Counters,
+    fetch: StageQuantilesMs,
+    assemble: StageQuantilesMs,
+    predict: StageQuantilesMs,
+    total: StageQuantilesMs,
+    reproducible: bool,
+    zero_lost: bool,
+    zero_panics: bool,
+    workers_checked: Vec<usize>,
+}
+
+#[derive(Serialize)]
+struct BurstReport {
+    sent: usize,
+    scored: u64,
+    errored: u64,
+    shed: u64,
+    conserved: bool,
+    zero_panics: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    replicas: usize,
+    levels: Vec<LevelReport>,
+    burst: BurstReport,
+    pass: bool,
+}
+
+fn requests(world: &World, slice: &DatasetSlice, n: usize) -> Vec<ScoreRequest> {
+    let range = world.record_range(slice.test_day..slice.test_day + 1);
+    let indices: Vec<usize> = range.collect();
+    assert!(!indices.is_empty(), "test day must contain transactions");
+    (0..n)
+        .map(|i| {
+            let idx = indices[i % indices.len()];
+            let rec = &world.records()[idx];
+            let context = match world.features_of(idx) {
+                Some(row) => layout::split_row(row).2,
+                None => vec![0.0; layout::CONTEXT_SLOTS.len()],
+            };
+            ScoreRequest {
+                // Sequential ticks so the outage window covers a fixed
+                // request interval at every worker count.
+                tx_id: i as u64,
+                transferor: rec.transferor.0,
+                transferee: rec.transferee.0,
+                context,
+            }
+        })
+        .collect()
+}
+
+fn server_for(
+    table: &Arc<titant_alihbase::RegionedTable>,
+    model: &ModelFile,
+    embedding_dim: usize,
+    seed: u64,
+) -> ModelServer {
+    ModelServer::with_slo(
+        Arc::clone(table),
+        layout::serving_layout(embedding_dim),
+        model.clone(),
+        slo(seed),
+    )
+    .expect("serving layout matches the shipped model")
+}
+
+/// One deterministic pass over the stream; `workers == 0` runs it
+/// synchronously on the caller thread, otherwise through a serve pool with
+/// blocking sends (no shedding). Returns the counters plus whether every
+/// worker survived.
+fn run_stream(server: &ModelServer, stream: &[ScoreRequest], workers: usize) -> (Counters, bool) {
+    let scored = Arc::new(AtomicU64::new(0));
+    let degraded = Arc::new(AtomicU64::new(0));
+    let deadline = Arc::new(AtomicU64::new(0));
+    let mut panics_free = true;
+    if workers == 0 {
+        for req in stream {
+            match server.score(req) {
+                Ok(resp) => {
+                    scored.fetch_add(1, Ordering::Relaxed);
+                    if resp.degraded {
+                        degraded.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(ServeError::DeadlineExceeded { .. }) => {
+                    deadline.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(e) => panic!("unexpected serve error: {e}"),
+            }
+        }
+    } else {
+        let (s2, d2, dl2) = (
+            Arc::clone(&scored),
+            Arc::clone(&degraded),
+            Arc::clone(&deadline),
+        );
+        let pool = server.serve_pool(
+            workers,
+            move |resp| {
+                s2.fetch_add(1, Ordering::Relaxed);
+                if resp.degraded {
+                    d2.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            move |err| match err {
+                ServeError::DeadlineExceeded { .. } => {
+                    dl2.fetch_add(1, Ordering::Relaxed);
+                }
+                other => panic!("unexpected serve error: {other}"),
+            },
+        );
+        for req in stream {
+            pool.send(req.clone()).expect("pool accepts while running");
+        }
+        panics_free = pool.live_workers() == workers;
+        pool.shutdown();
+    }
+    let r = server.resilience();
+    (
+        Counters {
+            scored: scored.load(Ordering::Relaxed),
+            degraded: degraded.load(Ordering::Relaxed),
+            deadline_exceeded: deadline.load(Ordering::Relaxed),
+            retried: r.retried,
+            hedged: r.hedged,
+            failovers: r.failovers,
+            shed: r.shed,
+        },
+        panics_free,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let replicas = 2usize;
+
+    eprintln!(
+        "chaos replay ({} mode): training the quick pipeline with {replicas} serving replicas",
+        if quick { "quick" } else { "full" }
+    );
+    let world = World::generate(WorldConfig::tiny(1337));
+    let start = world.config().feature_start_day;
+    let slice = DatasetSlice {
+        index: 0,
+        graph_days: 0..start,
+        train_days: start..world.config().n_days - 1,
+        test_day: world.config().n_days - 1,
+    };
+    let artifacts = OfflinePipeline::new(PipelineConfig {
+        serving_replicas: replicas,
+        ..PipelineConfig::quick()
+    })
+    .run(&world, &slice)
+    .expect("quick offline pipeline");
+    let table = artifacts.feature_table;
+    let model = artifacts.model_file;
+    let embedding_dim = (model.n_features - titant_datagen::N_BASIC_FEATURES) / 2;
+    assert_eq!(table.replica_count(), replicas, "replicas must be live");
+
+    let worker_counts: Vec<usize> = if quick { vec![2] } else { vec![1, 3] };
+    let mut level_reports = Vec::new();
+    let mut pass = true;
+
+    for level in levels(quick) {
+        let stream = requests(&world, &slice, level.n_requests);
+        table.set_fault_hook(Some(Arc::new(fault_plan(&level))));
+
+        // Reference run: synchronous, one fresh server.
+        let reference = server_for(&table, &model, embedding_dim, level.seed);
+        let (counters, _) = run_stream(&reference, &stream, 0);
+        let latency = reference.latency().snapshot();
+
+        // Replays: a second synchronous run, then one per worker count —
+        // every one must reproduce the reference counters exactly.
+        let mut reproducible = true;
+        let mut zero_panics = true;
+        let mut replays = vec![0usize];
+        replays.extend(worker_counts.iter().copied());
+        for &workers in &replays {
+            let server = server_for(&table, &model, embedding_dim, level.seed);
+            let (replay, panic_free) = run_stream(&server, &stream, workers);
+            zero_panics &= panic_free;
+            if replay != counters {
+                reproducible = false;
+                eprintln!(
+                    "  {}: counter drift at {workers} worker(s): {replay:?} != {counters:?}",
+                    level.name
+                );
+            }
+        }
+
+        let zero_lost = counters.scored + counters.deadline_exceeded == level.n_requests as u64;
+        let ok = reproducible && zero_lost && zero_panics;
+        pass &= ok;
+        eprintln!(
+            "  {:<9} n={} scored={} degraded={} deadline={} retried={} hedged={} failovers={} | repro={} lost0={} panics0={}",
+            level.name,
+            level.n_requests,
+            counters.scored,
+            counters.degraded,
+            counters.deadline_exceeded,
+            counters.retried,
+            counters.hedged,
+            counters.failovers,
+            reproducible,
+            zero_lost,
+            zero_panics,
+        );
+        level_reports.push(LevelReport {
+            level: level.name.into(),
+            seed: level.seed,
+            n_requests: level.n_requests,
+            transient_rate: level.transient_rate,
+            latency_rate: level.latency_rate,
+            torn_cell_rate: level.torn_cell_rate,
+            outage: level.outage,
+            counters,
+            fetch: quantiles(latency.stage(Stage::Fetch)),
+            assemble: quantiles(latency.stage(Stage::Assemble)),
+            predict: quantiles(latency.stage(Stage::Predict)),
+            total: quantiles(latency.stage(Stage::Total)),
+            reproducible,
+            zero_lost,
+            zero_panics,
+            workers_checked: replays,
+        });
+    }
+
+    // Burst phase: non-blocking floods through a small queue must shed
+    // rather than stall, and every request must still be accounted for.
+    let storm = &levels(quick)[2];
+    table.set_fault_hook(Some(Arc::new(fault_plan(storm))));
+    let burst_stream = requests(&world, &slice, 2_000);
+    let server = server_for(&table, &model, embedding_dim, storm.seed);
+    let scored = Arc::new(AtomicU64::new(0));
+    let errored = Arc::new(AtomicU64::new(0));
+    let (s2, e2) = (Arc::clone(&scored), Arc::clone(&errored));
+    let burst_workers = 2usize;
+    let pool = server.serve_pool_sized(
+        burst_workers,
+        64,
+        move |_| {
+            s2.fetch_add(1, Ordering::Relaxed);
+        },
+        move |err| match err {
+            ServeError::Shed { .. } | ServeError::DeadlineExceeded { .. } => {
+                e2.fetch_add(1, Ordering::Relaxed);
+            }
+            other => panic!("unexpected serve error: {other}"),
+        },
+    );
+    for req in &burst_stream {
+        pool.submit(req.clone());
+    }
+    let burst_panic_free = pool.live_workers() == burst_workers;
+    pool.shutdown();
+    let burst = BurstReport {
+        sent: burst_stream.len(),
+        scored: scored.load(Ordering::Relaxed),
+        errored: errored.load(Ordering::Relaxed),
+        shed: server.resilience().shed,
+        conserved: scored.load(Ordering::Relaxed) + errored.load(Ordering::Relaxed)
+            == burst_stream.len() as u64,
+        zero_panics: burst_panic_free,
+    };
+    pass &= burst.conserved && burst.zero_panics;
+    eprintln!(
+        "  burst: sent={} scored={} errored={} shed={} conserved={} panics0={}",
+        burst.sent, burst.scored, burst.errored, burst.shed, burst.conserved, burst.zero_panics
+    );
+    table.set_fault_hook(None);
+
+    let report = Report {
+        bench: "chaos_replay".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        replicas,
+        levels: level_reports,
+        burst,
+        pass,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_chaos.json", &json).expect("write BENCH_chaos.json");
+    eprintln!("results written to BENCH_chaos.json");
+    harness::save_results("chaos_replay.json", &json);
+
+    if !pass {
+        eprintln!("FAIL: chaos gate violated (see BENCH_chaos.json)");
+        std::process::exit(1);
+    }
+}

@@ -54,6 +54,8 @@ pub mod prelude {
     pub use crate::offline::{OfflineArtifacts, OfflinePipeline, PipelineConfig};
     pub use crate::online::{OnlineDeployment, ServingReport, StageBreakdown};
     pub use crate::tplus1::{DailyResult, TPlusOneDriver};
+    pub use titant_alihbase::{FaultPlan, FaultPlanConfig, UnavailableWindow};
     pub use titant_datagen::{DatasetSlice, World, WorldConfig};
     pub use titant_models::{Classifier, Dataset};
+    pub use titant_modelserver::{HedgePolicy, ResilienceSnapshot, RetryPolicy, SloConfig};
 }

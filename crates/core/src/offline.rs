@@ -51,6 +51,10 @@ pub struct PipelineConfig {
     /// Route log ingestion and edge aggregation through the MaxCompute
     /// batch layer (slower, full-fidelity) or build the graph directly.
     pub use_batch_layer: bool,
+    /// Read replicas per serving region in the uploaded feature table
+    /// (1 = no replication). Replicas enable the online path's failover
+    /// and hedged reads.
+    pub serving_replicas: usize,
 }
 
 impl Default for PipelineConfig {
@@ -63,6 +67,7 @@ impl Default for PipelineConfig {
             gbdt: GbdtConfig::default(),
             val_fraction: 0.25,
             use_batch_layer: true,
+            serving_replicas: 1,
         }
     }
 }
@@ -349,10 +354,14 @@ impl OfflinePipeline {
         let mut users: Vec<u64> = user_set.into_iter().collect();
         users.sort_unstable();
 
+        let store_config = StoreConfig {
+            replicas: self.config.serving_replicas.max(1),
+            ..Default::default()
+        };
         let table = if pool.threads() > 1 && !users.is_empty() {
-            RegionedTable::with_user_splits(&users, pool.threads(), StoreConfig::default())?
+            RegionedTable::with_user_splits(&users, pool.threads(), store_config)?
         } else {
-            RegionedTable::single(StoreConfig::default())?
+            RegionedTable::single(store_config)?
         };
 
         let put_user = |user: u64| -> std::io::Result<()> {

@@ -6,7 +6,9 @@ use crate::layout;
 use crate::offline::OfflineArtifacts;
 use std::time::Duration;
 use titant_datagen::{DatasetSlice, World};
-use titant_modelserver::{AlipayServer, ModelServer, ScoreRequest, Stage, TransferOutcome};
+use titant_modelserver::{
+    AlipayServer, ModelServer, ScoreRequest, ServeError, SloConfig, Stage, TransferOutcome,
+};
 
 /// p50/p99 of one serving stage over the replayed interval.
 #[derive(Debug, Clone, Copy, Default)]
@@ -42,6 +44,18 @@ pub struct ServingReport {
     pub errors: usize,
     /// Transactions scored in degraded (context-only) mode.
     pub degraded: usize,
+    /// Transactions whose deadline budget ran out (counted apart from
+    /// `errors`: the request was well-formed, the SLO resolved it).
+    pub deadline_exceeded: usize,
+    /// Transient-fault retries the serving path performed.
+    pub retried: usize,
+    /// Hedged reads issued against replicas.
+    pub hedged: usize,
+    /// Replica failovers performed.
+    pub failovers: usize,
+    /// Requests shed at the serving queue (always 0 in this synchronous
+    /// replay; populated by pool-driven harnesses).
+    pub shed: usize,
 }
 
 /// A live deployment built from offline artifacts.
@@ -55,16 +69,28 @@ impl OnlineDeployment {
     /// it with the Alipay server. Fails when the shipped model file does
     /// not match the serving layout.
     pub fn new(
+        world: &World,
+        slice: &DatasetSlice,
+        artifacts: OfflineArtifacts,
+    ) -> Result<Self, TitAntError> {
+        Self::with_slo(world, slice, artifacts, SloConfig::default())
+    }
+
+    /// [`Self::new`] with explicit serving SLOs (deadline budget, retry
+    /// policy, hedged reads) for chaos-replay harnesses.
+    pub fn with_slo(
         _world: &World,
         _slice: &DatasetSlice,
         artifacts: OfflineArtifacts,
+        slo: SloConfig,
     ) -> Result<Self, TitAntError> {
         let embedding_dim =
             (artifacts.model_file.n_features - titant_datagen::N_BASIC_FEATURES) / 2;
-        let ms = ModelServer::new(
+        let ms = ModelServer::with_slo(
             artifacts.feature_table,
             layout::serving_layout(embedding_dim),
             artifacts.model_file,
+            slo,
         )?;
         Ok(Self {
             alipay: AlipayServer::new(ms),
@@ -90,9 +116,11 @@ impl OnlineDeployment {
         // cumulative stats would let earlier traffic pollute the quantiles.
         let latency_before = self.model_server().latency().snapshot();
         let stats_before = self.alipay.stats();
+        let resilience_before = self.model_server().resilience();
         let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
         let mut total = 0usize;
         let mut errors = 0usize;
+        let mut deadline_exceeded = 0usize;
         for i in range {
             let rec = &world.records()[i];
             let context = match world.features_of(i) {
@@ -111,8 +139,10 @@ impl OnlineDeployment {
                 (Ok(TransferOutcome::Interrupted), false) => fp += 1,
                 (Ok(TransferOutcome::Completed), true) => fn_ += 1,
                 (Ok(TransferOutcome::Completed), false) => {}
-                // A malformed record must not take the replay down; it is
-                // counted and the day continues.
+                // A deadline miss is a counted SLO outcome, not an error;
+                // a malformed record must not take the replay down either.
+                // Both are counted and the day continues.
+                (Err(ServeError::DeadlineExceeded { .. }), _) => deadline_exceeded += 1,
                 (Err(_), _) => errors += 1,
             }
             total += 1;
@@ -145,6 +175,7 @@ impl OnlineDeployment {
             }
         };
         let total_stage = delta.stage(Stage::Total);
+        let resilience = self.model_server().resilience();
         ServingReport {
             transactions: total,
             true_alerts: tp,
@@ -158,6 +189,11 @@ impl OnlineDeployment {
             predict: breakdown(Stage::Predict),
             errors,
             degraded: self.alipay.stats().degraded - stats_before.degraded,
+            deadline_exceeded,
+            retried: (resilience.retried - resilience_before.retried) as usize,
+            hedged: (resilience.hedged - resilience_before.hedged) as usize,
+            failovers: (resilience.failovers - resilience_before.failovers) as usize,
+            shed: (resilience.shed - resilience_before.shed) as usize,
         }
     }
 }

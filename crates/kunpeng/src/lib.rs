@@ -33,4 +33,4 @@ pub mod dist_word2vec;
 pub mod ps;
 
 pub use cluster::{ClusterSpec, CostModel};
-pub use ps::{Checkpoint, ParamServer};
+pub use ps::{Checkpoint, ParamServer, PsError};

@@ -2,6 +2,7 @@
 //! traffic accounting and checkpoint-based failure recovery.
 
 use parking_lot::RwLock;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A point-in-time copy of all parameters, used to recover a failed server
@@ -10,6 +11,44 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct Checkpoint {
     params: Vec<f32>,
 }
+
+/// Typed recovery errors: restoring from a checkpoint that does not match
+/// this server, or recovering a shard that does not exist. Recovery runs
+/// against live traffic, so a bad checkpoint must be a rejected operation —
+/// never a panic that takes the trainer down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsError {
+    /// The checkpoint's parameter count does not match the server's.
+    CheckpointDim {
+        /// Dimension this server holds.
+        expected: usize,
+        /// Dimension the checkpoint holds.
+        got: usize,
+    },
+    /// The named shard does not exist on this server.
+    ShardOutOfRange {
+        /// Shard index requested.
+        shard: usize,
+        /// Shards this server has.
+        n_servers: usize,
+    },
+}
+
+impl fmt::Display for PsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsError::CheckpointDim { expected, got } => write!(
+                f,
+                "checkpoint holds {got} parameters but the server has {expected}"
+            ),
+            PsError::ShardOutOfRange { shard, n_servers } => {
+                write!(f, "shard {shard} out of range: server has {n_servers}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PsError {}
 
 /// A dense parameter vector sharded across `n_servers` server nodes.
 ///
@@ -135,24 +174,46 @@ impl ParamServer {
     }
 
     /// Restore all shards from a checkpoint (server-failure recovery).
-    pub fn restore(&self, ck: &Checkpoint) {
-        assert_eq!(ck.params.len(), self.dim, "checkpoint dimension mismatch");
+    /// A checkpoint of the wrong dimensionality is rejected without
+    /// touching any shard.
+    pub fn restore(&self, ck: &Checkpoint) -> Result<(), PsError> {
+        if ck.params.len() != self.dim {
+            return Err(PsError::CheckpointDim {
+                expected: self.dim,
+                got: ck.params.len(),
+            });
+        }
         for (s, shard) in self.shards.iter().enumerate() {
             let lo = s * self.chunk;
             let mut vals = shard.write();
             let n = vals.len();
             vals.copy_from_slice(&ck.params[lo..lo + n]);
         }
+        Ok(())
     }
 
     /// Simulate one server shard crashing and being restarted from the
     /// checkpoint: only that shard's parameters are restored, the rest are
-    /// untouched ("other instances remain not affected").
-    pub fn recover_shard(&self, shard: usize, ck: &Checkpoint) {
+    /// untouched ("other instances remain not affected"). A nonexistent
+    /// shard or a mismatched checkpoint is rejected without any write.
+    pub fn recover_shard(&self, shard: usize, ck: &Checkpoint) -> Result<(), PsError> {
+        if shard >= self.shards.len() {
+            return Err(PsError::ShardOutOfRange {
+                shard,
+                n_servers: self.shards.len(),
+            });
+        }
+        if ck.params.len() != self.dim {
+            return Err(PsError::CheckpointDim {
+                expected: self.dim,
+                got: ck.params.len(),
+            });
+        }
         let lo = shard * self.chunk;
         let mut vals = self.shards[shard].write();
         let n = vals.len();
         vals.copy_from_slice(&ck.params[lo..lo + n]);
+        Ok(())
     }
 
     fn for_each_shard(
@@ -253,7 +314,37 @@ mod tests {
         let ck = ps.checkpoint();
         ps.push_add(0..8, &[100.0; 8]);
         assert_ne!(ps.snapshot()[0], 0.0);
-        ps.restore(&ck);
+        ps.restore(&ck).unwrap();
+        assert_eq!(ps.snapshot(), (0..8).map(|i| i as f32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mismatched_recovery_is_a_typed_error_not_a_panic() {
+        let ps = ParamServer::new(8, 3, |i| i as f32);
+        let foreign = ParamServer::new(6, 2, |_| 9.0).checkpoint();
+        assert_eq!(
+            ps.restore(&foreign),
+            Err(PsError::CheckpointDim {
+                expected: 8,
+                got: 6
+            })
+        );
+        assert_eq!(
+            ps.recover_shard(1, &foreign),
+            Err(PsError::CheckpointDim {
+                expected: 8,
+                got: 6
+            })
+        );
+        let ck = ps.checkpoint();
+        assert_eq!(
+            ps.recover_shard(7, &ck),
+            Err(PsError::ShardOutOfRange {
+                shard: 7,
+                n_servers: 3
+            })
+        );
+        // No rejected operation wrote anything.
         assert_eq!(ps.snapshot(), (0..8).map(|i| i as f32).collect::<Vec<_>>());
     }
 
@@ -263,7 +354,7 @@ mod tests {
         let ck = ps.checkpoint();
         ps.push_add(0..9, &[5.0; 9]);
         // Shard 1 (params 3..6) crashes and recovers from the checkpoint.
-        ps.recover_shard(1, &ck);
+        ps.recover_shard(1, &ck).unwrap();
         let snap = ps.snapshot();
         assert_eq!(&snap[0..3], &[5.0; 3]);
         assert_eq!(&snap[3..6], &[0.0; 3]);

@@ -252,6 +252,65 @@ mod tests {
     }
 
     #[test]
+    fn cascading_failures_down_to_replication_survivors() {
+        // 6 nodes, 3-way replication: fail nodes one by one until only
+        // `replication` survivors remain. Re-replication after each loss
+        // must keep every blob readable the whole way down; one failure
+        // past the threshold turns reads into typed errors, not panics.
+        let p = Pangu::new(6, 4, 3);
+        let blobs: Vec<(String, Vec<u8>)> = (0..5)
+            .map(|i| {
+                (
+                    format!("blob-{i}"),
+                    (0..40u8).map(|b| b.wrapping_mul(i + 1)).collect(),
+                )
+            })
+            .collect();
+        for (name, data) in &blobs {
+            p.put(name, data).unwrap();
+        }
+        // Cascade: 6 -> 3 live nodes (exactly `replication` survivors).
+        for node in 0..3 {
+            p.fail_node(node);
+            for (name, data) in &blobs {
+                assert_eq!(
+                    &p.get(name).unwrap(),
+                    data,
+                    "{name} unreadable after cascading failure of nodes 0..={node}"
+                );
+            }
+        }
+        // New writes still work at exactly `replication` live nodes.
+        p.put("late", b"still-durable").unwrap();
+        assert_eq!(p.get("late").unwrap(), b"still-durable");
+        // Below the threshold new writes are rejected, but sequential
+        // failure + re-replication degrades reads gracefully: existing
+        // blobs ride down to a single surviving replica.
+        p.fail_node(3);
+        assert_eq!(
+            p.put("over", b"x").unwrap_err(),
+            PanguError::InsufficientNodes
+        );
+        p.fail_node(4);
+        for (name, data) in &blobs {
+            assert_eq!(
+                &p.get(name).unwrap(),
+                data,
+                "{name} must survive on the last replica"
+            );
+        }
+        // The last holder dying is the point of no return: every read is a
+        // typed ChunkLost — never a panic.
+        p.fail_node(5);
+        for (name, _) in &blobs {
+            match p.get(name).unwrap_err() {
+                PanguError::ChunkLost { blob, .. } => assert_eq!(&blob, name),
+                other => panic!("unexpected error for {name}: {other}"),
+            }
+        }
+    }
+
+    #[test]
     fn overwrite_replaces_content() {
         let p = Pangu::new(3, 4, 2);
         p.put("b", b"first").unwrap();

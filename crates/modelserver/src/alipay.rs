@@ -30,6 +30,9 @@ pub struct SessionStats {
     pub score_errors: usize,
     /// Transfers scored in degraded (context-only) mode.
     pub degraded: usize,
+    /// Transfers whose deadline budget ran out before scoring (counted
+    /// separately from `score_errors` — the request was well-formed).
+    pub deadline_exceeded: usize,
 }
 
 /// The Alipay server simulation.
@@ -68,7 +71,11 @@ impl AlipayServer {
                 }
             }
             Err(e) => {
-                self.stats.lock().score_errors += 1;
+                if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                    self.stats.lock().deadline_exceeded += 1;
+                } else {
+                    self.stats.lock().score_errors += 1;
+                }
                 Err(e)
             }
         }

@@ -8,16 +8,23 @@
 //!   ([`ServeError::ContextWidth`], [`ServeError::WorkerPanic`]). The pool
 //!   reports these through its error callback and keeps serving.
 //! * **Degradable** — the per-user feature fetch failed
-//!   ([`ServeError::TornCell`], [`ServeError::TornRow`]). The server falls
-//!   back to context-only scoring (zero-filled user slots — exactly the
-//!   cold-start input the trained models already saw) and counts the
-//!   degradation instead of failing the request.
+//!   ([`ServeError::TornCell`], [`ServeError::TornRow`],
+//!   [`ServeError::Fetch`]). The server falls back to context-only scoring
+//!   (zero-filled user slots — exactly the cold-start input the trained
+//!   models already saw) and counts the degradation instead of failing the
+//!   request.
+//! * **SLO outcomes** — the request was resolved without scoring:
+//!   [`ServeError::DeadlineExceeded`] (simulated-time budget exhausted by
+//!   storage faults) and [`ServeError::Shed`] (queue full under overload).
+//!   Counted separately so the chaos gate can prove no request is lost.
 //!
 //! Deployment-time problems ([`ServeError::ModelWidth`],
 //! [`ServeError::LayoutSlots`]) are returned from `new`/`deploy` and never
 //! unseat a live model.
 
 use std::fmt;
+use std::time::Duration;
+use titant_alihbase::ReadFault;
 
 /// Everything that can go wrong on the serving path.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,6 +74,35 @@ pub enum ServeError {
         /// Basic-block cells expected.
         expected: usize,
     },
+    /// A storage read faulted (transient error, replica outage, or a
+    /// timed-out slow read). Degradable: the retry/hedge/failover loop
+    /// exhausts its options first, then falls back to context-only scoring.
+    Fetch {
+        /// User whose fetch faulted.
+        user: u64,
+        /// The classified fault, with the simulated time it consumed.
+        fault: ReadFault,
+    },
+    /// The request's simulated-time deadline budget ran out before both
+    /// parties' features could be fetched. Request-fatal and counted
+    /// separately from errors — the caller decides the business outcome.
+    DeadlineExceeded {
+        /// Transaction that ran out of budget.
+        tx_id: u64,
+        /// The configured budget.
+        budget: Duration,
+        /// Simulated time charged when the budget ran out (`>= budget`).
+        charged: Duration,
+    },
+    /// The serving queue was full and the request was shed before scoring
+    /// (load shedding under overload). Request-fatal by design: shedding
+    /// fast beats queueing past the deadline.
+    Shed {
+        /// Transaction that was shed.
+        tx_id: u64,
+        /// Queue depth observed at shed time.
+        queue_depth: usize,
+    },
     /// A pool worker caught a panic while scoring; the worker survived and
     /// the request was dropped.
     WorkerPanic {
@@ -83,7 +119,7 @@ impl ServeError {
     pub fn is_degradable(&self) -> bool {
         matches!(
             self,
-            ServeError::TornCell { .. } | ServeError::TornRow { .. }
+            ServeError::TornCell { .. } | ServeError::TornRow { .. } | ServeError::Fetch { .. }
         )
     }
 }
@@ -119,6 +155,22 @@ impl fmt::Display for ServeError {
                 f,
                 "user {user}: row holds {present}/{expected} basic cells (torn upload)"
             ),
+            ServeError::Fetch { user, fault } => write!(
+                f,
+                "user {user}: {:?} read fault at region {} replica {} (waited {:?})",
+                fault.kind, fault.region, fault.replica, fault.waited
+            ),
+            ServeError::DeadlineExceeded {
+                tx_id,
+                budget,
+                charged,
+            } => write!(
+                f,
+                "tx {tx_id}: deadline budget {budget:?} exhausted after {charged:?} of simulated waiting"
+            ),
+            ServeError::Shed { tx_id, queue_depth } => {
+                write!(f, "tx {tx_id}: shed at queue depth {queue_depth}")
+            }
             ServeError::WorkerPanic { tx_id, message } => {
                 write!(f, "tx {tx_id}: scoring worker panicked: {message}")
             }
@@ -157,5 +209,36 @@ mod tests {
         };
         assert!(e.is_degradable());
         assert!(e.to_string().contains("1/4"));
+    }
+
+    #[test]
+    fn slo_errors_classify_and_display() {
+        let e = ServeError::Fetch {
+            user: 7,
+            fault: ReadFault {
+                kind: titant_alihbase::FaultKind::Transient,
+                region: 2,
+                replica: 1,
+                waited: Duration::ZERO,
+                injected: Duration::ZERO,
+            },
+        };
+        assert!(e.is_degradable(), "fetch faults degrade after retries");
+        assert!(e.to_string().contains("region 2 replica 1"));
+
+        let e = ServeError::DeadlineExceeded {
+            tx_id: 9,
+            budget: Duration::from_millis(2),
+            charged: Duration::from_millis(3),
+        };
+        assert!(!e.is_degradable());
+        assert!(e.to_string().contains("tx 9"));
+
+        let e = ServeError::Shed {
+            tx_id: 11,
+            queue_depth: 64,
+        };
+        assert!(!e.is_degradable());
+        assert!(e.to_string().contains("queue depth 64"));
     }
 }

@@ -8,7 +8,8 @@
 
 use crate::error::ServeError;
 use bytes::Bytes;
-use titant_alihbase::{CellKey, RegionedTable, RowKey, Version};
+use std::time::Duration;
+use titant_alihbase::{CellKey, ReadOptions, RegionedTable, RowKey, Version};
 
 /// Per-user serving payload: what the offline stage uploads and the MS
 /// fetches per transfer party.
@@ -101,14 +102,42 @@ impl FeatureCodec {
         as_of: Version,
     ) -> Result<Option<UserFeatures>, ServeError> {
         let row = Self::row_key(user);
-        let cells = table.get_row(&row, as_of);
+        self.decode_cells(user, &table.get_row(&row, as_of))
+    }
+
+    /// [`Self::get_user`] through the fault-aware read path: the read goes
+    /// to the replica named in `opts`, may fault per the table's installed
+    /// [`titant_alihbase::FaultHook`], and reports the simulated latency it
+    /// absorbed. A faulted read surfaces as [`ServeError::Fetch`] carrying
+    /// the classified [`titant_alihbase::ReadFault`] for the server's
+    /// retry/hedge/failover loop.
+    pub fn get_user_opts(
+        &self,
+        table: &RegionedTable,
+        user: u64,
+        as_of: Version,
+        opts: ReadOptions,
+    ) -> Result<(Option<UserFeatures>, Duration), ServeError> {
+        let row = Self::row_key(user);
+        let read = table
+            .try_get_row(&row, as_of, opts)
+            .map_err(|fault| ServeError::Fetch { user, fault })?;
+        Ok((self.decode_cells(user, &read.cells)?, read.waited))
+    }
+
+    /// Decode one row's cells into [`UserFeatures`].
+    fn decode_cells(
+        &self,
+        user: u64,
+        cells: &[(CellKey, Bytes)],
+    ) -> Result<Option<UserFeatures>, ServeError> {
         if cells.is_empty() {
             return Ok(None);
         }
         let mut payer_side = vec![None; self.payer_width];
         let mut receiver_side = vec![None; self.receiver_width];
         let mut embedding = vec![None; self.embedding_dim];
-        for (key, bytes) in &cells {
+        for (key, bytes) in cells {
             let slot = match key.family.0.as_str() {
                 "basic" => match key.qualifier.0.split_at_checked(1) {
                     Some(("p", i)) => i.parse::<usize>().ok().and_then(|i| payer_side.get_mut(i)),
@@ -213,6 +242,50 @@ mod tests {
             1,
             "fetching a user must not fan out into per-qualifier gets: {delta:?}"
         );
+    }
+
+    #[test]
+    fn get_user_opts_without_hook_matches_get_user() {
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 42, &features(1.5), 20170410).unwrap();
+        let (got, waited) = c
+            .get_user_opts(&t, 42, u64::MAX, ReadOptions::default())
+            .unwrap();
+        assert_eq!(got, c.get_user(&t, 42, u64::MAX).unwrap());
+        assert_eq!(waited, Duration::ZERO);
+        let (missing, _) = c
+            .get_user_opts(&t, 99, u64::MAX, ReadOptions::default())
+            .unwrap();
+        assert!(missing.is_none());
+    }
+
+    #[test]
+    fn get_user_opts_surfaces_read_faults_as_fetch_errors() {
+        use std::sync::Arc;
+        use titant_alihbase::{FaultKind, FaultPlan, FaultPlanConfig};
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 42, &features(1.5), 20170410).unwrap();
+        t.set_fault_hook(Some(Arc::new(FaultPlan::new(FaultPlanConfig {
+            transient_rate: 1.0,
+            ..Default::default()
+        }))));
+        let err = c
+            .get_user_opts(&t, 42, u64::MAX, ReadOptions::default())
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServeError::Fetch { user: 42, fault } if fault.kind == FaultKind::Transient
+            ),
+            "{err:?}"
+        );
+        assert!(err.is_degradable());
+        t.set_fault_hook(None);
+        assert!(c
+            .get_user_opts(&t, 42, u64::MAX, ReadOptions::default())
+            .is_ok());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   dimension, versioned by upload date.
 //! * [`server`] — the MS itself: hot-swappable model, HBase reads, a
 //!   thread-pooled request loop for load, and latency histograms.
+//! * [`slo`] — serving SLOs: deadline budgets, bounded retry with
+//!   decorrelated-jitter backoff, hedged reads against replicas, and the
+//!   resilience counters the chaos gate asserts on. See DESIGN.md §"Fault
+//!   model and serving SLOs".
 //! * [`alipay`] — the simulated Alipay front end that drives transfers
 //!   through the MS and interrupts flagged ones.
 //! * [`error`] — the typed [`ServeError`] taxonomy; see DESIGN.md
@@ -29,6 +33,7 @@ pub mod feature_codec;
 pub mod latency;
 pub mod model_file;
 pub mod server;
+pub mod slo;
 
 pub use alipay::{AlipayServer, SessionStats, TransferOutcome};
 pub use error::ServeError;
@@ -36,3 +41,4 @@ pub use feature_codec::{FeatureCodec, UserFeatures};
 pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageSnapshot};
 pub use model_file::{ModelFile, ServableModel};
 pub use server::{ModelServer, ScoreRequest, ScoreResponse, ServePool};
+pub use slo::{Deadline, HedgePolicy, ReqRng, ResilienceSnapshot, RetryPolicy, SloConfig};

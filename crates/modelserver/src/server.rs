@@ -10,13 +10,14 @@ use crate::error::ServeError;
 use crate::feature_codec::{FeatureCodec, UserFeatures};
 use crate::latency::{LatencyRecorder, Stage};
 use crate::model_file::ModelFile;
-use crossbeam::channel::{bounded, SendError, Sender};
+use crate::slo::{Deadline, ReqRng, ResilienceCounters, ResilienceSnapshot, SloConfig};
+use crossbeam::channel::{bounded, SendError, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use titant_alihbase::RegionedTable;
+use titant_alihbase::{FaultKind, ReadOptions, RegionedTable};
 use titant_models::Classifier;
 
 /// A scoring request: the two transfer parties plus the per-transaction
@@ -106,6 +107,8 @@ struct Inner {
     codec: FeatureCodec,
     layout: FeatureLayout,
     latency: LatencyRecorder,
+    slo: SloConfig,
+    resilience: ResilienceCounters,
     /// Requests served context-only because a party's features could not
     /// be fetched intact.
     degraded: AtomicU64,
@@ -119,6 +122,18 @@ impl ModelServer {
         table: Arc<RegionedTable>,
         layout: FeatureLayout,
         model: ModelFile,
+    ) -> Result<Self, ServeError> {
+        Self::with_slo(table, layout, model, SloConfig::default())
+    }
+
+    /// [`Self::new`] with explicit serving SLOs: a per-request deadline
+    /// budget, a retry policy for transient storage faults, and an optional
+    /// hedge policy (effective only when the table has read replicas).
+    pub fn with_slo(
+        table: Arc<RegionedTable>,
+        layout: FeatureLayout,
+        model: ModelFile,
+        slo: SloConfig,
     ) -> Result<Self, ServeError> {
         layout.validate()?;
         if model.n_features != layout.width() {
@@ -139,6 +154,8 @@ impl ModelServer {
                 codec,
                 layout,
                 latency: LatencyRecorder::new(),
+                slo,
+                resilience: ResilienceCounters::default(),
                 degraded: AtomicU64::new(0),
             }),
         })
@@ -175,14 +192,121 @@ impl ModelServer {
         self.inner.degraded.load(Ordering::Relaxed)
     }
 
-    /// Fetch one party's features, degrading torn rows/cells to `None`
-    /// (context-only input) and counting the degradation.
-    fn fetch_party(&self, user: u64, degraded: &mut bool) -> Option<UserFeatures> {
-        match self.inner.codec.get_user(&self.inner.table, user, u64::MAX) {
-            Ok(found) => found,
-            Err(_torn) => {
-                *degraded = true;
-                None
+    /// Resilience counters accumulated so far (retries, hedges, failovers,
+    /// deadline misses, sheds).
+    pub fn resilience(&self) -> ResilienceSnapshot {
+        self.inner.resilience.snapshot()
+    }
+
+    /// The serving SLO configuration.
+    pub fn slo(&self) -> &SloConfig {
+        &self.inner.slo
+    }
+
+    /// Fetch one party's features through the SLO loop: bounded retry on
+    /// transient faults (decorrelated-jitter backoff from the request's
+    /// seeded RNG), failover to the next replica on an unavailable one,
+    /// one hedged read when the primary exceeds the hedge threshold, and a
+    /// simulated-time deadline budget over it all.
+    ///
+    /// Exhausting retries/replicas degrades to `None` (context-only
+    /// scoring, counted); only an exhausted deadline budget fails the
+    /// request, as [`ServeError::DeadlineExceeded`]. Torn rows/cells
+    /// degrade as before. Every decision is a pure function of the fault
+    /// plan and the request's seed — never of wall-clock time.
+    fn fetch_party(
+        &self,
+        tx_id: u64,
+        user: u64,
+        deadline: &mut Deadline,
+        rng: &mut ReqRng,
+        degraded: &mut bool,
+    ) -> Result<Option<UserFeatures>, ServeError> {
+        let inner = &self.inner;
+        let slo = &inner.slo;
+        let n_replicas = inner.table.replica_count();
+        let deadline_err = |d: &Deadline| ServeError::DeadlineExceeded {
+            tx_id,
+            budget: d.budget().unwrap_or_default(),
+            charged: d.charged(),
+        };
+        let mut replica = 0usize;
+        let mut attempt = 0u32;
+        let mut retries_left = slo.retry.max_retries;
+        let mut failovers_left = n_replicas.saturating_sub(1);
+        let mut hedges_left = usize::from(slo.hedge.is_some() && n_replicas > 1);
+        let mut prev_backoff = slo.retry.base;
+        loop {
+            if deadline.exceeded() {
+                return Err(deadline_err(deadline));
+            }
+            // Cap the read at the remaining budget and, while a hedge is
+            // still available, at the hedge threshold.
+            let mut cap = deadline.remaining();
+            if hedges_left > 0 {
+                if let Some(h) = &slo.hedge {
+                    cap = Some(cap.map_or(h.after, |c| c.min(h.after)));
+                }
+            }
+            let opts = ReadOptions {
+                replica,
+                tick: tx_id,
+                attempt,
+                max_wait: cap,
+            };
+            match inner
+                .codec
+                .get_user_opts(&inner.table, user, u64::MAX, opts)
+            {
+                Ok((found, waited)) => {
+                    deadline.charge(waited);
+                    return Ok(found);
+                }
+                Err(ServeError::Fetch { fault, .. }) => {
+                    deadline.charge(fault.waited);
+                    if deadline.exceeded() {
+                        return Err(deadline_err(deadline));
+                    }
+                    match fault.kind {
+                        FaultKind::Transient if retries_left > 0 => {
+                            retries_left -= 1;
+                            attempt += 1;
+                            let pause = slo.retry.backoff(prev_backoff, rng);
+                            prev_backoff = pause;
+                            // Never pause past the budget.
+                            let pause = match deadline.remaining() {
+                                Some(left) => pause.min(left),
+                                None => pause,
+                            };
+                            deadline.charge(pause);
+                            std::thread::sleep(pause);
+                            inner.resilience.record_retry();
+                        }
+                        FaultKind::Unavailable if failovers_left > 0 => {
+                            failovers_left -= 1;
+                            attempt += 1;
+                            replica = (replica + 1) % n_replicas;
+                            inner.resilience.record_failover();
+                        }
+                        FaultKind::TimedOut if hedges_left > 0 => {
+                            hedges_left -= 1;
+                            attempt += 1;
+                            replica = (replica + 1) % n_replicas;
+                            inner.resilience.record_hedge();
+                        }
+                        // Out of options for this fault kind: degrade to
+                        // context-only scoring.
+                        _ => {
+                            *degraded = true;
+                            return Ok(None);
+                        }
+                    }
+                }
+                Err(torn) if torn.is_degradable() => {
+                    *degraded = true;
+                    return Ok(None);
+                }
+                Err(fatal) => return Err(fatal),
             }
         }
     }
@@ -207,9 +331,39 @@ impl ModelServer {
         let start = Instant::now();
         let model = Arc::clone(&self.inner.model.read());
 
+        // The deadline budget is virtual (charged in simulated time) and
+        // the jitter RNG is seeded per request, so SLO outcomes replay
+        // bit-identically under the same fault plan.
+        let mut deadline = Deadline::new(self.inner.slo.deadline);
+        let mut rng = ReqRng::new(self.inner.slo.seed ^ req.tx_id);
         let mut degraded = false;
-        let payer = self.fetch_party(req.transferor, &mut degraded);
-        let recv = self.fetch_party(req.transferee, &mut degraded);
+        let parties = self
+            .fetch_party(
+                req.tx_id,
+                req.transferor,
+                &mut deadline,
+                &mut rng,
+                &mut degraded,
+            )
+            .and_then(|payer| {
+                let recv = self.fetch_party(
+                    req.tx_id,
+                    req.transferee,
+                    &mut deadline,
+                    &mut rng,
+                    &mut degraded,
+                )?;
+                Ok((payer, recv))
+            });
+        let (payer, recv) = match parties {
+            Ok(p) => p,
+            Err(e) => {
+                if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                    self.inner.resilience.record_deadline_exceeded();
+                }
+                return Err(e);
+            }
+        };
         let fetched = Instant::now();
 
         let mut features = vec![0f32; layout.width()];
@@ -275,9 +429,23 @@ impl ModelServer {
         on_response: impl Fn(ScoreResponse) + Send + Sync + 'static,
         on_error: impl Fn(ServeError) + Send + Sync + 'static,
     ) -> ServePool {
-        let (tx, rx) = bounded::<ScoreRequest>(4096);
+        self.serve_pool_sized(n_threads, 4096, on_response, on_error)
+    }
+
+    /// [`Self::serve_pool`] with an explicit queue capacity. A small queue
+    /// plus [`ServePool::submit`] gives load shedding: requests that find
+    /// the queue full are rejected immediately as [`ServeError::Shed`]
+    /// instead of queueing past their deadline.
+    pub fn serve_pool_sized(
+        &self,
+        n_threads: usize,
+        queue_cap: usize,
+        on_response: impl Fn(ScoreResponse) + Send + Sync + 'static,
+        on_error: impl Fn(ServeError) + Send + Sync + 'static,
+    ) -> ServePool {
+        let (tx, rx) = bounded::<ScoreRequest>(queue_cap.max(1));
         let on_response = Arc::new(on_response);
-        let on_error = Arc::new(on_error);
+        let on_error: Arc<dyn Fn(ServeError) + Send + Sync> = Arc::new(on_error);
         let live = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::with_capacity(n_threads.max(1));
         for _ in 0..n_threads.max(1) {
@@ -309,6 +477,8 @@ impl ModelServer {
             tx: Some(tx),
             workers,
             live,
+            server: self.clone(),
+            on_error,
         }
     }
 }
@@ -330,6 +500,8 @@ pub struct ServePool {
     tx: Option<Sender<ScoreRequest>>,
     workers: Vec<std::thread::JoinHandle<()>>,
     live: Arc<AtomicUsize>,
+    server: ModelServer,
+    on_error: Arc<dyn Fn(ServeError) + Send + Sync>,
 }
 
 impl ServePool {
@@ -339,6 +511,33 @@ impl ServePool {
         match &self.tx {
             Some(tx) => tx.send(req),
             None => Err(SendError(req)),
+        }
+    }
+
+    /// Non-blocking enqueue with load shedding: a request that finds the
+    /// queue full (or the pool shut down) is rejected immediately — counted
+    /// as shed and reported through the error callback as
+    /// [`ServeError::Shed`] — instead of queueing past its deadline.
+    /// Returns `true` when the request was accepted.
+    pub fn submit(&self, req: ScoreRequest) -> bool {
+        let shed = |req: ScoreRequest, queue_depth: usize| {
+            self.server.inner.resilience.record_shed();
+            (self.on_error)(ServeError::Shed {
+                tx_id: req.tx_id,
+                queue_depth,
+            });
+            false
+        };
+        let Some(tx) = &self.tx else {
+            return shed(req, 0);
+        };
+        match tx.try_send(req) {
+            Ok(()) => true,
+            Err(TrySendError::Full(req)) => {
+                let depth = tx.len();
+                shed(req, depth)
+            }
+            Err(TrySendError::Disconnected(req)) => shed(req, 0),
         }
     }
 
@@ -378,7 +577,13 @@ impl Drop for ServePool {
 mod tests {
     use super::*;
     use crate::model_file::ServableModel;
-    use titant_alihbase::StoreConfig;
+    use crate::slo::{HedgePolicy, RetryPolicy};
+    use proptest::prelude::*;
+    use std::sync::OnceLock;
+    use std::time::Duration;
+    use titant_alihbase::{
+        FaultAction, FaultHook, FaultPlan, FaultPlanConfig, ReadCtx, StoreConfig, UnavailableWindow,
+    };
     use titant_models::{Dataset, GbdtConfig};
 
     /// Layout: 2 payer + 2 receiver + 1 context = 5 basic, embeddings 2/side.
@@ -627,6 +832,297 @@ mod tests {
         }
         pool.shutdown(); // drains the queue and joins the workers
         assert_eq!(hits.lock().len(), 100);
+    }
+
+    /// One trained model for every SLO test (training is the slow part).
+    fn cached_model() -> ModelFile {
+        static MODEL: OnceLock<ModelFile> = OnceLock::new();
+        MODEL.get_or_init(model).clone()
+    }
+
+    /// A fault hook scripted by a closure over the read coordinates.
+    struct Scripted<F>(F);
+    impl<F: Fn(&ReadCtx<'_>) -> FaultAction + Send + Sync> FaultHook for Scripted<F> {
+        fn on_read(&self, ctx: &ReadCtx<'_>) -> FaultAction {
+            (self.0)(ctx)
+        }
+    }
+
+    /// A server over a `replicas`-way replicated single-region table with
+    /// users 1 and 2 uploaded, ready for a fault hook.
+    fn setup_slo(replicas: usize, slo: SloConfig) -> (ModelServer, Arc<RegionedTable>) {
+        let table = Arc::new(
+            RegionedTable::single(StoreConfig {
+                replicas,
+                ..Default::default()
+            })
+            .unwrap(),
+        );
+        let ms = ModelServer::with_slo(table.clone(), layout(), cached_model(), slo).unwrap();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        for user in [1u64, 2] {
+            codec
+                .put_user(
+                    &table,
+                    user,
+                    &UserFeatures {
+                        payer_side: vec![0.1, 0.2],
+                        receiver_side: vec![0.3, 0.4],
+                        embedding: vec![0.5, 0.6],
+                    },
+                    20170410,
+                )
+                .unwrap();
+        }
+        (ms, table)
+    }
+
+    #[test]
+    fn deadline_exhaustion_is_typed_and_counted() {
+        let (ms, table) = setup_slo(
+            1,
+            SloConfig {
+                deadline: Some(Duration::from_millis(1)),
+                ..Default::default()
+            },
+        );
+        table.set_fault_hook(Some(Arc::new(Scripted(|_: &ReadCtx<'_>| {
+            FaultAction::Latency(Duration::from_millis(2))
+        }))));
+        let err = ms.score(&req(1, 0.9)).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::DeadlineExceeded {
+                tx_id: 1,
+                budget: Duration::from_millis(1),
+                charged: Duration::from_millis(1),
+            }
+        );
+        assert_eq!(ms.resilience().deadline_exceeded, 1);
+        // Deadline misses record no latency sample and no degradation.
+        assert_eq!(ms.latency().count(), 0);
+        assert_eq!(ms.degraded_count(), 0);
+    }
+
+    #[test]
+    fn transient_faults_retry_with_backoff_and_succeed() {
+        let (ms, table) = setup_slo(1, SloConfig::default());
+        table.set_fault_hook(Some(Arc::new(Scripted(|ctx: &ReadCtx<'_>| {
+            if ctx.attempt < 2 {
+                FaultAction::Transient
+            } else {
+                FaultAction::None
+            }
+        }))));
+        let resp = ms.score(&req(1, 0.9)).unwrap();
+        assert!(resp.alert && !resp.degraded);
+        // Two retries per party, both parties.
+        assert_eq!(ms.resilience().retried, 4);
+        assert_eq!(ms.degraded_count(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_context_only() {
+        let (ms, table) = setup_slo(1, SloConfig::default());
+        table.set_fault_hook(Some(Arc::new(Scripted(|_: &ReadCtx<'_>| {
+            FaultAction::Transient
+        }))));
+        let resp = ms.score(&req(1, 0.9)).unwrap();
+        assert!(resp.alert, "context still drives the verdict");
+        assert!(resp.degraded);
+        assert_eq!(ms.degraded_count(), 1);
+        assert_eq!(ms.resilience().retried, 4, "max_retries per party");
+    }
+
+    #[test]
+    fn unavailable_primary_fails_over_to_a_replica() {
+        let (ms, table) = setup_slo(2, SloConfig::default());
+        table.set_fault_hook(Some(Arc::new(Scripted(|ctx: &ReadCtx<'_>| {
+            if ctx.replica == 0 {
+                FaultAction::Unavailable
+            } else {
+                FaultAction::None
+            }
+        }))));
+        let resp = ms.score(&req(1, 0.9)).unwrap();
+        assert!(resp.alert && !resp.degraded);
+        assert_eq!(ms.resilience().failovers, 2, "one failover per party");
+        assert_eq!(ms.degraded_count(), 0);
+    }
+
+    #[test]
+    fn slow_primary_hedges_to_a_replica() {
+        let (ms, table) = setup_slo(
+            2,
+            SloConfig {
+                hedge: Some(HedgePolicy {
+                    after: Duration::from_micros(200),
+                }),
+                ..Default::default()
+            },
+        );
+        table.set_fault_hook(Some(Arc::new(Scripted(|ctx: &ReadCtx<'_>| {
+            if ctx.replica == 0 {
+                FaultAction::Latency(Duration::from_millis(5))
+            } else {
+                FaultAction::None
+            }
+        }))));
+        let resp = ms.score(&req(1, 0.9)).unwrap();
+        assert!(resp.alert && !resp.degraded);
+        assert_eq!(ms.resilience().hedged, 2, "one hedge per party");
+        // The hedge abandoned the slow primary after the threshold instead
+        // of waiting out the full 5 ms injected delay, twice.
+        let fetch = ms.latency().stage_quantile(Stage::Fetch, 1.0).unwrap();
+        assert!(fetch < Duration::from_millis(5), "fetch took {fetch:?}");
+    }
+
+    #[test]
+    fn hedge_without_replicas_waits_out_the_latency() {
+        let (ms, table) = setup_slo(
+            1,
+            SloConfig {
+                hedge: Some(HedgePolicy {
+                    after: Duration::from_micros(100),
+                }),
+                ..Default::default()
+            },
+        );
+        table.set_fault_hook(Some(Arc::new(Scripted(|_: &ReadCtx<'_>| {
+            FaultAction::Latency(Duration::from_micros(300))
+        }))));
+        let resp = ms.score(&req(1, 0.9)).unwrap();
+        assert!(!resp.degraded);
+        assert_eq!(ms.resilience().hedged, 0, "nowhere to hedge to");
+    }
+
+    #[test]
+    fn pool_submit_sheds_when_the_queue_is_full() {
+        let (ms, table) = setup_slo(1, SloConfig::default());
+        // Slow every read down so one worker cannot keep up with a burst.
+        table.set_fault_hook(Some(Arc::new(Scripted(|_: &ReadCtx<'_>| {
+            FaultAction::Latency(Duration::from_millis(20))
+        }))));
+        let responses = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let errors = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let (r2, e2) = (Arc::clone(&responses), Arc::clone(&errors));
+        let pool = ms.serve_pool_sized(
+            1,
+            2,
+            move |resp| r2.lock().push(resp),
+            move |err| e2.lock().push(err),
+        );
+        let total = 30u64;
+        for i in 0..total {
+            pool.submit(req(i, 0.1));
+        }
+        assert_eq!(pool.live_workers(), 1);
+        pool.shutdown();
+
+        let responses = responses.lock();
+        let errors = errors.lock();
+        // Conservation: every burst request resolved as scored or shed.
+        assert_eq!(responses.len() + errors.len(), total as usize);
+        assert!(!errors.is_empty(), "a 2-deep queue must shed this burst");
+        assert!(errors.iter().all(|e| matches!(e, ServeError::Shed { .. })));
+        assert_eq!(ms.resilience().shed, errors.len() as u64);
+    }
+
+    /// Drive `n` requests through a fresh chaos server and return every
+    /// deterministic counter: (ok, deadline-errors, degraded, resilience).
+    fn chaos_run(seed: u64, workers: Option<usize>) -> (u64, u64, u64, ResilienceSnapshot) {
+        let slo = SloConfig {
+            deadline: Some(Duration::from_micros(900)),
+            retry: RetryPolicy {
+                max_retries: 2,
+                base: Duration::from_micros(20),
+                cap: Duration::from_micros(80),
+            },
+            hedge: Some(HedgePolicy {
+                after: Duration::from_micros(100),
+            }),
+            seed,
+        };
+        let (ms, table) = setup_slo(2, slo);
+        table.set_fault_hook(Some(Arc::new(FaultPlan::new(FaultPlanConfig {
+            seed,
+            transient_rate: 0.15,
+            latency_rate: 0.08,
+            latency: Duration::from_micros(150),
+            torn_cell_rate: 0.03,
+            unavailable: Some(UnavailableWindow {
+                region: 0,
+                replica: Some(0),
+                from_tick: 20,
+                to_tick: 60,
+            }),
+        }))));
+        let n = 80u64;
+        let ok = Arc::new(AtomicU64::new(0));
+        let deadline_errs = Arc::new(AtomicU64::new(0));
+        match workers {
+            None => {
+                for i in 0..n {
+                    match ms.score(&req(i, if i % 2 == 0 { 0.9 } else { 0.1 })) {
+                        Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                        Err(ServeError::DeadlineExceeded { .. }) => {
+                            deadline_errs.fetch_add(1, Ordering::Relaxed)
+                        }
+                        Err(e) => panic!("unexpected error: {e}"),
+                    };
+                }
+            }
+            Some(w) => {
+                let (ok2, de2) = (Arc::clone(&ok), Arc::clone(&deadline_errs));
+                let pool = ms.serve_pool(
+                    w,
+                    move |_| {
+                        ok2.fetch_add(1, Ordering::Relaxed);
+                    },
+                    move |e| match e {
+                        ServeError::DeadlineExceeded { .. } => {
+                            de2.fetch_add(1, Ordering::Relaxed);
+                        }
+                        other => panic!("unexpected error: {other}"),
+                    },
+                );
+                for i in 0..n {
+                    // Blocking send: the deterministic phase sheds nothing.
+                    pool.send(req(i, if i % 2 == 0 { 0.9 } else { 0.1 }))
+                        .unwrap();
+                }
+                pool.shutdown();
+            }
+        }
+        (
+            ok.load(Ordering::Relaxed),
+            deadline_errs.load(Ordering::Relaxed),
+            ms.degraded_count(),
+            ms.resilience(),
+        )
+    }
+
+    proptest! {
+        /// Satellite: the same seed yields the same [`ScoreResponse`]
+        /// outcome counters across two runs — and across worker counts,
+        /// because every SLO decision is a pure function of the fault plan
+        /// and the request's seed, never of scheduler interleaving.
+        #[test]
+        fn chaos_counters_replay_identically_across_runs_and_workers(seed in 0u64..1 << 32) {
+            let sequential = chaos_run(seed, None);
+            prop_assert_eq!(sequential, chaos_run(seed, None));
+            prop_assert_eq!(sequential, chaos_run(seed, Some(1)));
+            prop_assert_eq!(sequential, chaos_run(seed, Some(3)));
+            // Conservation: every request resolved one way or the other.
+            let (ok, deadline_errs, _, r) = sequential;
+            prop_assert_eq!(ok + deadline_errs, 80);
+            // Blocking sends never shed.
+            prop_assert_eq!(r.shed, 0);
+        }
     }
 
     #[test]

@@ -6,6 +6,9 @@
 #   ./scripts/verify.sh --quick   # also smoke-run the offline-throughput
 #                                 # bench on a tiny world (cross-thread
 #                                 # determinism gate; writes BENCH_offline.json)
+#                                 # and the chaos-replay gate (seeded fault
+#                                 # injection vs serving SLOs; writes
+#                                 # BENCH_chaos.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -43,6 +46,9 @@ cargo bench --no-run
 if [[ $QUICK -eq 1 ]]; then
     echo "==> offline-throughput smoke run (--quick)"
     cargo run --release -q -p titant-bench --bin offline_throughput -- --quick
+
+    echo "==> chaos-replay gate (--quick)"
+    cargo run --release -q -p titant-bench --bin chaos_replay -- --quick
 fi
 
 echo "verify: all green"

@@ -119,7 +119,8 @@ fn parameter_server_trains_embeddings_on_simulated_network() {
     // brings its parameters back to the initial state without touching the
     // others.
     let before = ps.snapshot();
-    ps.recover_shard(0, &ck);
+    ps.recover_shard(0, &ck)
+        .expect("checkpoint matches shard layout");
     let after = ps.snapshot();
     assert_ne!(before, after, "shard 0 must have been reset");
     let half = after.len() / 2;
