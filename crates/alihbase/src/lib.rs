@@ -22,6 +22,7 @@
 //!   errors, latency, torn cells, region outages) into the online read
 //!   path via a [`fault::FaultHook`] threaded through the table.
 
+pub mod bloom;
 pub mod fault;
 pub mod memtable;
 pub mod region;
@@ -30,11 +31,13 @@ pub mod store;
 pub mod types;
 pub mod wal;
 
+pub use bloom::RowBloom;
 pub use fault::{
     FaultAction, FaultHook, FaultKind, FaultPlan, FaultPlanConfig, ReadCtx, ReadFault, ReadOptions,
     RowRead, UnavailableWindow,
 };
 pub use region::{RegionedTable, StoreOpCounts};
-pub use store::{Store, StoreConfig};
+pub use sstable::RowPresence;
+pub use store::{ReadStatsSnapshot, Store, StoreConfig};
 pub use types::{Cell, CellKey, ColumnFamily, Qualifier, RowKey, Version};
 pub use wal::SyncPolicy;

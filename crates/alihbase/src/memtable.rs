@@ -20,20 +20,30 @@ impl MemTable {
     }
 
     /// Insert a cell (value or tombstone).
+    ///
+    /// Accounting: key bytes are charged once per distinct cell key, and a
+    /// same-version overwrite reclaims the replaced value's bytes, so N
+    /// overwrites of one cell cost the same as one write (plus any value
+    /// growth) rather than N full key+value charges.
     pub fn put(&mut self, key: CellKey, version: Version, value: Option<Bytes>) {
-        self.approx_bytes += key.row.0.len()
-            + key.family.0.len()
-            + key.qualifier.0.len()
-            + value.as_ref().map_or(0, |v| v.len())
-            + 24;
+        const CELL_OVERHEAD: usize = 24;
+        let key_bytes = key.row.0.len() + key.family.0.len() + key.qualifier.0.len();
+        let value_bytes = value.as_ref().map_or(0, |v| v.len());
+        let existed = self.entries.contains_key(&key);
         let versions = self.entries.entry(key).or_default();
+        if !existed {
+            self.approx_bytes += key_bytes;
+        }
         let pos = versions
             .binary_search_by(|c| version.cmp(&c.version))
             .unwrap_or_else(|p| p);
         // Same version overwrites (last write wins).
         if pos < versions.len() && versions[pos].version == version {
+            let old_bytes = versions[pos].value.as_ref().map_or(0, |v| v.len());
+            self.approx_bytes = (self.approx_bytes + value_bytes).saturating_sub(old_bytes);
             versions[pos].value = value;
         } else {
+            self.approx_bytes += value_bytes + CELL_OVERHEAD;
             versions.insert(pos, Cell { version, value });
         }
     }
@@ -132,6 +142,44 @@ mod tests {
         m.put(key("u1", "age"), 2, None);
         let c = m.get(&key("u1", "age"), u64::MAX).unwrap();
         assert!(c.value.is_none(), "expected tombstone");
+    }
+
+    #[test]
+    fn overwrites_do_not_inflate_accounting() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 7, Some(Bytes::from_static(b"aaaaaaaa")));
+        let after_first = m.approx_bytes();
+        for _ in 0..1_000 {
+            m.put(key("u1", "age"), 7, Some(Bytes::from_static(b"bbbbbbbb")));
+        }
+        // Same-version overwrites of an equal-sized value must not grow the
+        // footprint at all — pre-fix this ballooned by ~1000x and triggered
+        // flushes long before memtable_flush_bytes.
+        assert_eq!(m.approx_bytes(), after_first);
+    }
+
+    #[test]
+    fn overwrite_reclaims_shrunk_value_bytes() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 1, Some(Bytes::from_static(b"0123456789")));
+        let big = m.approx_bytes();
+        m.put(key("u1", "age"), 1, Some(Bytes::from_static(b"01")));
+        assert_eq!(m.approx_bytes(), big - 8);
+        m.put(key("u1", "age"), 1, None);
+        assert_eq!(m.approx_bytes(), big - 10);
+    }
+
+    #[test]
+    fn new_versions_of_one_key_charge_key_bytes_once() {
+        let mut m = MemTable::new();
+        m.put(key("u1", "age"), 1, Some(Bytes::from_static(b"xx")));
+        let one = m.approx_bytes();
+        m.put(key("u1", "age"), 2, Some(Bytes::from_static(b"xx")));
+        let two = m.approx_bytes();
+        // The second distinct version pays value + per-cell overhead but not
+        // the row/family/qualifier bytes again.
+        let key_bytes = "u1".len() + "basic".len() + "age".len();
+        assert_eq!(two - one, one - key_bytes);
     }
 
     #[test]

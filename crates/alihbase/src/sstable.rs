@@ -5,12 +5,26 @@
 //! length-prefixed file format (same framing as the WAL, one frame per run)
 //! and loaded back, giving the store durability beyond the WAL.
 
-use crate::types::{Cell, CellKey, Version};
+use crate::bloom::RowBloom;
+use crate::types::{Cell, CellKey, RowKey, Version};
 use crate::wal::crc32;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
+
+/// What a run's index says about a row before any entry is touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowPresence {
+    /// Row falls outside the run's min/max row-key bounds: definitely absent.
+    OutOfBounds,
+    /// In bounds but the bloom filter rules it out: definitely absent.
+    BloomMiss,
+    /// The run may hold the row and must be searched. `bloom_checked` tells
+    /// the caller whether a fruitless search counts as a bloom false
+    /// positive (true) or the run simply had no filter (false).
+    Possible { bloom_checked: bool },
+}
 
 /// One immutable sorted run.
 #[derive(Debug, Clone, Default)]
@@ -18,6 +32,11 @@ pub struct SsTable {
     /// Sorted by key asc; per key versions sorted desc. Flat for cache
     /// locality and binary search.
     entries: Vec<(CellKey, Cell)>,
+    /// Optional row filter; rebuilt via [`SsTable::rebuild_index`] after the
+    /// run's contents settle (flush, merge, load). Deliberately not part of
+    /// the on-disk format — it is a deterministic function of the entries,
+    /// so rebuilding on load always reproduces the same bits.
+    bloom: Option<RowBloom>,
 }
 
 impl SsTable {
@@ -33,7 +52,55 @@ impl SsTable {
         debug_assert!(entries
             .windows(2)
             .all(|w| w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1.version > w[1].1.version)));
-        Self { entries }
+        Self {
+            entries,
+            bloom: None,
+        }
+    }
+
+    /// (Re)build the run's row bloom filter at `bits_per_key` bits per
+    /// distinct row (0 disables the filter). Idempotent and deterministic:
+    /// the filter depends only on the run's row set and the budget.
+    pub fn rebuild_index(&mut self, bits_per_key: usize) {
+        if bits_per_key == 0 || self.entries.is_empty() {
+            self.bloom = None;
+            return;
+        }
+        // Entries are row-sorted, so consecutive dedup yields distinct rows.
+        let mut rows: Vec<&[u8]> = Vec::new();
+        for (k, _) in &self.entries {
+            if rows.last() != Some(&k.row.0.as_slice()) {
+                rows.push(k.row.0.as_slice());
+            }
+        }
+        self.bloom = RowBloom::build(rows.iter().copied(), rows.len(), bits_per_key);
+    }
+
+    /// True when the run carries a bloom filter.
+    pub fn has_bloom(&self) -> bool {
+        self.bloom.is_some()
+    }
+
+    /// Cheap index verdict for `row`: min/max row-key bounds first, then the
+    /// bloom filter if present. Never a false negative — `OutOfBounds` and
+    /// `BloomMiss` both guarantee the row is not in this run.
+    pub fn row_presence(&self, row: &RowKey) -> RowPresence {
+        let (Some((first, _)), Some((last, _))) = (self.entries.first(), self.entries.last())
+        else {
+            return RowPresence::OutOfBounds;
+        };
+        if *row < first.row || *row > last.row {
+            return RowPresence::OutOfBounds;
+        }
+        match &self.bloom {
+            Some(bloom) if !bloom.may_contain(&row.0) => RowPresence::BloomMiss,
+            Some(_) => RowPresence::Possible {
+                bloom_checked: true,
+            },
+            None => RowPresence::Possible {
+                bloom_checked: false,
+            },
+        }
     }
 
     /// Number of stored cells (all versions).
@@ -122,7 +189,10 @@ impl SsTable {
             kept_for_key += 1;
             entries.push((k, c));
         }
-        SsTable { entries }
+        SsTable {
+            entries,
+            bloom: None,
+        }
     }
 
     /// Persist to a file (length-prefixed CRC frame).
@@ -200,7 +270,10 @@ impl SsTable {
                 Cell { version, value },
             ));
         }
-        Ok(SsTable { entries })
+        Ok(SsTable {
+            entries,
+            bloom: None,
+        })
     }
 }
 
@@ -317,6 +390,64 @@ mod tests {
         std::fs::write(&path, &data).unwrap();
         assert!(SsTable::load(&path).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn row_presence_bounds_and_bloom() {
+        let mut t = table_with(&[
+            ("u3", "age", 1, Some(b"a")),
+            ("u5", "age", 1, Some(b"b")),
+            ("u7", "age", 1, Some(b"c")),
+        ]);
+        // Without a filter: bounds only.
+        assert_eq!(
+            t.row_presence(&crate::types::RowKey::from("u1")),
+            RowPresence::OutOfBounds
+        );
+        assert_eq!(
+            t.row_presence(&crate::types::RowKey::from("u9")),
+            RowPresence::OutOfBounds
+        );
+        assert_eq!(
+            t.row_presence(&crate::types::RowKey::from("u5")),
+            RowPresence::Possible {
+                bloom_checked: false
+            }
+        );
+        t.rebuild_index(10);
+        assert!(t.has_bloom());
+        for present in ["u3", "u5", "u7"] {
+            assert_eq!(
+                t.row_presence(&crate::types::RowKey::from(present)),
+                RowPresence::Possible {
+                    bloom_checked: true
+                },
+                "no false negatives allowed"
+            );
+        }
+        // In-bounds but absent: either a BloomMiss or a (counted) fp.
+        let verdict = t.row_presence(&crate::types::RowKey::from("u4"));
+        assert_ne!(verdict, RowPresence::OutOfBounds);
+        // Disabling restores the unfiltered verdict.
+        t.rebuild_index(0);
+        assert!(!t.has_bloom());
+    }
+
+    #[test]
+    fn rebuilt_index_is_deterministic() {
+        let rows: Vec<(&str, &str, u64, Option<&'static [u8]>)> = vec![
+            ("u1", "age", 1, Some(b"a")),
+            ("u2", "age", 1, Some(b"b")),
+            ("u8", "age", 1, Some(b"c")),
+        ];
+        let mut a = table_with(&rows);
+        let mut b = table_with(&rows);
+        a.rebuild_index(10);
+        b.rebuild_index(10);
+        for probe in 0..1000u32 {
+            let row = crate::types::RowKey(format!("p{probe}").into_bytes());
+            assert_eq!(a.row_presence(&row), b.row_presence(&row));
+        }
     }
 
     #[test]

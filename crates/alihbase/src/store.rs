@@ -2,12 +2,13 @@
 
 use crate::fault::{FaultAction, FaultHook, FaultKind, ReadCtx, ReadFault, RowRead};
 use crate::memtable::MemTable;
-use crate::sstable::SsTable;
+use crate::sstable::{RowPresence, SsTable};
 use crate::types::{Cell, CellKey, Version};
 use crate::wal::{SyncPolicy, Wal, WalRecord};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Store tuning knobs.
@@ -29,6 +30,10 @@ pub struct StoreConfig {
     /// [`crate::RegionedTable`] (a single `Store` ignores it). Writes fan
     /// out to every replica; reads pick one and can fail over.
     pub replicas: usize,
+    /// Bits per distinct row for each run's bloom filter; 0 disables the
+    /// filters entirely (every read then scans every run, the pre-bloom
+    /// behaviour — useful as an equivalence baseline).
+    pub bloom_bits_per_key: usize,
 }
 
 impl Default for StoreConfig {
@@ -40,7 +45,44 @@ impl Default for StoreConfig {
             dir: None,
             sync: SyncPolicy::default(),
             replicas: 1,
+            bloom_bits_per_key: crate::bloom::DEFAULT_BITS_PER_KEY,
         }
+    }
+}
+
+/// Read-path counters, bumped with relaxed atomics under the shared read
+/// lock. These are diagnostics, not operation counts — they do not feed
+/// [`crate::StoreOpCounts::total`].
+#[derive(Debug, Default)]
+struct ReadStats {
+    runs_scanned: AtomicU64,
+    runs_skipped: AtomicU64,
+    bloom_false_positives: AtomicU64,
+    torn_cells: AtomicU64,
+}
+
+/// Point-in-time copy of a store's read-path counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStatsSnapshot {
+    /// Runs actually searched by `get_row`/`get_versioned`.
+    pub runs_scanned: u64,
+    /// Runs skipped by min/max bounds or a bloom miss.
+    pub runs_skipped: u64,
+    /// Bloom said "possible" but the run held no cell of the row (counted
+    /// on `get_row` only, where a fruitless row walk proves the filter
+    /// lied; a fruitless point `get` may just be a missing qualifier).
+    pub bloom_false_positives: u64,
+    /// Torn-cell faults injected by [`Store::try_get_row`].
+    pub torn_cells: u64,
+}
+
+impl ReadStatsSnapshot {
+    /// Field-wise sum (aggregation across replicas/regions).
+    pub fn add(&mut self, other: &ReadStatsSnapshot) {
+        self.runs_scanned += other.runs_scanned;
+        self.runs_skipped += other.runs_skipped;
+        self.bloom_false_positives += other.bloom_false_positives;
+        self.torn_cells += other.torn_cells;
     }
 }
 
@@ -57,6 +99,7 @@ struct Inner {
 pub struct Store {
     config: StoreConfig,
     inner: RwLock<Inner>,
+    stats: ReadStats,
 }
 
 impl Store {
@@ -85,7 +128,11 @@ impl Store {
             run_files.sort_by_key(|(id, _)| std::cmp::Reverse(*id));
             next_run_id = run_files.first().map_or(0, |(id, _)| id + 1);
             for (_, path) in run_files {
-                runs.push(SsTable::load(&path)?);
+                let mut run = SsTable::load(&path)?;
+                // Blooms are not persisted: rebuild them (deterministic
+                // function of the run's rows, so recovery is exact).
+                run.rebuild_index(config.bloom_bits_per_key);
+                runs.push(run);
             }
             let (w, replayed) = Wal::open_with(&dir.join("wal.log"), config.sync)?;
             for r in replayed {
@@ -101,7 +148,18 @@ impl Store {
                 wal,
                 next_run_id,
             }),
+            stats: ReadStats::default(),
         })
+    }
+
+    /// Snapshot the read-path counters.
+    pub fn read_stats(&self) -> ReadStatsSnapshot {
+        ReadStatsSnapshot {
+            runs_scanned: self.stats.runs_scanned.load(Ordering::Relaxed),
+            runs_skipped: self.stats.runs_skipped.load(Ordering::Relaxed),
+            bloom_false_positives: self.stats.bloom_false_positives.load(Ordering::Relaxed),
+            torn_cells: self.stats.torn_cells.load(Ordering::Relaxed),
+        }
     }
 
     /// Write a cell value.
@@ -135,13 +193,31 @@ impl Store {
     pub fn get_versioned(&self, key: &CellKey, as_of: Version) -> Option<Bytes> {
         let inner = self.inner.read();
         let mut best: Option<&Cell> = inner.memtable.get(key, as_of);
+        let mut scanned = 0u64;
+        let mut skipped = 0u64;
         for run in &inner.runs {
+            // Bounds + bloom make point reads sublinear in run count: a run
+            // that cannot contain the row is never searched.
+            if matches!(
+                run.row_presence(&key.row),
+                RowPresence::OutOfBounds | RowPresence::BloomMiss
+            ) {
+                skipped += 1;
+                continue;
+            }
+            scanned += 1;
             if let Some(c) = run.get(key, as_of) {
                 if best.is_none_or(|b| c.version > b.version) {
                     best = Some(c);
                 }
             }
         }
+        self.stats
+            .runs_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.stats
+            .runs_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
         best.and_then(|c| c.value.clone())
     }
 
@@ -156,6 +232,28 @@ impl Store {
     /// get per qualifier — the store side of the serving fast path.
     pub fn get_row(&self, row: &crate::types::RowKey, as_of: Version) -> Vec<(CellKey, Bytes)> {
         let inner = self.inner.read();
+        self.get_row_locked(&inner, row, as_of)
+    }
+
+    /// Read several rows under a single lock acquisition — the store side of
+    /// batched scoring. Results keep the input order.
+    pub fn get_rows(
+        &self,
+        rows: &[&crate::types::RowKey],
+        as_of: Version,
+    ) -> Vec<Vec<(CellKey, Bytes)>> {
+        let inner = self.inner.read();
+        rows.iter()
+            .map(|row| self.get_row_locked(&inner, row, as_of))
+            .collect()
+    }
+
+    fn get_row_locked(
+        &self,
+        inner: &Inner,
+        row: &crate::types::RowKey,
+        as_of: Version,
+    ) -> Vec<(CellKey, Bytes)> {
         use std::collections::BTreeMap;
         let mut best: BTreeMap<&CellKey, &Cell> = BTreeMap::new();
         for (k, cells) in inner.memtable.iter_row(row) {
@@ -165,8 +263,21 @@ impl Store {
                 best.insert(k, c);
             }
         }
+        let mut scanned = 0u64;
+        let mut skipped = 0u64;
+        let mut false_positives = 0u64;
         for run in &inner.runs {
+            let bloom_checked = match run.row_presence(row) {
+                RowPresence::OutOfBounds | RowPresence::BloomMiss => {
+                    skipped += 1;
+                    continue;
+                }
+                RowPresence::Possible { bloom_checked } => bloom_checked,
+            };
+            scanned += 1;
+            let mut row_cells = 0usize;
             for (k, c) in run.iter_row(row) {
+                row_cells += 1;
                 if c.version > as_of {
                     continue;
                 }
@@ -177,7 +288,21 @@ impl Store {
                     }
                 }
             }
+            // The filter admitted the row but the run holds none of its
+            // cells: a genuine bloom false positive.
+            if bloom_checked && row_cells == 0 {
+                false_positives += 1;
+            }
         }
+        self.stats
+            .runs_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.stats
+            .runs_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
+        self.stats
+            .bloom_false_positives
+            .fetch_add(false_positives, Ordering::Relaxed);
         best.into_iter()
             .filter_map(|(k, c)| c.value.clone().map(|v| (k.clone(), v)))
             .collect()
@@ -242,8 +367,13 @@ impl Store {
         }
         let mut cells = self.get_row(row, as_of);
         if tear {
+            // Count the injection whether or not the row had data, so chaos
+            // plans can audit how many tears actually landed.
+            self.stats.torn_cells.fetch_add(1, Ordering::Relaxed);
             if let Some((_, value)) = cells.first_mut() {
-                let keep = value.len().min(3);
+                // Strictly fewer bytes than the original (capped at 3), so
+                // even 1–3 byte cells come back torn rather than intact.
+                let keep = value.len().min(3).min(value.len().saturating_sub(1));
                 *value = Bytes::copy_from_slice(&value.as_ref()[..keep]);
             }
         }
@@ -275,10 +405,20 @@ impl Store {
     }
 
     fn flush_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        self.flush_into_run(inner)?;
+        if inner.runs.len() > self.config.max_runs {
+            self.compact_locked(inner)?;
+        }
+        Ok(())
+    }
+
+    /// Drain the memtable into a new newest run (no compaction trigger).
+    fn flush_into_run(&self, inner: &mut Inner) -> std::io::Result<()> {
         if inner.memtable.is_empty() {
             return Ok(());
         }
-        let run = SsTable::from_sorted(inner.memtable.drain_sorted());
+        let mut run = SsTable::from_sorted(inner.memtable.drain_sorted());
+        run.rebuild_index(self.config.bloom_bits_per_key);
         if let Some(dir) = &self.config.dir {
             let id = inner.next_run_id;
             inner.next_run_id += 1;
@@ -287,9 +427,6 @@ impl Store {
         inner.runs.insert(0, run);
         if let Some(wal) = &mut inner.wal {
             wal.truncate()?;
-        }
-        if inner.runs.len() > self.config.max_runs {
-            self.compact_locked(inner)?;
         }
         Ok(())
     }
@@ -301,11 +438,18 @@ impl Store {
     }
 
     fn compact_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        // Flush the memtable first so its cells join the merge. A full
+        // compaction drops a newest-version tombstone entirely; if an
+        // older-version put were still sitting in the memtable, that drop
+        // would resurrect it on the next read. Folding the memtable into
+        // the merge keeps tombstone shadowing exact.
+        self.flush_into_run(inner)?;
         if inner.runs.len() <= 1 {
             return Ok(());
         }
         let refs: Vec<&SsTable> = inner.runs.iter().collect();
-        let merged = SsTable::merge(&refs, self.config.max_versions);
+        let mut merged = SsTable::merge(&refs, self.config.max_versions);
+        merged.rebuild_index(self.config.bloom_bits_per_key);
         if let Some(dir) = &self.config.dir {
             let id = inner.next_run_id;
             inner.next_run_id += 1;
@@ -621,6 +765,167 @@ mod tests {
             )
             .unwrap();
         assert_eq!(read.cells[0].1.as_ref(), b"aaa");
+    }
+
+    #[test]
+    fn overwrites_do_not_trigger_premature_flush() {
+        // Satellite regression: pre-fix, every overwrite re-charged the full
+        // key+value size, so 1000 rewrites of one 16-byte cell "weighed"
+        // ~50 KB and flushed long before memtable_flush_bytes.
+        let s = Store::open(StoreConfig {
+            memtable_flush_bytes: 1024,
+            ..Default::default()
+        })
+        .unwrap();
+        for _ in 0..1_000 {
+            s.put(key("u1", "age"), 7, Bytes::from(vec![0u8; 16]))
+                .unwrap();
+        }
+        assert_eq!(s.run_count(), 0, "overwrites must not accumulate bytes");
+    }
+
+    #[test]
+    fn compaction_does_not_resurrect_below_memtable_stale_put() {
+        // Satellite regression: a tombstone at version 10 sits in the runs;
+        // a stale put at version 3 sits in the memtable. Full compaction
+        // drops the tombstone — pre-fix it merged only the runs, so the
+        // memtable's stale put came back from the dead.
+        let s = mem_store();
+        s.put(key("u1", "age"), 5, Bytes::from_static(b"live"))
+            .unwrap();
+        s.flush().unwrap();
+        s.delete(key("u1", "age"), 10).unwrap();
+        s.flush().unwrap();
+        // Stale write with an older caller-supplied version, unflushed.
+        s.put(key("u1", "age"), 3, Bytes::from_static(b"stale"))
+            .unwrap();
+        assert!(
+            s.get(&key("u1", "age")).is_none(),
+            "tombstone wins pre-compaction"
+        );
+        s.compact().unwrap();
+        assert!(
+            s.get(&key("u1", "age")).is_none(),
+            "compaction must not resurrect a shadowed memtable put"
+        );
+        assert!(s.get_row(&RowKey::from_str("u1"), u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn explicit_compact_folds_memtable_into_single_run() {
+        let s = mem_store();
+        s.put(key("u1", "a"), 1, Bytes::from_static(b"x")).unwrap();
+        s.flush().unwrap();
+        s.put(key("u1", "b"), 2, Bytes::from_static(b"y")).unwrap();
+        s.compact().unwrap();
+        assert_eq!(s.run_count(), 1);
+        let row = s.get_row(&RowKey::from_str("u1"), u64::MAX);
+        assert_eq!(row.len(), 2);
+    }
+
+    #[test]
+    fn blooms_skip_runs_without_changing_results() {
+        let with_bloom = Store::open(StoreConfig {
+            max_runs: 100,
+            ..Default::default()
+        })
+        .unwrap();
+        let no_bloom = Store::open(StoreConfig {
+            max_runs: 100,
+            bloom_bits_per_key: 0,
+            ..Default::default()
+        })
+        .unwrap();
+        // 8 runs of *interleaved* users (run r holds r, r+8, r+16, …), so
+        // every run's [min,max] row bounds overlap and bounds alone cannot
+        // skip anything — only the blooms can.
+        for run in 0..8u64 {
+            for slot in 0..16u64 {
+                let k = CellKey::new(
+                    crate::types::RowKey::from_user(run + slot * 8),
+                    "basic",
+                    "age",
+                );
+                with_bloom
+                    .put(k.clone(), 1, Bytes::from_static(b"42"))
+                    .unwrap();
+                no_bloom.put(k, 1, Bytes::from_static(b"42")).unwrap();
+            }
+            with_bloom.flush().unwrap();
+            no_bloom.flush().unwrap();
+        }
+        assert_eq!(with_bloom.run_count(), 8);
+        for user in (0u64..128).chain([9999]) {
+            let row = crate::types::RowKey::from_user(user);
+            assert_eq!(
+                with_bloom.get_row(&row, u64::MAX),
+                no_bloom.get_row(&row, u64::MAX),
+                "bloom must never change results (user {user})"
+            );
+        }
+        let filtered = with_bloom.read_stats();
+        let baseline = no_bloom.read_stats();
+        // The baseline still skips a few runs via min/max bounds (edge
+        // users near the ends of the interleaved ranges, plus u9999), but
+        // the blooms must skip far more: each present user lives in exactly
+        // 1 of 8 bounds-overlapping runs.
+        assert!(
+            filtered.runs_skipped > baseline.runs_skipped,
+            "blooms never fired beyond bounds ({} vs {})",
+            filtered.runs_skipped,
+            baseline.runs_skipped
+        );
+        assert!(
+            filtered.runs_scanned < baseline.runs_scanned,
+            "bloom store scanned {} runs vs baseline {}",
+            filtered.runs_scanned,
+            baseline.runs_scanned
+        );
+        assert_eq!(
+            filtered.runs_scanned + filtered.runs_skipped,
+            baseline.runs_scanned + baseline.runs_skipped,
+            "both stores must consider every run of every read"
+        );
+    }
+
+    #[test]
+    fn torn_cell_tears_short_cells_and_counts() {
+        use crate::fault::{FaultAction, FaultHook, ReadCtx};
+        struct AlwaysTear;
+        impl FaultHook for AlwaysTear {
+            fn on_read(&self, _ctx: &ReadCtx<'_>) -> FaultAction {
+                FaultAction::TornCell
+            }
+        }
+        let s = mem_store();
+        // Satellite regression: pre-fix `min(len, 3)` left cells of ≤3 bytes
+        // untouched, silently under-injecting on short qualifiers.
+        for (user, len) in [("u1", 1usize), ("u2", 2), ("u3", 3), ("u4", 4), ("u5", 9)] {
+            s.put(key(user, "a"), 1, Bytes::from(vec![b'x'; len]))
+                .unwrap();
+        }
+        let mut expected_tears = 0u64;
+        for (user, len) in [("u1", 1usize), ("u2", 2), ("u3", 3), ("u4", 4), ("u5", 9)] {
+            let row = RowKey::from_str(user);
+            let ctx = ReadCtx {
+                region: 0,
+                replica: 0,
+                row: &row,
+                tick: 0,
+                attempt: 0,
+            };
+            let read = s
+                .try_get_row(&row, u64::MAX, Some(&AlwaysTear), &ctx, None)
+                .unwrap();
+            expected_tears += 1;
+            let torn_len = read.cells[0].1.len();
+            assert!(
+                torn_len < len,
+                "cell of {len} bytes returned {torn_len} bytes — not torn"
+            );
+            assert_eq!(torn_len, len.min(3).min(len - 1));
+            assert_eq!(s.read_stats().torn_cells, expected_tears);
+        }
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! **Serving scale** — the read-path performance layer under growing run
+//! counts: per-run bloom filters + row bounds, the decoded-row cache, and
+//! batched scoring.
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin serving_scale            # full sweep
+//! cargo run --release -p titant-bench --bin serving_scale -- --quick # gate sizes
+//! ```
+//!
+//! Builds paired single-region feature tables — one with the default
+//! per-run blooms, one with filters disabled — at 1/4/16/64 sorted runs
+//! whose key ranges *interleave* (so min/max bounds alone cannot skip
+//! anything), then drives an identical deterministic request stream through
+//! a Model Server over each and compares the run-level read counters.
+//! On top of the largest run count it sweeps row-cache capacities and
+//! checks the batched scorer. The gate asserts:
+//!
+//! * **blooms fire** — at 64 runs `runs_skipped > 0` and runs scanned per
+//!   request is strictly below the no-bloom baseline;
+//! * **reads are unchanged** — filtered and baseline servers produce
+//!   bit-identical probabilities for every request;
+//! * **the cache is invisible** — cold, cache-warm, and batched scores are
+//!   bit-identical to the uncached reference;
+//! * **worker counts are invisible** — a 1-worker and a 3-worker pool
+//!   produce the same per-transaction score map.
+//!
+//! Writes `BENCH_serving_scale.json`. Exits nonzero when any gate fails.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use titant_alihbase::{RegionedTable, StoreConfig};
+use titant_bench::harness;
+use titant_models::{Dataset, GbdtConfig};
+use titant_modelserver::{
+    FeatureCodec, FeatureLayout, ModelFile, ModelServer, RowCacheConfig, ScoreRequest,
+    ServableModel, SloConfig, UserFeatures,
+};
+
+const N_USERS: u64 = 512;
+const RUN_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+/// Layout mirroring the server's unit harness: 2 payer + 2 receiver +
+/// 1 context = 5 basic slots, 2 embedding dims per side (width 9).
+fn layout() -> FeatureLayout {
+    FeatureLayout {
+        n_basic: 5,
+        payer_slots: vec![0, 1],
+        receiver_slots: vec![2, 3],
+        context_slots: vec![4],
+        embedding_dim: 2,
+    }
+}
+
+fn codec() -> FeatureCodec {
+    FeatureCodec {
+        embedding_dim: 2,
+        payer_width: 2,
+        receiver_width: 2,
+    }
+}
+
+/// Tiny deterministic GBDT: fraud iff the context slot exceeds 0.5.
+fn model() -> ModelFile {
+    let mut d = Dataset::new(9);
+    let mut state = 3u64;
+    let mut rand01 = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f32 / (1u64 << 31) as f32
+    };
+    for _ in 0..400 {
+        let mut row = [0f32; 9];
+        for v in row.iter_mut() {
+            *v = rand01();
+        }
+        let label = (row[4] > 0.5) as u8 as f32;
+        d.push_row(&row, label);
+    }
+    let gbdt = GbdtConfig {
+        n_trees: 30,
+        subsample: 1.0,
+        colsample: 1.0,
+        ..Default::default()
+    }
+    .fit(&d);
+    ModelFile {
+        version: 20170410,
+        alert_threshold: 0.5,
+        n_features: 9,
+        model: ServableModel::Gbdt(gbdt),
+    }
+}
+
+fn features_of(user: u64) -> UserFeatures {
+    let x = (user % 97) as f32 / 97.0;
+    UserFeatures {
+        payer_side: vec![x, 1.0 - x],
+        receiver_side: vec![x * 0.5, x * 0.25],
+        embedding: vec![x, -x],
+    }
+}
+
+/// A single-region table holding every user across exactly `n_runs` sorted
+/// runs whose row-key ranges interleave: run r holds users r, r+n, r+2n, …
+/// so every run's [min, max] bounds span nearly the whole key space and
+/// only the bloom filters can prove a row absent from a run.
+fn build_table(n_runs: usize, bloom_bits_per_key: usize) -> Arc<RegionedTable> {
+    let table = Arc::new(
+        RegionedTable::single(StoreConfig {
+            memtable_flush_bytes: usize::MAX,
+            max_runs: 1_000, // never auto-compact: the sweep owns run count
+            bloom_bits_per_key,
+            ..Default::default()
+        })
+        .expect("in-memory table"),
+    );
+    let c = codec();
+    for r in 0..n_runs as u64 {
+        let mut user = r;
+        while user < N_USERS {
+            c.put_user(&table, user, &features_of(user), 20170410)
+                .expect("upload");
+            user += n_runs as u64;
+        }
+        table.flush().expect("flush one run");
+    }
+    table
+}
+
+/// Deterministic request stream: known payer/receiver pairs plus a slice of
+/// never-written users (pure bloom-negative probes).
+fn requests(n: usize) -> Vec<ScoreRequest> {
+    let mut state = 0x5EED_5CA1Eu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..n)
+        .map(|i| {
+            let transferor = if i % 7 == 6 {
+                900_000 + i as u64
+            } else {
+                next() % N_USERS
+            };
+            ScoreRequest {
+                tx_id: i as u64,
+                transferor,
+                transferee: next() % N_USERS,
+                context: vec![(next() % 1000) as f32 / 1000.0],
+            }
+        })
+        .collect()
+}
+
+fn server_over(table: &Arc<RegionedTable>, cache: Option<RowCacheConfig>) -> ModelServer {
+    ModelServer::with_options(
+        Arc::clone(table),
+        layout(),
+        model(),
+        SloConfig::default(),
+        cache,
+    )
+    .expect("layout matches the model")
+}
+
+/// Score the stream synchronously and return per-request probabilities (as
+/// bit patterns) plus the run-level read-counter deltas and wall time.
+struct SweepRun {
+    bits: Vec<u32>,
+    runs_scanned: u64,
+    runs_skipped: u64,
+    bloom_false_positives: u64,
+    wall_ms: f64,
+}
+
+fn drive(server: &ModelServer, table: &RegionedTable, stream: &[ScoreRequest]) -> SweepRun {
+    let before = table.op_counts();
+    let start = Instant::now();
+    let bits = stream
+        .iter()
+        .map(|req| {
+            server
+                .score(req)
+                .expect("clean table scores")
+                .probability
+                .to_bits()
+        })
+        .collect();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let delta = table.op_counts().since(&before);
+    SweepRun {
+        bits,
+        runs_scanned: delta.runs_scanned,
+        runs_skipped: delta.runs_skipped,
+        bloom_false_positives: delta.bloom_false_positives,
+        wall_ms,
+    }
+}
+
+#[derive(Serialize)]
+struct RunLevelReport {
+    n_runs: usize,
+    n_requests: usize,
+    // Filtered (default blooms) vs baseline (filters disabled).
+    scanned_per_req: f64,
+    baseline_scanned_per_req: f64,
+    runs_skipped: u64,
+    baseline_runs_skipped: u64,
+    bloom_false_positives: u64,
+    wall_ms: f64,
+    baseline_wall_ms: f64,
+    scores_identical: bool,
+}
+
+#[derive(Serialize)]
+struct CacheLevelReport {
+    capacity: usize,
+    hit_ratio: f64,
+    hits: u64,
+    misses: u64,
+    wall_ms: f64,
+    scores_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    n_users: u64,
+    runs: Vec<RunLevelReport>,
+    caches: Vec<CacheLevelReport>,
+    batch_identical: bool,
+    workers_identical: bool,
+    blooms_fire_at_max_runs: bool,
+    pass: bool,
+}
+
+/// Score the stream through a pool and return tx_id-ordered probability
+/// bits — must be invariant under the worker count.
+fn pool_score_map(server: &ModelServer, stream: &[ScoreRequest], workers: usize) -> Vec<u32> {
+    let out = Arc::new(std::sync::Mutex::new(vec![0u32; stream.len()]));
+    let out2 = Arc::clone(&out);
+    let pool = server.serve_pool(
+        workers,
+        move |resp| {
+            out2.lock().expect("no panics in callbacks")[resp.tx_id as usize] =
+                resp.probability.to_bits();
+        },
+        |err| panic!("unexpected serve error: {err}"),
+    );
+    for req in stream {
+        pool.send(req.clone()).expect("pool accepts while running");
+    }
+    pool.shutdown();
+    Arc::try_unwrap(out)
+        .expect("pool joined")
+        .into_inner()
+        .expect("lock unpoisoned")
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let n_requests = if quick { 512 } else { 4_096 };
+    eprintln!(
+        "serving scale ({} mode): {} users, {} requests per level",
+        if quick { "quick" } else { "full" },
+        N_USERS,
+        n_requests
+    );
+    let stream = requests(n_requests);
+    let mut pass = true;
+    let mut run_reports = Vec::new();
+    let mut reference_bits: Option<Vec<u32>> = None;
+    let mut max_run_tables: Option<(Arc<RegionedTable>, SweepRun)> = None;
+
+    for &n_runs in &RUN_COUNTS {
+        let filtered_table = build_table(n_runs, StoreConfig::default().bloom_bits_per_key);
+        let baseline_table = build_table(n_runs, 0);
+        let filtered = drive(
+            &server_over(&filtered_table, None),
+            &filtered_table,
+            &stream,
+        );
+        let baseline = drive(
+            &server_over(&baseline_table, None),
+            &baseline_table,
+            &stream,
+        );
+
+        let scores_identical = filtered.bits == baseline.bits;
+        pass &= scores_identical;
+        // Every level must see the same probabilities: run count and blooms
+        // are storage details, never visible in the scores.
+        if let Some(reference) = &reference_bits {
+            pass &= reference == &filtered.bits;
+        } else {
+            reference_bits = Some(filtered.bits.clone());
+        }
+        let report = RunLevelReport {
+            n_runs,
+            n_requests,
+            scanned_per_req: filtered.runs_scanned as f64 / n_requests as f64,
+            baseline_scanned_per_req: baseline.runs_scanned as f64 / n_requests as f64,
+            runs_skipped: filtered.runs_skipped,
+            baseline_runs_skipped: baseline.runs_skipped,
+            bloom_false_positives: filtered.bloom_false_positives,
+            wall_ms: filtered.wall_ms,
+            baseline_wall_ms: baseline.wall_ms,
+            scores_identical,
+        };
+        eprintln!(
+            "  runs={:<3} scanned/req={:.2} (no-bloom {:.2}) skipped={} (no-bloom {}) fp={} identical={}",
+            n_runs,
+            report.scanned_per_req,
+            report.baseline_scanned_per_req,
+            report.runs_skipped,
+            report.baseline_runs_skipped,
+            report.bloom_false_positives,
+            scores_identical,
+        );
+        run_reports.push(report);
+        if n_runs == *RUN_COUNTS.last().expect("non-empty sweep") {
+            max_run_tables = Some((filtered_table, filtered));
+        }
+    }
+
+    // Gate (a): at the largest run count the filters demonstrably fire.
+    let (table, max_run) = max_run_tables.expect("sweep ran");
+    let max_report = run_reports.last().expect("sweep ran");
+    let blooms_fire = max_report.runs_skipped > 0
+        && max_report.scanned_per_req < max_report.baseline_scanned_per_req;
+    if !blooms_fire {
+        eprintln!(
+            "FAIL: blooms did not fire at {} runs (skipped={}, scanned/req {:.2} vs baseline {:.2})",
+            max_report.n_runs,
+            max_report.runs_skipped,
+            max_report.scanned_per_req,
+            max_report.baseline_scanned_per_req
+        );
+    }
+    pass &= blooms_fire;
+
+    // Gate (b): the row cache and the batch path are score-invisible.
+    // All run over the 64-run filtered table; `max_run.bits` is the
+    // uncached reference.
+    let uncached = &max_run.bits;
+    let mut cache_reports = Vec::new();
+    for capacity in [0usize, (N_USERS / 4) as usize, N_USERS as usize] {
+        let server = server_over(
+            &table,
+            Some(RowCacheConfig {
+                capacity,
+                ..Default::default()
+            }),
+        );
+        // Two passes: the first warms the cache, the second measures it.
+        let cold = drive(&server, &table, &stream);
+        let warm = drive(&server, &table, &stream);
+        let stats = server.row_cache_stats().expect("cache configured");
+        let scores_identical = &cold.bits == uncached && &warm.bits == uncached;
+        pass &= scores_identical;
+        let report = CacheLevelReport {
+            capacity,
+            hit_ratio: stats.hit_ratio(),
+            hits: stats.hits,
+            misses: stats.misses,
+            wall_ms: warm.wall_ms,
+            scores_identical,
+        };
+        eprintln!(
+            "  cache cap={:<4} hit_ratio={:.3} hits={} misses={} identical={}",
+            capacity, report.hit_ratio, report.hits, report.misses, scores_identical
+        );
+        cache_reports.push(report);
+    }
+    // A full-size cache must actually hit once warm.
+    if let Some(full) = cache_reports.last() {
+        pass &= full.hit_ratio > 0.0;
+    }
+
+    let batch_server = server_over(&table, Some(RowCacheConfig::default()));
+    let batch_bits: Vec<u32> = batch_server
+        .score_batch(&stream)
+        .into_iter()
+        .map(|r| r.expect("clean table scores").probability.to_bits())
+        .collect();
+    let batch_identical = &batch_bits == uncached;
+    if !batch_identical {
+        eprintln!("FAIL: score_batch diverged from the per-request path");
+    }
+    pass &= batch_identical;
+
+    // Gate (c): worker counts never change a score.
+    let pooled_server = server_over(&table, None);
+    let one = pool_score_map(&pooled_server, &stream, 1);
+    let three = pool_score_map(&pooled_server, &stream, 3);
+    let workers_identical = one == three && &one == uncached;
+    if !workers_identical {
+        eprintln!("FAIL: score map varies with pool worker count");
+    }
+    pass &= workers_identical;
+
+    let report = Report {
+        bench: "serving_scale".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        n_users: N_USERS,
+        runs: run_reports,
+        caches: cache_reports,
+        batch_identical,
+        workers_identical,
+        blooms_fire_at_max_runs: blooms_fire,
+        pass,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_serving_scale.json", &json).expect("write BENCH_serving_scale.json");
+    eprintln!("results written to BENCH_serving_scale.json");
+    harness::save_results("serving_scale.json", &json);
+
+    if !pass {
+        eprintln!("FAIL: serving-scale gate violated (see BENCH_serving_scale.json)");
+        std::process::exit(1);
+    }
+}

@@ -57,5 +57,7 @@ pub mod prelude {
     pub use titant_alihbase::{FaultPlan, FaultPlanConfig, UnavailableWindow};
     pub use titant_datagen::{DatasetSlice, World, WorldConfig};
     pub use titant_models::{Classifier, Dataset};
-    pub use titant_modelserver::{HedgePolicy, ResilienceSnapshot, RetryPolicy, SloConfig};
+    pub use titant_modelserver::{
+        HedgePolicy, ResilienceSnapshot, RetryPolicy, RowCacheConfig, RowCacheStats, SloConfig,
+    };
 }

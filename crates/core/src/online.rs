@@ -7,7 +7,8 @@ use crate::offline::OfflineArtifacts;
 use std::time::Duration;
 use titant_datagen::{DatasetSlice, World};
 use titant_modelserver::{
-    AlipayServer, ModelServer, ScoreRequest, ServeError, SloConfig, Stage, TransferOutcome,
+    AlipayServer, ModelServer, RowCacheConfig, ScoreRequest, ServeError, SloConfig, Stage,
+    TransferOutcome,
 };
 
 /// p50/p99 of one serving stage over the replayed interval.
@@ -77,20 +78,34 @@ impl OnlineDeployment {
     }
 
     /// [`Self::new`] with explicit serving SLOs (deadline budget, retry
-    /// policy, hedged reads) for chaos-replay harnesses.
+    /// policy, hedged reads) for chaos-replay harnesses. No row cache:
+    /// chaos replays assume every read consults the store.
     pub fn with_slo(
+        world: &World,
+        slice: &DatasetSlice,
+        artifacts: OfflineArtifacts,
+        slo: SloConfig,
+    ) -> Result<Self, TitAntError> {
+        Self::with_options(world, slice, artifacts, slo, None)
+    }
+
+    /// [`Self::with_slo`] plus an optional decoded-row cache in front of
+    /// the feature fetch (cleared automatically on every model deploy).
+    pub fn with_options(
         _world: &World,
         _slice: &DatasetSlice,
         artifacts: OfflineArtifacts,
         slo: SloConfig,
+        cache: Option<RowCacheConfig>,
     ) -> Result<Self, TitAntError> {
         let embedding_dim =
             (artifacts.model_file.n_features - titant_datagen::N_BASIC_FEATURES) / 2;
-        let ms = ModelServer::with_slo(
+        let ms = ModelServer::with_options(
             artifacts.feature_table,
             layout::serving_layout(embedding_dim),
             artifacts.model_file,
             slo,
+            cache,
         )?;
         Ok(Self {
             alipay: AlipayServer::new(ms),

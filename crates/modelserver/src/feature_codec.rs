@@ -105,6 +105,26 @@ impl FeatureCodec {
         self.decode_cells(user, &table.get_row(&row, as_of))
     }
 
+    /// Batched [`Self::get_user`]: fetch every row in one
+    /// [`RegionedTable::get_rows`] call (a single store-lock acquisition per
+    /// owning region) and decode per user. Results keep the input order;
+    /// each user decodes independently, so one torn row degrades only its
+    /// own slot.
+    pub fn get_users(
+        &self,
+        table: &RegionedTable,
+        users: &[u64],
+        as_of: Version,
+    ) -> Vec<Result<Option<UserFeatures>, ServeError>> {
+        let rows: Vec<RowKey> = users.iter().map(|&u| Self::row_key(u)).collect();
+        let batches = table.get_rows(&rows, as_of);
+        users
+            .iter()
+            .zip(&batches)
+            .map(|(&user, cells)| self.decode_cells(user, cells))
+            .collect()
+    }
+
     /// [`Self::get_user`] through the fault-aware read path: the read goes
     /// to the replica named in `opts`, may fault per the table's installed
     /// [`titant_alihbase::FaultHook`], and reports the simulated latency it
@@ -242,6 +262,35 @@ mod tests {
             1,
             "fetching a user must not fan out into per-qualifier gets: {delta:?}"
         );
+    }
+
+    #[test]
+    fn get_users_matches_get_user_per_slot() {
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 1, &features(1.0), 1).unwrap();
+        c.put_user(&t, 2, &features(2.0), 1).unwrap();
+        t.flush().unwrap();
+        // User 3 is torn (one lonely payer cell), user 99 is missing.
+        t.put(
+            CellKey {
+                row: FeatureCodec::row_key(3),
+                family: titant_alihbase::ColumnFamily("basic".into()),
+                qualifier: titant_alihbase::Qualifier("p0".into()),
+            },
+            1,
+            Bytes::copy_from_slice(&1.0f32.to_le_bytes()),
+        )
+        .unwrap();
+        let before = t.op_counts();
+        let got = c.get_users(&t, &[2, 99, 3, 1], u64::MAX);
+        let delta = t.op_counts().since(&before);
+        assert_eq!(delta.row_gets, 4, "one logical row get per user");
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].as_ref().unwrap(), &Some(features(2.0)));
+        assert_eq!(got[1].as_ref().unwrap(), &None);
+        assert!(matches!(got[2], Err(ServeError::TornRow { user: 3, .. })));
+        assert_eq!(got[3].as_ref().unwrap(), &Some(features(1.0)));
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   qualifier per user-side feature, CF `embedding` with one qualifier per
 //!   dimension, versioned by upload date.
 //! * [`server`] — the MS itself: hot-swappable model, HBase reads, a
-//!   thread-pooled request loop for load, and latency histograms.
+//!   thread-pooled request loop for load, batched scoring, and latency
+//!   histograms.
+//! * [`row_cache`] — the opt-in sharded decoded-row cache in front of the
+//!   feature fetch; see DESIGN.md §"Serving read path".
 //! * [`slo`] — serving SLOs: deadline budgets, bounded retry with
 //!   decorrelated-jitter backoff, hedged reads against replicas, and the
 //!   resilience counters the chaos gate asserts on. See DESIGN.md §"Fault
@@ -32,6 +35,7 @@ pub mod error;
 pub mod feature_codec;
 pub mod latency;
 pub mod model_file;
+pub mod row_cache;
 pub mod server;
 pub mod slo;
 
@@ -40,5 +44,6 @@ pub use error::ServeError;
 pub use feature_codec::{FeatureCodec, UserFeatures};
 pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageSnapshot};
 pub use model_file::{ModelFile, ServableModel};
-pub use server::{ModelServer, ScoreRequest, ScoreResponse, ServePool};
+pub use row_cache::{RowCache, RowCacheConfig, RowCacheStats};
+pub use server::{FeatureLayout, ModelServer, ScoreRequest, ScoreResponse, ServePool};
 pub use slo::{Deadline, HedgePolicy, ReqRng, ResilienceSnapshot, RetryPolicy, SloConfig};

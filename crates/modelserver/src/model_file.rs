@@ -21,6 +21,16 @@ impl Classifier for ServableModel {
         }
     }
 
+    // Forward explicitly so variants with a specialised batch predictor
+    // (the GBDT's chunked one) are used instead of the trait default.
+    fn predict_batch(&self, data: &titant_models::Dataset) -> Vec<f32> {
+        match self {
+            ServableModel::Gbdt(m) => m.predict_batch(data),
+            ServableModel::LogisticRegression(m) => m.predict_batch(data),
+            ServableModel::IsolationForest(m) => m.predict_batch(data),
+        }
+    }
+
     fn name(&self) -> &'static str {
         match self {
             ServableModel::Gbdt(_) => "GBDT",

@@ -1,0 +1,347 @@
+//! Sharded, capacity-bounded row cache for decoded user features.
+//!
+//! Sits in front of [`crate::FeatureCodec::get_user`] on the serving hot
+//! path. Keys are `(user, as_of)` so a versioned read never aliases a
+//! latest read. Two rules keep it correct:
+//!
+//! * **Invalidation on version bumps** — the server clears the cache on
+//!   every [`crate::ModelServer::deploy`] and callers that upload a new
+//!   feature version must call
+//!   [`crate::ModelServer::invalidate_row_cache`]; cached decodes are only
+//!   valid for an immutable snapshot.
+//! * **Never filled from degraded reads** — only clean, fully decoded rows
+//!   are inserted. A torn/faulted read must stay an error (and degrade)
+//!   every time it happens, not be papered over by a stale clean entry —
+//!   and a torn decode must never be served to a later healthy request.
+//!
+//! Sharding bounds lock contention: each shard is an independent
+//! `Mutex<HashMap + FIFO queue>`, and batch lookups take each shard's lock
+//! at most once.
+
+use crate::feature_codec::UserFeatures;
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache geometry.
+#[derive(Debug, Clone)]
+pub struct RowCacheConfig {
+    /// Total cached rows across all shards (0 disables caching: every
+    /// lookup misses and inserts are dropped).
+    pub capacity: usize,
+    /// Number of independent shards (clamped to at least 1).
+    pub shards: usize,
+}
+
+impl Default for RowCacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            shards: 8,
+        }
+    }
+}
+
+/// Counters for observability (relaxed atomics, monotone).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RowCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserted: u64,
+    pub evicted: u64,
+    pub invalidations: u64,
+}
+
+impl RowCacheStats {
+    /// Hit ratio over all lookups so far (0.0 when none).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Key = (u64, u64);
+
+#[derive(Default)]
+struct Shard {
+    /// `None` caches a confirmed-absent user (a clean read of an empty
+    /// row), distinct from "not cached".
+    map: HashMap<Key, Option<UserFeatures>>,
+    /// FIFO insertion order for eviction.
+    order: VecDeque<Key>,
+}
+
+/// The cache proper. Cheap to share behind the server's `Arc`.
+pub struct RowCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserted: AtomicU64,
+    evicted: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+/// SplitMix64 — maps user ids onto shards without clustering sequential ids.
+fn shard_hash(user: u64) -> u64 {
+    let mut z = user.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RowCache {
+    /// Build from a config.
+    pub fn new(config: RowCacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        // Round the per-shard budget up so any nonzero capacity caches at
+        // least one row per shard; only capacity 0 disables the cache.
+        let per_shard_cap = if config.capacity == 0 {
+            0
+        } else {
+            config.capacity.div_ceil(shards)
+        };
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_cap,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserted: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, user: u64) -> usize {
+        (shard_hash(user) % self.shards.len() as u64) as usize
+    }
+
+    /// Look up one `(user, as_of)` entry. Outer `None` = miss; inner
+    /// `Option` is the cached decode (`None` = user confirmed absent).
+    pub fn get(&self, user: u64, as_of: u64) -> Option<Option<UserFeatures>> {
+        let shard = self.shards[self.shard_of(user)].lock();
+        match shard.map.get(&(user, as_of)) {
+            Some(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(cached.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a *clean* decode. First write wins: a concurrent duplicate
+    /// insert is dropped, so cached contents never flap. Callers must not
+    /// insert results of degraded (torn/faulted) reads.
+    pub fn insert(&self, user: u64, as_of: u64, features: Option<UserFeatures>) {
+        if self.per_shard_cap == 0 {
+            return;
+        }
+        let mut shard = self.shards[self.shard_of(user)].lock();
+        self.insert_locked(&mut shard, (user, as_of), features);
+    }
+
+    fn insert_locked(&self, shard: &mut Shard, key: Key, features: Option<UserFeatures>) {
+        if shard.map.contains_key(&key) {
+            return;
+        }
+        while shard.map.len() >= self.per_shard_cap {
+            match shard.order.pop_front() {
+                Some(oldest) => {
+                    shard.map.remove(&oldest);
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                None => break,
+            }
+        }
+        shard.map.insert(key, features);
+        shard.order.push_back(key);
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Batched lookup: group users by shard and take each shard lock once.
+    /// Result slots mirror `users` (outer `None` = miss).
+    pub fn get_batch(&self, users: &[u64], as_of: u64) -> Vec<Option<Option<UserFeatures>>> {
+        let mut out: Vec<Option<Option<UserFeatures>>> = vec![None; users.len()];
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &user) in users.iter().enumerate() {
+            by_shard[self.shard_of(user)].push(i);
+        }
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for (shard_idx, indices) in by_shard.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let shard = self.shards[shard_idx].lock();
+            for &i in indices {
+                match shard.map.get(&(users[i], as_of)) {
+                    Some(cached) => {
+                        hits += 1;
+                        out[i] = Some(cached.clone());
+                    }
+                    None => misses += 1,
+                }
+            }
+        }
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+        out
+    }
+
+    /// Batched insert of clean decodes, one lock acquisition per shard.
+    pub fn insert_batch(&self, entries: Vec<(u64, u64, Option<UserFeatures>)>) {
+        if self.per_shard_cap == 0 {
+            return;
+        }
+        let mut by_shard: Vec<Vec<(Key, Option<UserFeatures>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (user, as_of, features) in entries {
+            by_shard[self.shard_of(user)].push(((user, as_of), features));
+        }
+        for (shard_idx, batch) in by_shard.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[shard_idx].lock();
+            for (key, features) in batch {
+                self.insert_locked(&mut shard, key, features);
+            }
+        }
+    }
+
+    /// Drop every entry (deploy / feature-upload version bump).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.map.clear();
+            shard.order.clear();
+        }
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> RowCacheStats {
+        RowCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserted: self.inserted.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(x: f32) -> Option<UserFeatures> {
+        Some(UserFeatures {
+            payer_side: vec![x],
+            receiver_side: vec![x * 2.0],
+            embedding: vec![x; 2],
+        })
+    }
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let cache = RowCache::new(RowCacheConfig::default());
+        assert!(cache.get(7, u64::MAX).is_none());
+        cache.insert(7, u64::MAX, feats(1.0));
+        assert_eq!(cache.get(7, u64::MAX), Some(feats(1.0)));
+        // Different as_of is a different entry.
+        assert!(cache.get(7, 5).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn absent_user_is_cached_distinctly_from_miss() {
+        let cache = RowCache::new(RowCacheConfig::default());
+        cache.insert(9, u64::MAX, None);
+        assert_eq!(cache.get(9, u64::MAX), Some(None));
+    }
+
+    #[test]
+    fn capacity_is_bounded_fifo() {
+        let cache = RowCache::new(RowCacheConfig {
+            capacity: 4,
+            shards: 1,
+        });
+        for user in 0..10u64 {
+            cache.insert(user, 1, feats(user as f32));
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evicted, 6);
+        // The newest entries survive.
+        assert!(cache.get(9, 1).is_some());
+        assert!(cache.get(0, 1).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = RowCache::new(RowCacheConfig {
+            capacity: 0,
+            shards: 4,
+        });
+        cache.insert(1, 1, feats(1.0));
+        assert!(cache.get(1, 1).is_none());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = RowCache::new(RowCacheConfig::default());
+        cache.insert(3, 1, feats(1.0));
+        cache.insert(3, 1, feats(2.0));
+        assert_eq!(cache.get(3, 1), Some(feats(1.0)));
+        assert_eq!(cache.stats().inserted, 1);
+    }
+
+    #[test]
+    fn clear_invalidates_everything() {
+        let cache = RowCache::new(RowCacheConfig::default());
+        for user in 0..20u64 {
+            cache.insert(user, 1, feats(user as f32));
+        }
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache.get(5, 1).is_none());
+    }
+
+    #[test]
+    fn batch_round_trip_matches_single_ops() {
+        let cache = RowCache::new(RowCacheConfig {
+            capacity: 64,
+            shards: 4,
+        });
+        let users: Vec<u64> = (0..16).collect();
+        cache.insert_batch(users.iter().map(|&u| (u, 1, feats(u as f32))).collect());
+        let got = cache.get_batch(&users, 1);
+        for (&user, slot) in users.iter().zip(&got) {
+            assert_eq!(slot.as_ref(), Some(&feats(user as f32)), "user {user}");
+            assert_eq!(cache.get(user, 1), feats(user as f32).into());
+        }
+        // A miss stays an outer None.
+        let got = cache.get_batch(&[999], 1);
+        assert!(got[0].is_none());
+    }
+}

@@ -10,15 +10,17 @@ use crate::error::ServeError;
 use crate::feature_codec::{FeatureCodec, UserFeatures};
 use crate::latency::{LatencyRecorder, Stage};
 use crate::model_file::ModelFile;
+use crate::row_cache::{RowCache, RowCacheConfig, RowCacheStats};
 use crate::slo::{Deadline, ReqRng, ResilienceCounters, ResilienceSnapshot, SloConfig};
 use crossbeam::channel::{bounded, SendError, Sender, TrySendError};
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use titant_alihbase::{FaultKind, ReadOptions, RegionedTable};
-use titant_models::Classifier;
+use titant_models::{Classifier, Dataset};
 
 /// A scoring request: the two transfer parties plus the per-transaction
 /// context features the Alipay server computes at request time.
@@ -112,6 +114,10 @@ struct Inner {
     /// Requests served context-only because a party's features could not
     /// be fetched intact.
     degraded: AtomicU64,
+    /// Optional decoded-row cache in front of the feature fetch. Off by
+    /// default: the chaos-replay guarantees assume every read consults the
+    /// store, so the cache is opt-in via [`ModelServer::with_options`].
+    cache: Option<RowCache>,
 }
 
 impl ModelServer {
@@ -135,6 +141,22 @@ impl ModelServer {
         model: ModelFile,
         slo: SloConfig,
     ) -> Result<Self, ServeError> {
+        Self::with_options(table, layout, model, slo, None)
+    }
+
+    /// [`Self::with_slo`] plus an optional decoded-row cache in front of the
+    /// feature fetch. The cache trades staleness risk for latency, so it is
+    /// opt-in; it is cleared on every [`Self::deploy`] and callers that
+    /// upload a new feature version must call
+    /// [`Self::invalidate_row_cache`]. Degraded (torn/faulted) reads are
+    /// never cached.
+    pub fn with_options(
+        table: Arc<RegionedTable>,
+        layout: FeatureLayout,
+        model: ModelFile,
+        slo: SloConfig,
+        cache: Option<RowCacheConfig>,
+    ) -> Result<Self, ServeError> {
         layout.validate()?;
         if model.n_features != layout.width() {
             return Err(ServeError::ModelWidth {
@@ -157,6 +179,7 @@ impl ModelServer {
                 slo,
                 resilience: ResilienceCounters::default(),
                 degraded: AtomicU64::new(0),
+                cache: cache.map(RowCache::new),
             }),
         })
     }
@@ -173,7 +196,24 @@ impl ModelServer {
             });
         }
         *self.inner.model.write() = Arc::new(model);
+        // A new model version may come with a new feature snapshot; drop
+        // every cached decode so stale rows cannot outlive the deploy.
+        self.invalidate_row_cache();
         Ok(())
+    }
+
+    /// Drop every cached decoded row. Must be called after uploading a new
+    /// feature version outside [`Self::deploy`]; cached decodes are only
+    /// valid for an immutable feature snapshot. No-op without a cache.
+    pub fn invalidate_row_cache(&self) {
+        if let Some(cache) = &self.inner.cache {
+            cache.clear();
+        }
+    }
+
+    /// Row-cache counters, when a cache is configured.
+    pub fn row_cache_stats(&self) -> Option<RowCacheStats> {
+        self.inner.cache.as_ref().map(|c| c.stats())
     }
 
     /// Version of the currently served model.
@@ -223,6 +263,11 @@ impl ModelServer {
         degraded: &mut bool,
     ) -> Result<Option<UserFeatures>, ServeError> {
         let inner = &self.inner;
+        if let Some(cache) = &inner.cache {
+            if let Some(cached) = cache.get(user, u64::MAX) {
+                return Ok(cached);
+            }
+        }
         let slo = &inner.slo;
         let n_replicas = inner.table.replica_count();
         let deadline_err = |d: &Deadline| ServeError::DeadlineExceeded {
@@ -260,6 +305,12 @@ impl ModelServer {
             {
                 Ok((found, waited)) => {
                     deadline.charge(waited);
+                    // Only this path caches: the read completed and decoded
+                    // cleanly. Torn, faulted, and degraded outcomes below
+                    // must be re-observed on every request, never cached.
+                    if let Some(cache) = &inner.cache {
+                        cache.insert(user, u64::MAX, found.clone());
+                    }
                     return Ok(found);
                 }
                 Err(ServeError::Fetch { fault, .. }) => {
@@ -366,35 +417,7 @@ impl ModelServer {
         };
         let fetched = Instant::now();
 
-        let mut features = vec![0f32; layout.width()];
-        // Absent parties (brand-new accounts or degraded fetches) leave
-        // their slots at zero — the trained models saw the same cold starts.
-        if let Some(p) = &payer {
-            for (slot, v) in layout.payer_slots.iter().zip(&p.payer_side) {
-                if let Some(f) = features.get_mut(*slot) {
-                    *f = *v;
-                }
-            }
-            for (f, v) in features[layout.n_basic..].iter_mut().zip(&p.embedding) {
-                *f = *v;
-            }
-        }
-        if let Some(r) = &recv {
-            for (slot, v) in layout.receiver_slots.iter().zip(&r.receiver_side) {
-                if let Some(f) = features.get_mut(*slot) {
-                    *f = *v;
-                }
-            }
-            let base = layout.n_basic + layout.embedding_dim;
-            for (f, v) in features[base..].iter_mut().zip(&r.embedding) {
-                *f = *v;
-            }
-        }
-        for (slot, v) in layout.context_slots.iter().zip(&req.context) {
-            if let Some(f) = features.get_mut(*slot) {
-                *f = *v;
-            }
-        }
+        let features = assemble_features(layout, payer.as_ref(), recv.as_ref(), &req.context);
         let assembled = Instant::now();
 
         let probability = model.model.predict_proba(&features);
@@ -415,6 +438,148 @@ impl ModelServer {
             alert: probability >= model.alert_threshold,
             degraded,
         })
+    }
+
+    /// Score a batch of transactions in one pass: unique users are fetched
+    /// with a single store lookup per region (one lock acquisition instead
+    /// of one per request) and every assembled row goes through the model's
+    /// batched predictor. Results mirror the input order, and each response
+    /// is bit-identical to what [`Self::score`] would have produced for the
+    /// same request against the same snapshot.
+    ///
+    /// The batch path reads through the clean (non-fault-injected) store
+    /// path; torn rows still degrade the affected requests to context-only
+    /// scoring exactly like the single-request path. When a row cache is
+    /// configured it is consulted first and filled from clean decodes only.
+    pub fn score_batch(&self, reqs: &[ScoreRequest]) -> Vec<Result<ScoreResponse, ServeError>> {
+        let inner = &self.inner;
+        let layout = &inner.layout;
+        let start = Instant::now();
+        let model = Arc::clone(&inner.model.read());
+
+        // Reject malformed requests up front; only valid ones fetch.
+        let mut results: Vec<Option<Result<ScoreResponse, ServeError>>> = reqs
+            .iter()
+            .map(|req| {
+                if req.context.len() != layout.context_slots.len() {
+                    Some(Err(ServeError::ContextWidth {
+                        tx_id: req.tx_id,
+                        expected: layout.context_slots.len(),
+                        got: req.context.len(),
+                    }))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // Unique users across the batch, in deterministic order.
+        let mut wanted: BTreeMap<u64, ()> = BTreeMap::new();
+        for (i, req) in reqs.iter().enumerate() {
+            if results[i].is_none() {
+                wanted.insert(req.transferor, ());
+                wanted.insert(req.transferee, ());
+            }
+        }
+        let users: Vec<u64> = wanted.into_keys().collect();
+
+        // Resolve each user: cache hit, clean fetch, or degraded decode.
+        let mut fetched: BTreeMap<u64, (Option<UserFeatures>, bool)> = BTreeMap::new();
+        let mut fatal: BTreeMap<u64, ServeError> = BTreeMap::new();
+        let cached = inner.cache.as_ref().map(|c| c.get_batch(&users, u64::MAX));
+        let mut misses: Vec<u64> = Vec::new();
+        for (idx, &user) in users.iter().enumerate() {
+            match cached.as_ref().and_then(|slots| slots[idx].clone()) {
+                Some(found) => {
+                    fetched.insert(user, (found, false));
+                }
+                None => misses.push(user),
+            }
+        }
+        if !misses.is_empty() {
+            let looked_up = inner.codec.get_users(&inner.table, &misses, u64::MAX);
+            let mut clean: Vec<(u64, u64, Option<UserFeatures>)> = Vec::new();
+            for (&user, res) in misses.iter().zip(looked_up) {
+                match res {
+                    Ok(found) => {
+                        clean.push((user, u64::MAX, found.clone()));
+                        fetched.insert(user, (found, false));
+                    }
+                    Err(e) if e.is_degradable() => {
+                        // Context-only fallback; never cached, so the torn
+                        // row is re-observed (and re-counted) every time.
+                        fetched.insert(user, (None, true));
+                    }
+                    Err(e) => {
+                        fatal.insert(user, e);
+                    }
+                }
+            }
+            if let Some(cache) = &inner.cache {
+                cache.insert_batch(clean);
+            }
+        }
+        let fetched_at = Instant::now();
+
+        // Assemble every scoreable request into one dataset.
+        let mut dataset = Dataset::new(layout.width());
+        let mut scored: Vec<(usize, bool)> = Vec::new();
+        for (i, req) in reqs.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            if let Some(e) = fatal
+                .get(&req.transferor)
+                .or_else(|| fatal.get(&req.transferee))
+            {
+                results[i] = Some(Err(e.clone()));
+                continue;
+            }
+            let absent = (None, false);
+            let (payer, payer_degraded) = fetched.get(&req.transferor).unwrap_or(&absent);
+            let (recv, recv_degraded) = fetched.get(&req.transferee).unwrap_or(&absent);
+            let degraded = *payer_degraded || *recv_degraded;
+            let features = assemble_features(layout, payer.as_ref(), recv.as_ref(), &req.context);
+            dataset.push_row(&features, 0.0);
+            scored.push((i, degraded));
+        }
+        let assembled_at = Instant::now();
+
+        let probabilities = model.model.predict_batch(&dataset);
+        let done = Instant::now();
+
+        for (&(i, degraded), &probability) in scored.iter().zip(&probabilities) {
+            if degraded {
+                inner.degraded.fetch_add(1, Ordering::Relaxed);
+            }
+            results[i] = Some(Ok(ScoreResponse {
+                tx_id: reqs[i].tx_id,
+                probability,
+                alert: probability >= model.alert_threshold,
+                degraded,
+            }));
+        }
+
+        // One latency sample per batch call: the stages measure the batch,
+        // not a synthetic per-request split.
+        if !reqs.is_empty() {
+            let latency = &inner.latency;
+            latency.record_stage(Stage::Fetch, fetched_at - start);
+            latency.record_stage(Stage::Assemble, assembled_at - fetched_at);
+            latency.record_stage(Stage::Predict, done - assembled_at);
+            latency.record_stage(Stage::Total, done - start);
+        }
+
+        results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or(Err(ServeError::WorkerPanic {
+                    tx_id: reqs[i].tx_id,
+                    message: "batch slot left unscored".to_string(),
+                }))
+            })
+            .collect()
     }
 
     /// Spawn `n_threads` serving workers draining a bounded request queue —
@@ -481,6 +646,47 @@ impl ModelServer {
             on_error,
         }
     }
+}
+
+/// Lay both parties' features and the request context into one model input
+/// row. Absent parties (brand-new accounts or degraded fetches) leave their
+/// slots at zero — the trained models saw the same cold starts. Shared by
+/// [`ModelServer::score`] and [`ModelServer::score_batch`] so the two paths
+/// cannot drift.
+fn assemble_features(
+    layout: &FeatureLayout,
+    payer: Option<&UserFeatures>,
+    recv: Option<&UserFeatures>,
+    context: &[f32],
+) -> Vec<f32> {
+    let mut features = vec![0f32; layout.width()];
+    if let Some(p) = payer {
+        for (slot, v) in layout.payer_slots.iter().zip(&p.payer_side) {
+            if let Some(f) = features.get_mut(*slot) {
+                *f = *v;
+            }
+        }
+        for (f, v) in features[layout.n_basic..].iter_mut().zip(&p.embedding) {
+            *f = *v;
+        }
+    }
+    if let Some(r) = recv {
+        for (slot, v) in layout.receiver_slots.iter().zip(&r.receiver_side) {
+            if let Some(f) = features.get_mut(*slot) {
+                *f = *v;
+            }
+        }
+        let base = layout.n_basic + layout.embedding_dim;
+        for (f, v) in features[base..].iter_mut().zip(&r.embedding) {
+            *f = *v;
+        }
+    }
+    for (slot, v) in layout.context_slots.iter().zip(context) {
+        if let Some(f) = features.get_mut(*slot) {
+            *f = *v;
+        }
+    }
+    features
 }
 
 /// Best-effort string form of a caught panic payload.
@@ -1122,6 +1328,193 @@ mod tests {
             prop_assert_eq!(ok + deadline_errs, 80);
             // Blocking sends never shed.
             prop_assert_eq!(r.shed, 0);
+        }
+    }
+
+    /// A cache-enabled server over a fresh single-region table with users
+    /// 1 and 2 uploaded.
+    fn setup_cached() -> (ModelServer, Arc<RegionedTable>) {
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let ms = ModelServer::with_options(
+            table.clone(),
+            layout(),
+            cached_model(),
+            SloConfig::default(),
+            Some(RowCacheConfig::default()),
+        )
+        .unwrap();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        for user in [1u64, 2] {
+            codec
+                .put_user(
+                    &table,
+                    user,
+                    &UserFeatures {
+                        payer_side: vec![0.1, 0.2],
+                        receiver_side: vec![0.3, 0.4],
+                        embedding: vec![0.5, 0.6],
+                    },
+                    20170410,
+                )
+                .unwrap();
+        }
+        (ms, table)
+    }
+
+    #[test]
+    fn cached_scores_are_bit_identical_to_uncached() {
+        let ms_plain = setup();
+        let (ms_cached, _) = setup_cached();
+        for i in 0..20u64 {
+            let request = req(i, i as f32 / 20.0);
+            let cold = ms_cached.score(&request).unwrap();
+            let warm = ms_cached.score(&request).unwrap();
+            let plain = ms_plain.score(&request).unwrap();
+            assert_eq!(cold.probability.to_bits(), plain.probability.to_bits());
+            assert_eq!(warm.probability.to_bits(), plain.probability.to_bits());
+            assert_eq!((cold.alert, cold.degraded), (plain.alert, plain.degraded));
+        }
+        let stats = ms_cached.row_cache_stats().unwrap();
+        assert!(stats.hits > 0, "repeat requests must hit the cache");
+        // Both parties cached after the first request; all later fetches hit.
+        assert_eq!(stats.misses, 2);
+        // Cache hits skip the store entirely.
+        assert_eq!(stats.hits, 2 * 20 * 2 - 2);
+    }
+
+    #[test]
+    fn cache_is_never_filled_from_degraded_reads() {
+        let (ms, table) = setup_cached();
+        tear_user(&table, 1);
+        for _ in 0..3 {
+            let resp = ms.score(&req(1, 0.9)).unwrap();
+            assert!(resp.degraded, "torn row must degrade every time");
+        }
+        // Every degraded request re-read the torn row: nothing was cached
+        // for user 1, so degradations keep being observed and counted.
+        assert_eq!(ms.degraded_count(), 3);
+        let stats = ms.row_cache_stats().unwrap();
+        // User 2 (the intact receiver) is the only cached entry.
+        assert_eq!(stats.inserted, 1);
+    }
+
+    #[test]
+    fn deploy_invalidates_the_row_cache() {
+        let (ms, _table) = setup_cached();
+        ms.score(&req(1, 0.2)).unwrap();
+        assert_eq!(ms.row_cache_stats().unwrap().inserted, 2);
+        let mut m2 = cached_model();
+        m2.version = 20170411;
+        ms.deploy(m2).unwrap();
+        let stats = ms.row_cache_stats().unwrap();
+        assert_eq!(stats.invalidations, 1);
+        // The next request misses (re-fetches) instead of serving pre-deploy
+        // decodes.
+        let before = stats.misses;
+        ms.score(&req(2, 0.2)).unwrap();
+        assert_eq!(ms.row_cache_stats().unwrap().misses, before + 2);
+    }
+
+    #[test]
+    fn explicit_invalidation_drops_cached_rows_after_feature_upload() {
+        let (ms, table) = setup_cached();
+        ms.score(&req(1, 0.2)).unwrap();
+        // Upload fresher features for user 1, then invalidate.
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        codec
+            .put_user(
+                &table,
+                1,
+                &UserFeatures {
+                    payer_side: vec![0.9, 0.9],
+                    receiver_side: vec![0.9, 0.9],
+                    embedding: vec![0.9, 0.9],
+                },
+                20170411,
+            )
+            .unwrap();
+        // The upload alone does NOT evict: the cache still serves the
+        // pre-upload decode (this is exactly why uploaders must invalidate).
+        let before = ms.row_cache_stats().unwrap();
+        ms.score(&req(10, 0.2)).unwrap();
+        let after = ms.row_cache_stats().unwrap();
+        assert_eq!(after.misses, before.misses, "stale entries still serve");
+        // Invalidation drops everything; the next request re-fetches and
+        // re-caches the freshly uploaded rows.
+        ms.invalidate_row_cache();
+        assert_eq!(after.inserted, 2);
+        ms.score(&req(11, 0.2)).unwrap();
+        let fresh = ms.row_cache_stats().unwrap();
+        assert_eq!(
+            fresh.misses,
+            after.misses + 2,
+            "invalidation forces a re-read"
+        );
+        assert_eq!(fresh.inserted, 4);
+        assert_eq!(fresh.invalidations, 1);
+    }
+
+    #[test]
+    fn score_batch_matches_score_bit_for_bit() {
+        let (ms, table) = setup_with_table();
+        tear_user(&table, 3);
+        let mut reqs = Vec::new();
+        for i in 0..30u64 {
+            let mut request = req(i, i as f32 / 30.0);
+            match i % 4 {
+                1 => request.transferor = 777, // unknown user: cold start
+                2 => request.transferor = 3,   // torn row: degraded
+                3 if i == 15 => request.context = vec![0.1, 0.2], // malformed
+                _ => {}
+            }
+            reqs.push(request);
+        }
+        let batch = ms.score_batch(&reqs);
+        assert_eq!(batch.len(), reqs.len());
+        for (request, got) in reqs.iter().zip(&batch) {
+            let single = ms.score(request);
+            match (got, &single) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.probability.to_bits(), s.probability.to_bits());
+                    assert_eq!(
+                        (b.tx_id, b.alert, b.degraded),
+                        (s.tx_id, s.alert, s.degraded)
+                    );
+                }
+                (Err(b), Err(s)) => assert_eq!(b, s),
+                (b, s) => panic!("batch={b:?} single={s:?} diverged"),
+            }
+        }
+        // Degradations were counted on both paths.
+        let batch_degraded = batch
+            .iter()
+            .filter(|r| matches!(r, Ok(resp) if resp.degraded))
+            .count();
+        assert!(batch_degraded > 0);
+    }
+
+    #[test]
+    fn score_batch_uses_and_fills_the_row_cache() {
+        let (ms, _table) = setup_cached();
+        let reqs: Vec<ScoreRequest> = (0..10).map(|i| req(i, 0.4)).collect();
+        let first = ms.score_batch(&reqs);
+        let stats = ms.row_cache_stats().unwrap();
+        // One batched lookup resolved both unique users once.
+        assert_eq!((stats.misses, stats.inserted), (2, 2));
+        let second = ms.score_batch(&reqs);
+        let stats = ms.row_cache_stats().unwrap();
+        assert_eq!(stats.misses, 2, "warm batch must not re-fetch");
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.probability.to_bits(), b.probability.to_bits());
         }
     }
 

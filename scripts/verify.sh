@@ -5,10 +5,12 @@
 #   ./scripts/verify.sh           # build + tests + clippy + fmt + bench compile
 #   ./scripts/verify.sh --quick   # also smoke-run the offline-throughput
 #                                 # bench on a tiny world (cross-thread
-#                                 # determinism gate; writes BENCH_offline.json)
-#                                 # and the chaos-replay gate (seeded fault
+#                                 # determinism gate; writes BENCH_offline.json),
+#                                 # the chaos-replay gate (seeded fault
 #                                 # injection vs serving SLOs; writes
-#                                 # BENCH_chaos.json)
+#                                 # BENCH_chaos.json), and the serving-scale
+#                                 # gate (blooms/bounds/row-cache/batch read
+#                                 # path; writes BENCH_serving_scale.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -49,6 +51,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> chaos-replay gate (--quick)"
     cargo run --release -q -p titant-bench --bin chaos_replay -- --quick
+
+    echo "==> serving-scale gate (--quick)"
+    cargo run --release -q -p titant-bench --bin serving_scale -- --quick
 fi
 
 echo "verify: all green"
