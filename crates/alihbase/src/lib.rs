@@ -38,6 +38,8 @@ pub use fault::{
 };
 pub use region::{RegionedTable, StoreOpCounts};
 pub use sstable::RowPresence;
-pub use store::{ReadStatsSnapshot, Store, StoreConfig};
+pub use store::{
+    CompactionMode, ReadStatsSnapshot, Store, StoreConfig, TickReport, WriteStatsSnapshot,
+};
 pub use types::{Cell, CellKey, ColumnFamily, Qualifier, RowKey, Version};
-pub use wal::SyncPolicy;
+pub use wal::{SyncPolicy, WalStats};

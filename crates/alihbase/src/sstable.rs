@@ -195,6 +195,44 @@ impl SsTable {
         }
     }
 
+    /// Merge several runs (newest first) **conservatively**: every version
+    /// and every tombstone is kept; the only change is physical — entries
+    /// re-sorted into one run, with duplicate `(key, version)` pairs deduped
+    /// newest-run-wins (exactly the tie the read path would have resolved by
+    /// run order). Because nothing readable is added or removed, a
+    /// conservative merge is invisible to `get`/`get_row`/`get_versioned` at
+    /// *every* `as_of` — the property the background compaction scheduler
+    /// relies on to keep mid-compaction reads byte-identical. Contrast with
+    /// [`SsTable::merge`], whose version trimming and tombstone dropping are
+    /// only safe when merging the complete run set.
+    pub fn merge_keep_all(runs: &[&SsTable]) -> SsTable {
+        let mut all: Vec<(CellKey, Cell, usize)> = Vec::new();
+        for (rank, run) in runs.iter().enumerate() {
+            for (k, c) in run.iter() {
+                all.push((k.clone(), c.clone(), rank));
+            }
+        }
+        // Key asc, version desc, then newest run wins ties.
+        all.sort_by(|a, b| {
+            a.0.cmp(&b.0)
+                .then(b.1.version.cmp(&a.1.version))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut entries: Vec<(CellKey, Cell)> = Vec::with_capacity(all.len());
+        for (k, c, _) in all {
+            if let Some((last_key, last_cell)) = entries.last() {
+                if *last_key == k && last_cell.version == c.version {
+                    continue; // duplicate version: the newer run already won
+                }
+            }
+            entries.push((k, c));
+        }
+        SsTable {
+            entries,
+            bloom: None,
+        }
+    }
+
     /// Persist to a file (length-prefixed CRC frame).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let mut payload = BytesMut::new();
@@ -448,6 +486,52 @@ mod tests {
             let row = crate::types::RowKey(format!("p{probe}").into_bytes());
             assert_eq!(a.row_presence(&row), b.row_presence(&row));
         }
+    }
+
+    #[test]
+    fn merge_keep_all_preserves_versions_and_tombstones() {
+        let old = table_with(&[
+            ("u1", "age", 1, Some(b"a")),
+            ("u1", "age", 2, Some(b"b")),
+            ("u2", "age", 1, Some(b"x")),
+        ]);
+        let new = table_with(&[
+            ("u1", "age", 3, Some(b"c")),
+            ("u2", "age", 2, None), // tombstone must survive
+        ]);
+        let merged = SsTable::merge_keep_all(&[&new, &old]);
+        assert_eq!(merged.len(), 5, "nothing dropped");
+        for (as_of, expect) in [(1, b"a" as &[u8]), (2, b"b"), (3, b"c")] {
+            assert_eq!(
+                merged
+                    .get(&key("u1", "age"), as_of)
+                    .unwrap()
+                    .value
+                    .as_deref(),
+                Some(expect)
+            );
+        }
+        assert!(
+            merged
+                .get(&key("u2", "age"), u64::MAX)
+                .unwrap()
+                .value
+                .is_none(),
+            "tombstone kept so it still shadows older runs"
+        );
+        // Duplicate (key, version) across runs: newest run wins, once.
+        let dup_new = table_with(&[("u1", "age", 5, Some(b"new"))]);
+        let dup_old = table_with(&[("u1", "age", 5, Some(b"old"))]);
+        let merged = SsTable::merge_keep_all(&[&dup_new, &dup_old]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(
+            merged
+                .get(&key("u1", "age"), u64::MAX)
+                .unwrap()
+                .value
+                .as_deref(),
+            Some(b"new".as_ref())
+        );
     }
 
     #[test]

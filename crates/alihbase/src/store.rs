@@ -11,6 +11,31 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Who runs compaction when `max_runs` is exceeded.
+///
+/// * [`CompactionMode::Inline`] — the pre-scheduler baseline: the flush
+///   that pushes the store past `max_runs` performs a **full** merge of
+///   every run synchronously on the writer's thread, applying
+///   `max_versions` trimming and tombstone dropping (lossy by contract for
+///   old versions). Simple, but the unlucky writer stalls for the whole
+///   merge.
+/// * [`CompactionMode::Scheduled`] — writers never compact. An explicit,
+///   deterministic [`Store::tick`] performs at most one **size-tiered**
+///   merge per call: the cheapest contiguous window of adjacent runs is
+///   merged conservatively (every version and tombstone kept, duplicate
+///   versions deduped newest-run-wins), so a tick is pure physical
+///   reorganisation — reads before, during, and after are byte-identical.
+///   Like the fault layer, there is no wall clock and no free-running
+///   thread: results are a pure function of the op sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompactionMode {
+    /// Full synchronous merge on the writer's thread (baseline).
+    Inline,
+    /// Tick-driven background-style size-tiered merges.
+    #[default]
+    Scheduled,
+}
+
 /// Store tuning knobs.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -18,6 +43,8 @@ pub struct StoreConfig {
     pub memtable_flush_bytes: usize,
     /// Compact once this many runs accumulate.
     pub max_runs: usize,
+    /// Who reacts to `max_runs` being exceeded (see [`CompactionMode`]).
+    pub compaction: CompactionMode,
     /// Versions retained per cell at compaction (TitAnt keeps a few model
     /// versions for rollback).
     pub max_versions: usize,
@@ -41,6 +68,7 @@ impl Default for StoreConfig {
         Self {
             memtable_flush_bytes: 4 << 20,
             max_runs: 6,
+            compaction: CompactionMode::default(),
             max_versions: 3,
             dir: None,
             sync: SyncPolicy::default(),
@@ -86,10 +114,101 @@ impl ReadStatsSnapshot {
     }
 }
 
+/// Write-path counters (relaxed atomics). Like [`ReadStatsSnapshot`] these
+/// are *physical-work* diagnostics, deliberately separate from the logical
+/// operation counts in [`crate::StoreOpCounts::total`]: batching changes
+/// how much physical work a logical write costs, never how many logical
+/// writes happened.
+#[derive(Debug, Default)]
+struct WriteStats {
+    lock_acquisitions: AtomicU64,
+    cells_written: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Point-in-time copy of a store's write-path counters, WAL work included.
+/// The ingest benches gate on these: on a 1-core container a wall-clock
+/// speedup cannot manifest, but "10x fewer lock acquisitions and WAL
+/// frames per row" is measurable and deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteStatsSnapshot {
+    /// Exclusive store-lock acquisitions taken to apply cell writes
+    /// (`put`/`delete` pay one per **cell**; `put_batch` one per batch).
+    pub lock_acquisitions: u64,
+    /// Cells applied to the memtable through the write path.
+    pub cells_written: u64,
+    /// `put_batch` calls.
+    pub batches: u64,
+    /// WAL frames appended (a batch is one frame).
+    pub wal_frames: u64,
+    /// WAL records across all frames.
+    pub wal_records: u64,
+    /// fdatasync barriers the WAL issued.
+    pub wal_syncs: u64,
+    /// WAL bytes written, frame headers included.
+    pub wal_bytes: u64,
+    /// Simulated group-commit wait charged to deferred appends (µs).
+    pub wal_simulated_wait_micros: u64,
+}
+
+impl WriteStatsSnapshot {
+    /// Field-wise sum (aggregation across replicas/regions).
+    pub fn add(&mut self, other: &WriteStatsSnapshot) {
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.cells_written += other.cells_written;
+        self.batches += other.batches;
+        self.wal_frames += other.wal_frames;
+        self.wal_records += other.wal_records;
+        self.wal_syncs += other.wal_syncs;
+        self.wal_bytes += other.wal_bytes;
+        self.wal_simulated_wait_micros += other.wal_simulated_wait_micros;
+    }
+
+    /// Field-wise delta against an earlier snapshot.
+    pub fn since(&self, earlier: &WriteStatsSnapshot) -> WriteStatsSnapshot {
+        WriteStatsSnapshot {
+            lock_acquisitions: self.lock_acquisitions - earlier.lock_acquisitions,
+            cells_written: self.cells_written - earlier.cells_written,
+            batches: self.batches - earlier.batches,
+            wal_frames: self.wal_frames - earlier.wal_frames,
+            wal_records: self.wal_records - earlier.wal_records,
+            wal_syncs: self.wal_syncs - earlier.wal_syncs,
+            wal_bytes: self.wal_bytes - earlier.wal_bytes,
+            wal_simulated_wait_micros: self.wal_simulated_wait_micros
+                - earlier.wal_simulated_wait_micros,
+        }
+    }
+}
+
+/// What one [`Store::tick`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickReport {
+    /// Tiered merges performed (at most 1 per store per tick).
+    pub compactions: u64,
+    /// Input runs consumed by those merges.
+    pub runs_merged: u64,
+    /// Stores whose WAL had a pending group-commit window synced.
+    pub wal_synced: u64,
+}
+
+impl TickReport {
+    /// Field-wise sum (aggregation across replicas/regions).
+    pub fn add(&mut self, other: &TickReport) {
+        self.compactions += other.compactions;
+        self.runs_merged += other.runs_merged;
+        self.wal_synced += other.wal_synced;
+    }
+}
+
 struct Inner {
     memtable: MemTable,
     /// Newest run first.
     runs: Vec<SsTable>,
+    /// Run ids parallel to `runs` (strictly descending). Ids double as the
+    /// on-disk file names, so keeping them aligned with the in-memory
+    /// order guarantees a reload sees runs in the same newest-first order
+    /// — which is what resolves duplicate-version ties (newest run wins).
+    run_ids: Vec<u64>,
     wal: Option<Wal>,
     next_run_id: u64,
 }
@@ -100,6 +219,7 @@ pub struct Store {
     config: StoreConfig,
     inner: RwLock<Inner>,
     stats: ReadStats,
+    write_stats: WriteStats,
 }
 
 impl Store {
@@ -108,6 +228,7 @@ impl Store {
     pub fn open(config: StoreConfig) -> std::io::Result<Self> {
         let mut memtable = MemTable::new();
         let mut runs = Vec::new();
+        let mut run_ids = Vec::new();
         let mut wal = None;
         let mut next_run_id = 0;
         if let Some(dir) = &config.dir {
@@ -127,12 +248,13 @@ impl Store {
                 .collect();
             run_files.sort_by_key(|(id, _)| std::cmp::Reverse(*id));
             next_run_id = run_files.first().map_or(0, |(id, _)| id + 1);
-            for (_, path) in run_files {
+            for (id, path) in run_files {
                 let mut run = SsTable::load(&path)?;
                 // Blooms are not persisted: rebuild them (deterministic
                 // function of the run's rows, so recovery is exact).
                 run.rebuild_index(config.bloom_bits_per_key);
                 runs.push(run);
+                run_ids.push(id);
             }
             let (w, replayed) = Wal::open_with(&dir.join("wal.log"), config.sync)?;
             for r in replayed {
@@ -145,10 +267,12 @@ impl Store {
             inner: RwLock::new(Inner {
                 memtable,
                 runs,
+                run_ids,
                 wal,
                 next_run_id,
             }),
             stats: ReadStats::default(),
+            write_stats: WriteStats::default(),
         })
     }
 
@@ -159,6 +283,27 @@ impl Store {
             runs_skipped: self.stats.runs_skipped.load(Ordering::Relaxed),
             bloom_false_positives: self.stats.bloom_false_positives.load(Ordering::Relaxed),
             torn_cells: self.stats.torn_cells.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot the write-path counters (WAL work included).
+    pub fn write_stats(&self) -> WriteStatsSnapshot {
+        let wal = self
+            .inner
+            .read()
+            .wal
+            .as_ref()
+            .map(|w| w.stats())
+            .unwrap_or_default();
+        WriteStatsSnapshot {
+            lock_acquisitions: self.write_stats.lock_acquisitions.load(Ordering::Relaxed),
+            cells_written: self.write_stats.cells_written.load(Ordering::Relaxed),
+            batches: self.write_stats.batches.load(Ordering::Relaxed),
+            wal_frames: wal.frames,
+            wal_records: wal.records,
+            wal_syncs: wal.syncs,
+            wal_bytes: wal.bytes,
+            wal_simulated_wait_micros: wal.simulated_wait_micros,
         }
     }
 
@@ -174,6 +319,12 @@ impl Store {
 
     fn write(&self, key: CellKey, version: Version, value: Option<Bytes>) -> std::io::Result<()> {
         let mut inner = self.inner.write();
+        self.write_stats
+            .lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        self.write_stats
+            .cells_written
+            .fetch_add(1, Ordering::Relaxed);
         if let Some(wal) = &mut inner.wal {
             wal.append(&WalRecord {
                 key: key.clone(),
@@ -186,6 +337,44 @@ impl Store {
             self.flush_locked(&mut inner)?;
         }
         Ok(())
+    }
+
+    /// Apply a batch of cell writes (values and tombstones) under **one**
+    /// lock acquisition and **one** multi-record WAL frame — the write-side
+    /// analogue of [`Store::get_rows`]. The WAL frame's single CRC makes
+    /// crash recovery all-or-nothing for the batch: a torn tail can lose
+    /// the whole batch but never replay a prefix of it.
+    ///
+    /// The memtable flush threshold is checked once, after the whole batch
+    /// is applied. Returns the simulated group-commit wait charged to this
+    /// batch's WAL append (zero outside [`SyncPolicy::GroupCommit`]),
+    /// which SLO-aware callers account as virtual time.
+    pub fn put_batch(
+        &self,
+        cells: Vec<(CellKey, Version, Option<Bytes>)>,
+    ) -> std::io::Result<Duration> {
+        if cells.is_empty() {
+            return Ok(Duration::ZERO);
+        }
+        let mut inner = self.inner.write();
+        self.write_stats
+            .lock_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        self.write_stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.write_stats
+            .cells_written
+            .fetch_add(cells.len() as u64, Ordering::Relaxed);
+        let mut waited = Duration::ZERO;
+        if let Some(wal) = &mut inner.wal {
+            waited = wal.append_batch(&cells)?;
+        }
+        for (key, version, value) in cells {
+            inner.memtable.put(key, version, value);
+        }
+        if inner.memtable.approx_bytes() >= self.config.memtable_flush_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(waited)
     }
 
     /// Latest value at or below `as_of` (`Version::MAX` = newest).
@@ -406,7 +595,12 @@ impl Store {
 
     fn flush_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
         self.flush_into_run(inner)?;
-        if inner.runs.len() > self.config.max_runs {
+        // Inline mode keeps the baseline behaviour: the writer that tips
+        // the store past `max_runs` pays for a full merge. Scheduled mode
+        // leaves the backlog for the next `tick()`.
+        if self.config.compaction == CompactionMode::Inline
+            && inner.runs.len() > self.config.max_runs
+        {
             self.compact_locked(inner)?;
         }
         Ok(())
@@ -419,12 +613,13 @@ impl Store {
         }
         let mut run = SsTable::from_sorted(inner.memtable.drain_sorted());
         run.rebuild_index(self.config.bloom_bits_per_key);
+        let id = inner.next_run_id;
+        inner.next_run_id += 1;
         if let Some(dir) = &self.config.dir {
-            let id = inner.next_run_id;
-            inner.next_run_id += 1;
             run.save(&dir.join(format!("run-{id:08}.sst")))?;
         }
         inner.runs.insert(0, run);
+        inner.run_ids.insert(0, id);
         if let Some(wal) = &mut inner.wal {
             wal.truncate()?;
         }
@@ -450,9 +645,9 @@ impl Store {
         let refs: Vec<&SsTable> = inner.runs.iter().collect();
         let mut merged = SsTable::merge(&refs, self.config.max_versions);
         merged.rebuild_index(self.config.bloom_bits_per_key);
+        let id = inner.next_run_id;
+        inner.next_run_id += 1;
         if let Some(dir) = &self.config.dir {
-            let id = inner.next_run_id;
-            inner.next_run_id += 1;
             merged.save(&dir.join(format!("run-{id:08}.sst")))?;
             // Remove the superseded run files.
             for entry in std::fs::read_dir(dir)?.filter_map(|e| e.ok()) {
@@ -469,6 +664,75 @@ impl Store {
             }
         }
         inner.runs = vec![merged];
+        inner.run_ids = vec![id];
+        Ok(())
+    }
+
+    /// One deterministic step of the background-style maintenance the
+    /// paper's HBase tier runs off the write path — driven by an explicit
+    /// call (like the fault layer's ticks) instead of a wall clock or a
+    /// free-running thread, so every workload replays bit-identically.
+    ///
+    /// A tick does two things:
+    /// 1. closes any open WAL group-commit window (the deterministic
+    ///    stand-in for `max_wait` expiring), and
+    /// 2. under [`CompactionMode::Scheduled`], performs at most one
+    ///    size-tiered merge when the store is over `max_runs`: the
+    ///    cheapest (fewest total cells) contiguous window of adjacent runs
+    ///    wide enough to bring the store back to `max_runs` is merged
+    ///    **conservatively** — every version and tombstone kept, duplicate
+    ///    `(key, version)` entries deduped newest-run-wins — and spliced
+    ///    back in place under the window's newest run id. Reads mid-stream
+    ///    are byte-identical to never having compacted at all.
+    pub fn tick(&self) -> std::io::Result<TickReport> {
+        let mut inner = self.inner.write();
+        let mut report = TickReport::default();
+        if let Some(wal) = &mut inner.wal {
+            if wal.sync_pending()? {
+                report.wal_synced = 1;
+            }
+        }
+        if self.config.compaction == CompactionMode::Scheduled {
+            let sizes: Vec<usize> = inner.runs.iter().map(|r| r.len()).collect();
+            if let Some(window) = select_tier_window(&sizes, self.config.max_runs) {
+                report.compactions = 1;
+                report.runs_merged = window.len() as u64;
+                self.merge_window_locked(&mut inner, window)?;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Conservatively merge the contiguous run window `range` in place.
+    fn merge_window_locked(
+        &self,
+        inner: &mut Inner,
+        range: std::ops::Range<usize>,
+    ) -> std::io::Result<()> {
+        let refs: Vec<&SsTable> = inner.runs[range.clone()].iter().collect();
+        let mut merged = SsTable::merge_keep_all(&refs);
+        merged.rebuild_index(self.config.bloom_bits_per_key);
+        // Reuse the window's *newest* member id: ids are descending along
+        // `runs`, so the spliced result keeps strictly descending ids and
+        // a crash-reload sees the exact same newest-first order (which is
+        // what breaks duplicate-version ties).
+        let keep_id = inner.run_ids[range.start];
+        if let Some(dir) = &self.config.dir {
+            let final_path = dir.join(format!("run-{keep_id:08}.sst"));
+            let tmp_path = dir.join(format!("run-{keep_id:08}.sst.tmp"));
+            // Write-then-rename so a crash never leaves a torn run file;
+            // a crash after the rename but before the removals below only
+            // leaves superseded older runs behind, whose duplicate cells
+            // are shadowed newest-run-wins on reload and re-collected by a
+            // later tick.
+            merged.save(&tmp_path)?;
+            std::fs::rename(&tmp_path, &final_path)?;
+            for &old in &inner.run_ids[range.start + 1..range.end] {
+                std::fs::remove_file(dir.join(format!("run-{old:08}.sst")))?;
+            }
+        }
+        inner.runs.splice(range.clone(), std::iter::once(merged));
+        inner.run_ids.drain(range.start + 1..range.end);
         Ok(())
     }
 
@@ -513,6 +777,32 @@ impl Store {
             .filter_map(|(k, c)| c.value.map(|v| (k, v)))
             .collect()
     }
+}
+
+/// Pick the size-tiered merge window: the cheapest (fewest total cells)
+/// contiguous window of adjacent runs whose merge brings the store back to
+/// `max_runs` runs. `None` when the store is not over the limit. Windows
+/// must be contiguous because run *order* resolves duplicate-version ties;
+/// merging non-adjacent runs could reorder a duplicate past a run between
+/// them and flip the winner. First minimal window (newest) wins ties, so
+/// the choice is deterministic.
+fn select_tier_window(sizes: &[usize], max_runs: usize) -> Option<std::ops::Range<usize>> {
+    let max_runs = max_runs.max(1);
+    if sizes.len() <= max_runs {
+        return None;
+    }
+    let width = sizes.len() - max_runs + 1;
+    let mut cost: usize = sizes[..width].iter().sum();
+    let mut best_start = 0;
+    let mut best_cost = cost;
+    for start in 1..=sizes.len() - width {
+        cost = cost - sizes[start - 1] + sizes[start + width - 1];
+        if cost < best_cost {
+            best_cost = cost;
+            best_start = start;
+        }
+    }
+    Some(best_start..best_start + width)
 }
 
 #[cfg(test)]
@@ -953,6 +1243,242 @@ mod tests {
             );
         }
         assert!(copy.get(&key("u2", "a")).is_none());
+    }
+
+    #[test]
+    fn put_batch_is_one_lock_and_one_wal_frame() {
+        let dir = std::env::temp_dir().join(format!("titant-batch-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let s = Store::open(StoreConfig {
+            dir: Some(dir.clone()),
+            ..Default::default()
+        })
+        .unwrap();
+        let cells: Vec<(CellKey, Version, Option<Bytes>)> = (0..16)
+            .map(|i| {
+                (
+                    key("u1", &format!("q{i}")),
+                    1,
+                    Some(Bytes::from(vec![i as u8; 4])),
+                )
+            })
+            .collect();
+        s.put_batch(cells).unwrap();
+        let w = s.write_stats();
+        assert_eq!(w.lock_acquisitions, 1);
+        assert_eq!(w.batches, 1);
+        assert_eq!(w.cells_written, 16);
+        assert_eq!(w.wal_frames, 1, "a batch is one frame");
+        assert_eq!(w.wal_records, 16);
+        // Per-cell baseline for the same row shape: 16 locks, 16 frames.
+        for i in 0..16 {
+            s.put(key("u2", &format!("q{i}")), 1, Bytes::from(vec![0u8; 4]))
+                .unwrap();
+        }
+        let w = s.write_stats();
+        assert_eq!(w.lock_acquisitions, 17);
+        assert_eq!(w.wal_frames, 17);
+        assert_eq!(
+            s.get_row(&RowKey::from_str("u1"), u64::MAX).len(),
+            16,
+            "batched cells all readable"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn put_batch_crash_recovery_is_all_or_nothing() {
+        let dir = std::env::temp_dir().join(format!("titant-batchrec-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        {
+            let s = Store::open(cfg.clone()).unwrap();
+            s.put_batch(vec![
+                (key("u1", "a"), 1, Some(Bytes::from_static(b"x"))),
+                (key("u1", "b"), 1, None),
+                (key("u2", "a"), 1, Some(Bytes::from_static(b"y"))),
+            ])
+            .unwrap();
+            // Drop without flush = crash; the batch lives only in the WAL.
+        }
+        {
+            let s = Store::open(cfg.clone()).unwrap();
+            assert_eq!(s.get(&key("u1", "a")).as_deref(), Some(b"x".as_ref()));
+            assert!(s.get(&key("u1", "b")).is_none(), "tombstone recovered");
+            assert_eq!(s.get(&key("u2", "a")).as_deref(), Some(b"y".as_ref()));
+        }
+        // Tear the WAL mid-batch: the whole batch must vanish, not a prefix.
+        let wal_path = dir.join("wal.log");
+        let data = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &data[..data.len() - 1]).unwrap();
+        let s = Store::open(cfg).unwrap();
+        assert!(
+            s.get(&key("u1", "a")).is_none(),
+            "torn batch must not replay partially"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scheduled_mode_defers_compaction_to_tick() {
+        let s = Store::open(StoreConfig {
+            max_runs: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        for v in 0..6u64 {
+            s.put(key("u1", "age"), v, Bytes::from(format!("v{v}")))
+                .unwrap();
+            s.flush().unwrap();
+        }
+        assert_eq!(s.run_count(), 6, "writers never compact in Scheduled mode");
+        // Each tick performs one tiered merge bringing the store to max_runs.
+        let report = s.tick().unwrap();
+        assert_eq!(report.compactions, 1);
+        assert_eq!(report.runs_merged, 4, "window width = runs - max_runs + 1");
+        assert_eq!(s.run_count(), 3);
+        // At the limit: further ticks are no-ops.
+        assert_eq!(s.tick().unwrap(), TickReport::default());
+        assert_eq!(s.run_count(), 3);
+        // Tiered merges are conservative: every version still readable
+        // (unlike a full compact, which trims to max_versions).
+        for v in 0..6u64 {
+            assert_eq!(
+                s.get_versioned(&key("u1", "age"), v).as_deref(),
+                Some(format!("v{v}").as_bytes()),
+                "version {v} must survive a tiered merge"
+            );
+        }
+    }
+
+    #[test]
+    fn inline_mode_keeps_the_synchronous_baseline() {
+        let s = Store::open(StoreConfig {
+            max_runs: 3,
+            compaction: CompactionMode::Inline,
+            ..Default::default()
+        })
+        .unwrap();
+        for v in 0..6u64 {
+            s.put(key("u1", "age"), v, Bytes::from(format!("v{v}")))
+                .unwrap();
+            s.flush().unwrap();
+        }
+        // The flush that reached 4 runs (> max_runs) full-compacted on the
+        // writer's thread, so the store never exceeds the limit afterwards.
+        assert_eq!(s.run_count(), 3, "inline mode compacts on the writer");
+        // …and that full compaction was lossy by contract: at the merge the
+        // store held versions 0–3, and max_versions = 3 trimmed version 0.
+        assert!(s.get_versioned(&key("u1", "age"), 0).is_none());
+        assert!(s.get_versioned(&key("u1", "age"), 1).is_some());
+        // Inline ticks never merge (only the WAL group-commit timer fires).
+        assert_eq!(s.tick().unwrap().compactions, 0);
+    }
+
+    #[test]
+    fn tiered_merge_keeps_tombstone_shadowing_and_survives_reload() {
+        let dir = std::env::temp_dir().join(format!("titant-tier-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            max_runs: 2,
+            dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let s = Store::open(cfg.clone()).unwrap();
+        // Same key rewritten at the same version across runs: newest run
+        // must win the duplicate tie, before and after the merge.
+        s.put(key("u1", "a"), 5, Bytes::from_static(b"old"))
+            .unwrap();
+        s.flush().unwrap();
+        s.delete(key("u2", "a"), 9).unwrap();
+        s.flush().unwrap();
+        s.put(key("u1", "a"), 5, Bytes::from_static(b"new"))
+            .unwrap();
+        s.flush().unwrap();
+        s.put(key("u3", "a"), 1, Bytes::from_static(b"z")).unwrap();
+        s.flush().unwrap();
+        assert_eq!(s.run_count(), 4);
+        let before: Vec<_> = [1, 5, 9, u64::MAX]
+            .iter()
+            .map(|&v| {
+                (
+                    s.get_versioned(&key("u1", "a"), v),
+                    s.get_versioned(&key("u2", "a"), v),
+                    s.get_versioned(&key("u3", "a"), v),
+                )
+            })
+            .collect();
+        assert_eq!(before[3].0.as_deref(), Some(b"new".as_ref()));
+        assert!(before[3].1.is_none(), "tombstone shadows");
+        while s.tick().unwrap().compactions > 0 {}
+        assert_eq!(s.run_count(), 2);
+        let after: Vec<_> = [1, 5, 9, u64::MAX]
+            .iter()
+            .map(|&v| {
+                (
+                    s.get_versioned(&key("u1", "a"), v),
+                    s.get_versioned(&key("u2", "a"), v),
+                    s.get_versioned(&key("u3", "a"), v),
+                )
+            })
+            .collect();
+        assert_eq!(before, after, "tiered merge must be invisible to reads");
+        drop(s);
+        // Reload from disk: merged file layout must reproduce the same
+        // newest-first order and the same reads.
+        let s = Store::open(cfg).unwrap();
+        let reloaded: Vec<_> = [1, 5, 9, u64::MAX]
+            .iter()
+            .map(|&v| {
+                (
+                    s.get_versioned(&key("u1", "a"), v),
+                    s.get_versioned(&key("u2", "a"), v),
+                    s.get_versioned(&key("u3", "a"), v),
+                )
+            })
+            .collect();
+        assert_eq!(before, reloaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tick_closes_open_group_commit_windows() {
+        let dir = std::env::temp_dir().join(format!("titant-gc-tick-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let s = Store::open(StoreConfig {
+            dir: Some(dir.clone()),
+            sync: SyncPolicy::GroupCommit {
+                max_batch: 8,
+                max_wait: Duration::from_micros(800),
+            },
+            ..Default::default()
+        })
+        .unwrap();
+        s.put(key("u1", "a"), 1, Bytes::from_static(b"x")).unwrap();
+        assert_eq!(s.write_stats().wal_syncs, 0, "group still open");
+        let report = s.tick().unwrap();
+        assert_eq!(report.wal_synced, 1);
+        assert_eq!(s.write_stats().wal_syncs, 1);
+        assert_eq!(s.tick().unwrap().wal_synced, 0, "nothing pending");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn select_tier_window_picks_cheapest_contiguous_window() {
+        // Not over the limit -> no merge.
+        assert_eq!(select_tier_window(&[5, 5, 5], 3), None);
+        assert_eq!(select_tier_window(&[], 3), None);
+        // One over: width 2, cheapest adjacent pair.
+        assert_eq!(select_tier_window(&[9, 1, 1, 9], 3), Some(1..3));
+        // Three over: width 4.
+        assert_eq!(select_tier_window(&[9, 2, 1, 1, 2, 9], 3), Some(1..5));
+        // Tie: first (newest) window wins deterministically.
+        assert_eq!(select_tier_window(&[3, 3, 3, 3], 3), Some(0..2));
+        // max_runs 0 is clamped to 1 (merge everything into one run).
+        assert_eq!(select_tier_window(&[1, 1], 0), Some(0..2));
     }
 
     #[test]

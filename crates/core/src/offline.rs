@@ -364,7 +364,13 @@ impl OfflinePipeline {
             RegionedTable::single(store_config)?
         };
 
-        let put_user = |user: u64| -> std::io::Result<()> {
+        // Whole rows are encoded and landed through `put_rows` in multi-user
+        // batches: one region-lock acquisition and one all-or-nothing WAL
+        // frame per batch instead of one of each per cell. Batch boundaries
+        // only affect physical framing, never table contents, so the
+        // thread-count-independence of the upload is preserved.
+        const USERS_PER_BATCH: usize = 64;
+        let encode_user = |user: u64| {
             let embedding = match (dim, graph.node_of(UserId(user))) {
                 (0, _) | (_, None) => vec![0.0; dim],
                 (_, Some(node)) => embeddings.row(node).to_vec(),
@@ -380,11 +386,15 @@ impl OfflinePipeline {
                     .unwrap_or_else(|| vec![0.0; layout::RECEIVER_SLOTS.len()]),
                 embedding,
             };
-            codec.put_user(&table, user, &features, version)
+            codec.encode_user(user, &features, version)
         };
         pool.map_ranges(users.len(), |_, range| -> std::io::Result<()> {
-            for &user in &users[range] {
-                put_user(user)?;
+            for chunk in users[range].chunks(USERS_PER_BATCH) {
+                let mut cells = Vec::new();
+                for &user in chunk {
+                    cells.extend(encode_user(user));
+                }
+                table.put_rows(cells)?;
             }
             Ok(())
         })

@@ -111,6 +111,26 @@ pub enum ServeError {
         /// Panic payload, when it was a string.
         message: String,
     },
+    /// A streaming feature delta referenced a slot outside the serving
+    /// layout. The whole ingest call is rejected before any write so the
+    /// store never holds a partial update batch.
+    DeltaSlot {
+        /// User whose delta was malformed.
+        user: u64,
+        /// Which block the bad index targeted (`payer`/`receiver`/`embedding`).
+        block: &'static str,
+        /// The out-of-range index.
+        index: usize,
+        /// Width of that block in the layout.
+        width: usize,
+    },
+    /// A streaming ingest failed in the feature store (I/O on the WAL or a
+    /// run file). The batch may be partially durable only at whole-frame
+    /// granularity; the caller should retry the whole call.
+    Ingest {
+        /// The underlying storage error, stringified.
+        message: String,
+    },
 }
 
 impl ServeError {
@@ -173,6 +193,18 @@ impl fmt::Display for ServeError {
             }
             ServeError::WorkerPanic { tx_id, message } => {
                 write!(f, "tx {tx_id}: scoring worker panicked: {message}")
+            }
+            ServeError::DeltaSlot {
+                user,
+                block,
+                index,
+                width,
+            } => write!(
+                f,
+                "user {user}: delta {block} index {index} outside layout width {width}"
+            ),
+            ServeError::Ingest { message } => {
+                write!(f, "streaming ingest failed in the feature store: {message}")
             }
         }
     }
@@ -240,5 +272,23 @@ mod tests {
         };
         assert!(!e.is_degradable());
         assert!(e.to_string().contains("queue depth 64"));
+    }
+
+    #[test]
+    fn ingest_errors_are_request_fatal_and_display() {
+        let e = ServeError::DeltaSlot {
+            user: 5,
+            block: "payer",
+            index: 9,
+            width: 3,
+        };
+        assert!(!e.is_degradable(), "a malformed delta must be rejected");
+        assert!(e.to_string().contains("payer index 9"));
+
+        let e = ServeError::Ingest {
+            message: "disk full".into(),
+        };
+        assert!(!e.is_degradable());
+        assert!(e.to_string().contains("disk full"));
     }
 }

@@ -8,8 +8,122 @@
 
 use crate::error::ServeError;
 use bytes::Bytes;
+use std::collections::HashMap;
+use std::sync::OnceLock;
 use std::time::Duration;
-use titant_alihbase::{CellKey, ReadOptions, RegionedTable, RowKey, Version};
+use titant_alihbase::{
+    CellKey, ColumnFamily, Qualifier, ReadOptions, RegionedTable, RowKey, Version,
+};
+
+/// How many qualifier names per family are precomputed at first use.
+///
+/// Real TitAnt rows hold a few hundred features at most; anything past the
+/// table falls back to on-the-fly formatting/parsing, so the cap is a
+/// memory bound, not a correctness limit.
+const PRECOMPUTED_QUALIFIERS: usize = 512;
+
+/// Where a `basic`-family qualifier lands in the decoded row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BasicSlot {
+    Payer(usize),
+    Receiver(usize),
+}
+
+/// Precomputed qualifier names and their reverse index.
+///
+/// Encoding used to build `p{i}` / `r{i}` / `{i}` strings per cell per put,
+/// and decoding re-parsed every qualifier with `str::parse`. Both now hit
+/// this table: encode clones an interned name, decode looks the name up in
+/// a hash map. Built once per process, shared by every codec instance (the
+/// layout names do not depend on codec widths).
+struct QualTable {
+    basic: ColumnFamily,
+    embedding_family: ColumnFamily,
+    payer: Vec<Qualifier>,
+    receiver: Vec<Qualifier>,
+    embedding: Vec<Qualifier>,
+    basic_slots: HashMap<String, BasicSlot>,
+    embedding_slots: HashMap<String, usize>,
+}
+
+impl QualTable {
+    fn build() -> QualTable {
+        let mut payer = Vec::with_capacity(PRECOMPUTED_QUALIFIERS);
+        let mut receiver = Vec::with_capacity(PRECOMPUTED_QUALIFIERS);
+        let mut embedding = Vec::with_capacity(PRECOMPUTED_QUALIFIERS);
+        let mut basic_slots = HashMap::with_capacity(2 * PRECOMPUTED_QUALIFIERS);
+        let mut embedding_slots = HashMap::with_capacity(PRECOMPUTED_QUALIFIERS);
+        for i in 0..PRECOMPUTED_QUALIFIERS {
+            let p = format!("p{i}");
+            basic_slots.insert(p.clone(), BasicSlot::Payer(i));
+            payer.push(Qualifier(p));
+            let r = format!("r{i}");
+            basic_slots.insert(r.clone(), BasicSlot::Receiver(i));
+            receiver.push(Qualifier(r));
+            let e = i.to_string();
+            embedding_slots.insert(e.clone(), i);
+            embedding.push(Qualifier(e));
+        }
+        QualTable {
+            basic: ColumnFamily("basic".into()),
+            embedding_family: ColumnFamily("embedding".into()),
+            payer,
+            receiver,
+            embedding,
+            basic_slots,
+            embedding_slots,
+        }
+    }
+
+    fn payer_qualifier(&self, i: usize) -> Qualifier {
+        match self.payer.get(i) {
+            Some(q) => q.clone(),
+            None => Qualifier(format!("p{i}")),
+        }
+    }
+
+    fn receiver_qualifier(&self, i: usize) -> Qualifier {
+        match self.receiver.get(i) {
+            Some(q) => q.clone(),
+            None => Qualifier(format!("r{i}")),
+        }
+    }
+
+    fn embedding_qualifier(&self, i: usize) -> Qualifier {
+        match self.embedding.get(i) {
+            Some(q) => q.clone(),
+            None => Qualifier(i.to_string()),
+        }
+    }
+
+    /// Resolve a `basic` qualifier to its slot; table hit first, parse as
+    /// the out-of-table fallback (matching the names the encoder emits).
+    fn basic_slot(&self, qualifier: &str) -> Option<BasicSlot> {
+        if let Some(&slot) = self.basic_slots.get(qualifier) {
+            return Some(slot);
+        }
+        let (tag, digits) = qualifier.split_at_checked(1)?;
+        let i = digits.parse::<usize>().ok()?;
+        match tag {
+            "p" => Some(BasicSlot::Payer(i)),
+            "r" => Some(BasicSlot::Receiver(i)),
+            _ => None,
+        }
+    }
+
+    /// Resolve an `embedding` qualifier to its dimension index.
+    fn embedding_slot(&self, qualifier: &str) -> Option<usize> {
+        if let Some(&i) = self.embedding_slots.get(qualifier) {
+            return Some(i);
+        }
+        qualifier.parse::<usize>().ok()
+    }
+}
+
+fn qual_table() -> &'static QualTable {
+    static QUALIFIERS: OnceLock<QualTable> = OnceLock::new();
+    QUALIFIERS.get_or_init(QualTable::build)
+}
 
 /// Per-user serving payload: what the offline stage uploads and the MS
 /// fetches per transfer party.
@@ -21,6 +135,36 @@ pub struct UserFeatures {
     pub receiver_side: Vec<f32>,
     /// Node embedding (possibly empty for users outside the network).
     pub embedding: Vec<f32>,
+}
+
+/// A partial per-user feature update: `(index, value)` pairs per block.
+///
+/// This is the streaming-ingest unit — an online job corrects a handful of
+/// aggregates for a user without re-uploading the whole row. Untouched
+/// qualifiers keep their previous version, so a read at `Version::MAX`
+/// merges the delta over the last full upload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureDelta {
+    /// The user whose row is patched.
+    pub user: u64,
+    /// Payer-side updates as `(feature index, new value)`.
+    pub payer: Vec<(usize, f32)>,
+    /// Receiver-side updates as `(feature index, new value)`.
+    pub receiver: Vec<(usize, f32)>,
+    /// Embedding-dimension updates as `(dimension, new value)`.
+    pub embedding: Vec<(usize, f32)>,
+}
+
+impl FeatureDelta {
+    /// Number of cells this delta writes.
+    pub fn len(&self) -> usize {
+        self.payer.len() + self.receiver.len() + self.embedding.len()
+    }
+
+    /// True when the delta patches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Encodes/decodes user features to the wide-column layout.
@@ -38,7 +182,120 @@ impl FeatureCodec {
         RowKey::from_user(user)
     }
 
-    /// Upload one user's features at `version`.
+    /// Encode one user's full row as a single write batch.
+    ///
+    /// The returned cells go through [`RegionedTable::put_rows`] as one
+    /// all-or-nothing unit: one store-lock acquisition and one WAL frame
+    /// per owning region instead of one of each per qualifier.
+    pub fn encode_user(
+        &self,
+        user: u64,
+        features: &UserFeatures,
+        version: Version,
+    ) -> Vec<(CellKey, Version, Option<Bytes>)> {
+        assert_eq!(features.payer_side.len(), self.payer_width);
+        assert_eq!(features.receiver_side.len(), self.receiver_width);
+        let quals = qual_table();
+        let row = Self::row_key(user);
+        let mut cells = Vec::with_capacity(
+            features.payer_side.len() + features.receiver_side.len() + features.embedding.len(),
+        );
+        for (i, v) in features.payer_side.iter().enumerate() {
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.basic.clone(),
+                    qualifier: quals.payer_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        for (i, v) in features.receiver_side.iter().enumerate() {
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.basic.clone(),
+                    qualifier: quals.receiver_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        for (i, v) in features.embedding.iter().enumerate() {
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.embedding_family.clone(),
+                    qualifier: quals.embedding_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        cells
+    }
+
+    /// Encode a partial update as a write batch (same shape as
+    /// [`Self::encode_user`], covering only the touched qualifiers).
+    ///
+    /// Indices must fall inside the codec's declared widths — a delta for a
+    /// qualifier the layout cannot serve is a programming error, same as an
+    /// ill-sized full upload.
+    pub fn encode_delta(
+        &self,
+        delta: &FeatureDelta,
+        version: Version,
+    ) -> Vec<(CellKey, Version, Option<Bytes>)> {
+        let quals = qual_table();
+        let row = Self::row_key(delta.user);
+        let mut cells = Vec::with_capacity(delta.len());
+        for &(i, v) in &delta.payer {
+            assert!(i < self.payer_width, "payer delta index {i} out of layout");
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.basic.clone(),
+                    qualifier: quals.payer_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        for &(i, v) in &delta.receiver {
+            assert!(
+                i < self.receiver_width,
+                "receiver delta index {i} out of layout"
+            );
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.basic.clone(),
+                    qualifier: quals.receiver_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        for &(i, v) in &delta.embedding {
+            assert!(
+                i < self.embedding_dim,
+                "embedding delta index {i} out of layout"
+            );
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.embedding_family.clone(),
+                    qualifier: quals.embedding_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        cells
+    }
+
+    /// Upload one user's features at `version` as a single batched write.
     pub fn put_user(
         &self,
         table: &RegionedTable,
@@ -46,42 +303,7 @@ impl FeatureCodec {
         features: &UserFeatures,
         version: Version,
     ) -> std::io::Result<()> {
-        assert_eq!(features.payer_side.len(), self.payer_width);
-        assert_eq!(features.receiver_side.len(), self.receiver_width);
-        let row = Self::row_key(user);
-        for (i, v) in features.payer_side.iter().enumerate() {
-            table.put(
-                CellKey {
-                    row: row.clone(),
-                    family: titant_alihbase::ColumnFamily("basic".into()),
-                    qualifier: titant_alihbase::Qualifier(format!("p{i}")),
-                },
-                version,
-                Bytes::copy_from_slice(&v.to_le_bytes()),
-            )?;
-        }
-        for (i, v) in features.receiver_side.iter().enumerate() {
-            table.put(
-                CellKey {
-                    row: row.clone(),
-                    family: titant_alihbase::ColumnFamily("basic".into()),
-                    qualifier: titant_alihbase::Qualifier(format!("r{i}")),
-                },
-                version,
-                Bytes::copy_from_slice(&v.to_le_bytes()),
-            )?;
-        }
-        for (i, v) in features.embedding.iter().enumerate() {
-            table.put(
-                CellKey {
-                    row: row.clone(),
-                    family: titant_alihbase::ColumnFamily("embedding".into()),
-                    qualifier: titant_alihbase::Qualifier(i.to_string()),
-                },
-                version,
-                Bytes::copy_from_slice(&v.to_le_bytes()),
-            )?;
-        }
+        table.put_rows(self.encode_user(user, features, version))?;
         Ok(())
     }
 
@@ -154,24 +376,19 @@ impl FeatureCodec {
         if cells.is_empty() {
             return Ok(None);
         }
+        let quals = qual_table();
         let mut payer_side = vec![None; self.payer_width];
         let mut receiver_side = vec![None; self.receiver_width];
         let mut embedding = vec![None; self.embedding_dim];
         for (key, bytes) in cells {
             let slot = match key.family.0.as_str() {
-                "basic" => match key.qualifier.0.split_at_checked(1) {
-                    Some(("p", i)) => i.parse::<usize>().ok().and_then(|i| payer_side.get_mut(i)),
-                    Some(("r", i)) => i
-                        .parse::<usize>()
-                        .ok()
-                        .and_then(|i| receiver_side.get_mut(i)),
-                    _ => None,
+                "basic" => match quals.basic_slot(&key.qualifier.0) {
+                    Some(BasicSlot::Payer(i)) => payer_side.get_mut(i),
+                    Some(BasicSlot::Receiver(i)) => receiver_side.get_mut(i),
+                    None => None,
                 },
-                "embedding" => key
-                    .qualifier
-                    .0
-                    .parse::<usize>()
-                    .ok()
+                "embedding" => quals
+                    .embedding_slot(&key.qualifier.0)
                     .and_then(|i| embedding.get_mut(i)),
                 _ => None,
             };
@@ -430,6 +647,57 @@ mod tests {
         );
         // The previous intact version remains readable.
         assert_eq!(c.get_user(&t, 9, 1).unwrap().unwrap(), features(1.0));
+    }
+
+    #[test]
+    fn qualifier_table_matches_formatting_in_and_beyond_range() {
+        let q = qual_table();
+        assert_eq!(q.payer_qualifier(0).0, "p0");
+        assert_eq!(q.receiver_qualifier(PRECOMPUTED_QUALIFIERS - 1).0, "r511");
+        assert_eq!(q.embedding_qualifier(3).0, "3");
+        // Past the table the names still come out identical, just formatted
+        // on the fly.
+        let big = PRECOMPUTED_QUALIFIERS + 5;
+        assert_eq!(q.payer_qualifier(big).0, format!("p{big}"));
+        assert_eq!(q.embedding_qualifier(big).0, big.to_string());
+        // Reverse lookups agree, both through the map and the fallback.
+        assert_eq!(q.basic_slot("p7"), Some(BasicSlot::Payer(7)));
+        assert_eq!(q.basic_slot("r600"), Some(BasicSlot::Receiver(600)));
+        assert_eq!(q.basic_slot("x1"), None);
+        assert_eq!(q.embedding_slot("600"), Some(600));
+        assert_eq!(q.embedding_slot("seven"), None);
+    }
+
+    #[test]
+    fn put_user_is_one_batch_and_one_lock_acquisition() {
+        let t = table();
+        let c = codec();
+        let before = t.write_stats();
+        c.put_user(&t, 42, &features(1.5), 20170410).unwrap();
+        let delta = t.write_stats().since(&before);
+        assert_eq!(delta.batches, 1, "whole row must land as one batch");
+        assert_eq!(delta.lock_acquisitions, 1);
+        assert_eq!(delta.cells_written, 3 + 2 + 4);
+    }
+
+    #[test]
+    fn encode_delta_merges_over_the_last_full_upload() {
+        let t = table();
+        let c = codec();
+        c.put_user(&t, 42, &features(1.0), 1).unwrap();
+        let delta = FeatureDelta {
+            user: 42,
+            payer: vec![(1, 99.0)],
+            receiver: vec![(0, -5.0)],
+            embedding: vec![(2, 0.25)],
+        };
+        t.put_rows(c.encode_delta(&delta, 2)).unwrap();
+        let got = c.get_user(&t, 42, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.payer_side, vec![1.0, 99.0, 3.0]);
+        assert_eq!(got.receiver_side, vec![-5.0, 20.0]);
+        assert_eq!(got.embedding, vec![1.0, 1.0, 0.25, 1.0]);
+        // The pre-delta snapshot is still intact at its version.
+        assert_eq!(c.get_user(&t, 42, 1).unwrap().unwrap(), features(1.0));
     }
 
     #[test]

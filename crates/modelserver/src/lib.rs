@@ -41,9 +41,11 @@ pub mod slo;
 
 pub use alipay::{AlipayServer, SessionStats, TransferOutcome};
 pub use error::ServeError;
-pub use feature_codec::{FeatureCodec, UserFeatures};
+pub use feature_codec::{FeatureCodec, FeatureDelta, UserFeatures};
 pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageSnapshot};
 pub use model_file::{ModelFile, ServableModel};
 pub use row_cache::{RowCache, RowCacheConfig, RowCacheStats};
-pub use server::{FeatureLayout, ModelServer, ScoreRequest, ScoreResponse, ServePool};
+pub use server::{
+    FeatureLayout, IngestReport, ModelServer, ScoreRequest, ScoreResponse, ServePool,
+};
 pub use slo::{Deadline, HedgePolicy, ReqRng, ResilienceSnapshot, RetryPolicy, SloConfig};

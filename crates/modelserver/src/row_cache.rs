@@ -216,6 +216,28 @@ impl RowCache {
         }
     }
 
+    /// Drop every cached entry for one user (all `as_of` variants).
+    ///
+    /// This is the streaming-update path: a
+    /// [`crate::ModelServer::ingest_update`] patches one user's row, so
+    /// only that user's decodes can be stale — the rest of the cache stays
+    /// hot. Touches exactly one shard lock. Returns how many entries were
+    /// dropped.
+    pub fn invalidate_user(&self, user: u64) -> usize {
+        let mut shard = self.shards[self.shard_of(user)].lock();
+        let before = shard.map.len();
+        shard.map.retain(|&(u, _), _| u != user);
+        let dropped = before - shard.map.len();
+        if dropped > 0 {
+            // Drop the user's keys from the FIFO queue too: a ghost key
+            // left behind would later pop without a matching map entry and
+            // silently shrink the shard's effective capacity accounting.
+            shard.order.retain(|&(u, _)| u != user);
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
+    }
+
     /// Drop every entry (deploy / feature-upload version bump).
     pub fn clear(&self) {
         for shard in &self.shards {
@@ -325,6 +347,49 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.stats().invalidations, 1);
         assert!(cache.get(5, 1).is_none());
+    }
+
+    #[test]
+    fn invalidate_user_drops_only_that_user() {
+        let cache = RowCache::new(RowCacheConfig {
+            capacity: 64,
+            shards: 2,
+        });
+        cache.insert(7, u64::MAX, feats(1.0));
+        cache.insert(7, 5, feats(2.0));
+        cache.insert(8, u64::MAX, feats(3.0));
+        assert_eq!(cache.invalidate_user(7), 2);
+        assert!(cache.get(7, u64::MAX).is_none());
+        assert!(cache.get(7, 5).is_none());
+        assert_eq!(cache.get(8, u64::MAX), Some(feats(3.0)));
+        assert_eq!(cache.stats().invalidations, 1);
+        // Invalidating an uncached user is a counted-free no-op.
+        assert_eq!(cache.invalidate_user(999), 0);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn invalidate_user_leaves_no_ghost_keys_in_eviction_order() {
+        let cache = RowCache::new(RowCacheConfig {
+            capacity: 3,
+            shards: 1,
+        });
+        cache.insert(1, 1, feats(1.0));
+        cache.insert(2, 1, feats(2.0));
+        cache.insert(3, 1, feats(3.0));
+        cache.invalidate_user(1);
+        // Refill to capacity; the eviction loop must not burn pops on the
+        // invalidated user's ghost key.
+        cache.insert(4, 1, feats(4.0));
+        cache.insert(5, 1, feats(5.0));
+        assert_eq!(cache.len(), 3);
+        // FIFO order without ghosts: 2 is the oldest survivor and must be
+        // the one evicted by the insert of 5.
+        assert!(cache.get(2, 1).is_none());
+        assert!(cache.get(3, 1).is_some());
+        assert!(cache.get(4, 1).is_some());
+        assert!(cache.get(5, 1).is_some());
+        assert_eq!(cache.stats().evicted, 1);
     }
 
     #[test]

@@ -7,19 +7,19 @@
 //! poisoned requests and report them through an error callback.
 
 use crate::error::ServeError;
-use crate::feature_codec::{FeatureCodec, UserFeatures};
+use crate::feature_codec::{FeatureCodec, FeatureDelta, UserFeatures};
 use crate::latency::{LatencyRecorder, Stage};
 use crate::model_file::ModelFile;
 use crate::row_cache::{RowCache, RowCacheConfig, RowCacheStats};
 use crate::slo::{Deadline, ReqRng, ResilienceCounters, ResilienceSnapshot, SloConfig};
 use crossbeam::channel::{bounded, SendError, Sender, TrySendError};
 use parking_lot::RwLock;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
-use titant_alihbase::{FaultKind, ReadOptions, RegionedTable};
+use std::time::{Duration, Instant};
+use titant_alihbase::{FaultKind, ReadOptions, RegionedTable, Version};
 use titant_models::{Classifier, Dataset};
 
 /// A scoring request: the two transfer parties plus the per-transaction
@@ -43,6 +43,21 @@ pub struct ScoreResponse {
     /// True when user features could not be fetched intact and the score
     /// fell back to context-only input (zero-filled user slots).
     pub degraded: bool,
+}
+
+/// Outcome of one [`ModelServer::ingest_update`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Distinct users patched.
+    pub users: usize,
+    /// Cells written across all deltas.
+    pub cells: usize,
+    /// Cached decoded rows dropped by the per-user invalidation.
+    pub invalidated_rows: usize,
+    /// Simulated WAL group-commit wait charged to this batch.
+    pub simulated_wait: Duration,
+    /// Background compactions performed by the post-ingest tick.
+    pub compactions: u64,
 }
 
 /// The serving feature layout: where user-side and context features land in
@@ -214,6 +229,75 @@ impl ModelServer {
     /// Row-cache counters, when a cache is configured.
     pub fn row_cache_stats(&self) -> Option<RowCacheStats> {
         self.inner.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// Apply a batch of streaming per-user feature deltas at `version`.
+    ///
+    /// This is the online half of the write path: instead of waiting for
+    /// the next full T+1 upload, a correction job patches a handful of
+    /// qualifiers per user. The whole call goes through
+    /// [`RegionedTable::put_rows`] — one lock acquisition and one WAL frame
+    /// per owning region, all-or-nothing on crash replay — and then drives
+    /// one deterministic [`RegionedTable::tick`] so background compaction
+    /// and any open group-commit window make progress on the writer's
+    /// cadence, not a wall clock.
+    ///
+    /// Cache coherence is surgical: only the patched users' decoded rows
+    /// are invalidated, so the rest of the cache stays hot. Every delta is
+    /// validated against the layout before anything is written; a bad index
+    /// rejects the whole call with [`ServeError::DeltaSlot`].
+    pub fn ingest_update(
+        &self,
+        deltas: &[FeatureDelta],
+        version: Version,
+    ) -> Result<IngestReport, ServeError> {
+        let inner = &self.inner;
+        let codec = &inner.codec;
+        for d in deltas {
+            let checks = [
+                ("payer", &d.payer, codec.payer_width),
+                ("receiver", &d.receiver, codec.receiver_width),
+                ("embedding", &d.embedding, codec.embedding_dim),
+            ];
+            for (block, updates, width) in checks {
+                if let Some(&(index, _)) = updates.iter().find(|&&(i, _)| i >= width) {
+                    return Err(ServeError::DeltaSlot {
+                        user: d.user,
+                        block,
+                        index,
+                        width,
+                    });
+                }
+            }
+        }
+        let store_err = |e: std::io::Error| ServeError::Ingest {
+            message: e.to_string(),
+        };
+        let mut users: BTreeSet<u64> = BTreeSet::new();
+        let mut cells = Vec::with_capacity(deltas.iter().map(FeatureDelta::len).sum());
+        for d in deltas {
+            if d.is_empty() {
+                continue;
+            }
+            users.insert(d.user);
+            cells.extend(codec.encode_delta(d, version));
+        }
+        let n_cells = cells.len();
+        let mut report = IngestReport {
+            users: users.len(),
+            cells: n_cells,
+            ..IngestReport::default()
+        };
+        if n_cells > 0 {
+            report.simulated_wait = inner.table.put_rows(cells).map_err(store_err)?;
+            if let Some(cache) = &inner.cache {
+                for &user in &users {
+                    report.invalidated_rows += cache.invalidate_user(user);
+                }
+            }
+        }
+        report.compactions = inner.table.tick().map_err(store_err)?.compactions;
+        Ok(report)
     }
 
     /// Version of the currently served model.
@@ -1460,6 +1544,122 @@ mod tests {
         );
         assert_eq!(fresh.inserted, 4);
         assert_eq!(fresh.invalidations, 1);
+    }
+
+    #[test]
+    fn ingest_update_invalidates_only_the_patched_users_cache_rows() {
+        let (ms, table) = setup_cached();
+        // Warm the cache with both parties of `req` (users 1 and 2).
+        ms.score(&req(0, 0.4)).unwrap();
+        assert_eq!(ms.row_cache_stats().unwrap().inserted, 2);
+        // Stream a correction for user 1 only.
+        let report = ms
+            .ingest_update(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 0.7), (1, 0.8)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+            )
+            .unwrap();
+        assert_eq!((report.users, report.cells), (1, 2));
+        assert_eq!(report.invalidated_rows, 1, "only user 1's row drops");
+        // The store now serves the patched values.
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.payer_side, vec![0.7, 0.8]);
+        // The next request re-fetches user 1 (a miss) while user 2 is still
+        // served from the cache (a hit): surgical invalidation.
+        let before = ms.row_cache_stats().unwrap();
+        ms.score(&req(1, 0.4)).unwrap();
+        let after = ms.row_cache_stats().unwrap();
+        assert_eq!(after.misses, before.misses + 1);
+        assert_eq!(after.hits, before.hits + 1);
+        // And the cached server now scores exactly like an uncached server
+        // over the same post-ingest table: no stale decode survives.
+        let plain = ModelServer::new(table.clone(), layout(), cached_model()).unwrap();
+        let cached_resp = ms.score(&req(2, 0.4)).unwrap();
+        let plain_resp = plain.score(&req(2, 0.4)).unwrap();
+        assert_eq!(
+            cached_resp.probability.to_bits(),
+            plain_resp.probability.to_bits()
+        );
+    }
+
+    #[test]
+    fn ingest_update_rejects_out_of_layout_deltas_before_writing() {
+        let (ms, table) = setup_cached();
+        let before = table.write_stats();
+        let err = ms
+            .ingest_update(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 1.0)],
+                    receiver: vec![(9, 1.0)],
+                    embedding: Vec::new(),
+                }],
+                20170412,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::DeltaSlot {
+                    user: 1,
+                    block: "receiver",
+                    index: 9,
+                    width: 2
+                }
+            ),
+            "{err:?}"
+        );
+        assert!(!err.is_degradable());
+        // Nothing was written — not even the valid payer half of the delta.
+        let delta = table.write_stats().since(&before);
+        assert_eq!((delta.batches, delta.cells_written), (0, 0));
+    }
+
+    #[test]
+    fn ingest_update_without_a_cache_still_writes_and_ticks() {
+        let (ms, table) = setup_with_table();
+        let report = ms
+            .ingest_update(
+                &[
+                    FeatureDelta {
+                        user: 1,
+                        embedding: vec![(0, 0.9)],
+                        ..FeatureDelta::default()
+                    },
+                    FeatureDelta {
+                        user: 2,
+                        receiver: vec![(1, -1.0)],
+                        ..FeatureDelta::default()
+                    },
+                    // Empty deltas are skipped, not written.
+                    FeatureDelta::default(),
+                ],
+                20170412,
+            )
+            .unwrap();
+        assert_eq!((report.users, report.cells), (2, 2));
+        assert_eq!(report.invalidated_rows, 0);
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        let got = codec.get_user(&table, 2, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.receiver_side, vec![0.3, -1.0]);
+        // An all-empty ingest is a no-op apart from the tick.
+        let before = table.write_stats();
+        let report = ms.ingest_update(&[], 20170413).unwrap();
+        assert_eq!((report.users, report.cells), (0, 0));
+        assert_eq!(table.write_stats().since(&before).batches, 0);
     }
 
     #[test]

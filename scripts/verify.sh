@@ -8,9 +8,12 @@
 #                                 # determinism gate; writes BENCH_offline.json),
 #                                 # the chaos-replay gate (seeded fault
 #                                 # injection vs serving SLOs; writes
-#                                 # BENCH_chaos.json), and the serving-scale
+#                                 # BENCH_chaos.json), the serving-scale
 #                                 # gate (blooms/bounds/row-cache/batch read
-#                                 # path; writes BENCH_serving_scale.json)
+#                                 # path; writes BENCH_serving_scale.json),
+#                                 # and the ingest-throughput gate (batched
+#                                 # writes / WAL group commit counters;
+#                                 # writes BENCH_ingest.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -54,6 +57,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> serving-scale gate (--quick)"
     cargo run --release -q -p titant-bench --bin serving_scale -- --quick
+
+    echo "==> ingest-throughput gate (--quick)"
+    cargo run --release -q -p titant-bench --bin ingest_throughput -- --quick
 fi
 
 echo "verify: all green"
