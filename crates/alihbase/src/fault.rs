@@ -90,6 +90,13 @@ pub enum FaultKind {
     /// Injected latency exceeded the caller's `max_wait` cap; the read was
     /// abandoned after waiting only the cap (a hedge trigger).
     TimedOut,
+    /// The requested replica index does not exist in the target region.
+    /// Not a storage fault: no store was touched and no fault was drawn.
+    /// Pre-fix, [`crate::RegionedTable::try_get_row`] silently wrapped the
+    /// index modulo the replica count, so a "hedged" read on a
+    /// single-replica table re-read the same primary while the SLO layer
+    /// counted it as a real hedge.
+    NoSuchReplica,
 }
 
 /// A read that did not return data, with the simulated time it consumed.
@@ -113,7 +120,9 @@ pub struct ReadFault {
 /// Per-read options for [`crate::RegionedTable::try_get_row`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReadOptions {
-    /// Replica to read (wraps modulo the replica count).
+    /// Replica to read. Must exist in the target region: an out-of-range
+    /// index fails with [`FaultKind::NoSuchReplica`] instead of silently
+    /// wrapping onto the primary.
     pub replica: usize,
     /// Logical request time forwarded to the fault hook.
     pub tick: u64,

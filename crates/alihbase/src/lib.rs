@@ -36,7 +36,7 @@ pub use fault::{
     FaultAction, FaultHook, FaultKind, FaultPlan, FaultPlanConfig, ReadCtx, ReadFault, ReadOptions,
     RowRead, UnavailableWindow,
 };
-pub use region::{RegionedTable, StoreOpCounts};
+pub use region::{RegionedTable, SplitConfig, StoreOpCounts};
 pub use sstable::RowPresence;
 pub use store::{
     CompactionMode, ReadStatsSnapshot, Store, StoreConfig, TickReport, WriteStatsSnapshot,

@@ -1,10 +1,10 @@
 //! Row-key-range sharding, HBase-style regions.
 //!
-//! A [`RegionedTable`] splits the row-key space at fixed boundaries and
-//! routes every read/write to the owning region's [`Store`]. In production
-//! HBase the regions live on different region servers; here they give the
-//! model server independent shards (and the serving bench a realistic
-//! routing step).
+//! A [`RegionedTable`] splits the row-key space at boundaries and routes
+//! every read/write to the owning region's [`Store`]. In production HBase
+//! the regions live on different region servers; here they give the model
+//! server independent shards (and the serving bench a realistic routing
+//! step).
 //!
 //! Each region can carry **read replicas** ([`StoreConfig::replicas`] or
 //! [`RegionedTable::with_replicas`]): writes fan out to every replica,
@@ -13,23 +13,118 @@
 //! failover/hedge substrate the Model Server uses when a fault hook
 //! ([`RegionedTable::set_fault_hook`]) declares the primary unavailable or
 //! slow.
+//!
+//! # Online splits and merges
+//!
+//! Region layouts are no longer frozen at construction. When a
+//! [`SplitConfig`] with a split threshold is installed
+//! ([`RegionedTable::with_rebalancing`]), every operation bumps a
+//! per-region *pressure* counter, and each [`RegionedTable::tick`] turns
+//! the pressure accumulated since the previous tick into at most one
+//! layout change:
+//!
+//! * a region whose window reached [`SplitConfig::split_threshold`]
+//!   **splits** at its median resident row key
+//!   ([`Store::median_resident_row`]), migrating every cell (all versions,
+//!   tombstones included) into two child stores on every replica;
+//! * otherwise, the leftmost split-born boundary whose two sibling regions
+//!   both stayed below [`SplitConfig::merge_threshold`] **merges** back
+//!   into one region.
+//!
+//! Decisions are pure functions of the op counters and the tick sequence —
+//! never wall clock — so identical traffic yields identical layouts, and
+//! reads are byte-identical across the split (`export_cells` +
+//! [`Store::put_batch`] preserves every version). The default
+//! [`SplitConfig`] disables rebalancing entirely: pre-split workloads
+//! (chaos replay included) behave bit-identically to earlier releases.
 
-use crate::fault::{FaultHook, ReadCtx, ReadFault, ReadOptions, RowRead};
-use crate::store::{Store, StoreConfig};
+use crate::fault::{FaultHook, FaultKind, ReadCtx, ReadFault, ReadOptions, RowRead};
+use crate::store::{Store, StoreConfig, TickReport, WriteStatsSnapshot};
 use crate::types::{CellKey, RowKey, Version};
 use bytes::Bytes;
 use parking_lot::RwLock;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Online rebalancing policy for a [`RegionedTable`]. The default disables
+/// both splits and merges, freezing the layout exactly as constructed.
+#[derive(Debug, Clone)]
+pub struct SplitConfig {
+    /// A region whose windowed pressure (operations routed to it since the
+    /// previous [`RegionedTable::tick`]) reaches this value splits at its
+    /// median resident row. `None` (the default) disables splitting — and
+    /// with it all rebalancing bookkeeping — entirely.
+    pub split_threshold: Option<u64>,
+    /// A split-born sibling pair whose windows *both* stayed below this
+    /// value merges back into one region. `0` (the default) never merges.
+    /// Choose `merge_threshold` well below `split_threshold`: the gap is
+    /// the hysteresis band that keeps a region oscillating near the split
+    /// point from split/merge thrashing.
+    pub merge_threshold: u64,
+    /// Hard cap on the region count; splits stop once it is reached.
+    pub max_regions: usize,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        Self {
+            split_threshold: None,
+            merge_threshold: 0,
+            max_regions: 64,
+        }
+    }
+}
+
+/// The mutable region layout: split points and the store grid they route
+/// to, guarded by one `RwLock` so a layout change (rare) excludes routing
+/// (hot) without per-operation locking beyond a read acquire.
+struct RegionMap {
+    /// Sorted split points; region `i` owns `[splits[i-1], splits[i])`.
+    splits: Vec<RowKey>,
+    /// `split_origin[i]` — boundary `i` was created by an online split, so
+    /// the two regions it separates are siblings eligible to merge back.
+    /// Constructor-provided boundaries are never merged away.
+    split_origin: Vec<bool>,
+    /// `regions[r][k]` = replica `k` of region `r`; replica 0 is primary.
+    regions: Vec<Vec<Store>>,
+    /// Per-region pressure accumulated since the last rebalance decision.
+    pressure: Vec<AtomicU64>,
+    /// Monotone id for child-store directories (`child-NNNNNN[-rK]`), so
+    /// no two stores born from splits or merges ever share a directory.
+    next_child: u64,
+    /// Bumped on every layout change; a rebalance planned under the read
+    /// lock executes under the write lock only if the epoch still matches.
+    epoch: u64,
+}
+
+impl RegionMap {
+    fn region_of(&self, row: &RowKey) -> usize {
+        self.splits.partition_point(|s| s <= row)
+    }
+
+    fn bump(&self, region: usize, by: u64) {
+        self.pressure[region].fetch_add(by, Ordering::Relaxed);
+    }
+}
+
+/// One layout change, planned under the read lock at a known epoch.
+enum Rebalance {
+    Split { region: usize, at: RowKey },
+    Merge { left: usize },
+}
 
 /// A table split into `splits.len() + 1` regions.
 pub struct RegionedTable {
-    /// Sorted split points; region `i` owns `[splits[i-1], splits[i])`.
-    splits: Vec<RowKey>,
-    /// `regions[r][k]` = replica `k` of region `r`; replica 0 is primary.
-    regions: Vec<Vec<Store>>,
-    /// Config the regions were built with (replica growth reuses it).
+    map: RwLock<RegionMap>,
+    /// Config the regions were built with (replica growth and split
+    /// children reuse it).
     config: StoreConfig,
+    /// Online rebalancing policy; default = frozen layout.
+    split_config: SplitConfig,
+    /// Quantile boundaries [`Self::with_user_splits`] dropped because they
+    /// collided (clamping or duplicate ids).
+    collapsed_splits: usize,
     /// Fault hook consulted by [`Self::try_get_row`]; `None` = clean reads.
     fault: RwLock<Option<Arc<dyn FaultHook>>>,
     ops: OpCounters,
@@ -120,10 +215,20 @@ impl RegionedTable {
             }
             regions.push(replicas);
         }
+        let split_origin = vec![false; splits.len()];
+        let pressure = (0..n_regions).map(|_| AtomicU64::new(0)).collect();
         Ok(Self {
-            splits,
-            regions,
+            map: RwLock::new(RegionMap {
+                splits,
+                split_origin,
+                regions,
+                pressure,
+                next_child: 0,
+                epoch: 0,
+            }),
             config,
+            split_config: SplitConfig::default(),
+            collapsed_splits: 0,
             fault: RwLock::new(None),
             ops: OpCounters::default(),
         })
@@ -144,9 +249,32 @@ impl RegionedTable {
         cfg
     }
 
+    /// Store config for replica `k` of split/merge child number `child`.
+    /// Children live beside the original region directories under fresh
+    /// monotone names so a split never reuses (or clobbers) a directory.
+    fn child_config(&self, child: u64, replica: usize) -> StoreConfig {
+        let mut cfg = self.config.clone();
+        if let Some(dir) = &self.config.dir {
+            cfg.dir = Some(if replica == 0 {
+                dir.join(format!("child-{child:06}"))
+            } else {
+                dir.join(format!("child-{child:06}-r{replica}"))
+            });
+        }
+        cfg
+    }
+
     /// A single-region table.
     pub fn single(config: StoreConfig) -> std::io::Result<Self> {
         Self::new(Vec::new(), config)
+    }
+
+    /// Install an online rebalancing policy (see [`SplitConfig`]). The
+    /// layout then evolves at [`Self::tick`] boundaries; without this call
+    /// the constructed split points are frozen forever.
+    pub fn with_rebalancing(mut self, config: SplitConfig) -> Self {
+        self.split_config = config;
+        self
     }
 
     /// A table pre-split into (at most) `n_regions` regions at quantile
@@ -156,16 +284,26 @@ impl RegionedTable {
     /// Table *contents* after identical puts do not depend on the split
     /// points, only the physical sharding does.
     ///
+    /// Boundaries that collide — because `n_regions` exceeds the id count,
+    /// or because duplicate/clustered ids put two quantiles on the same
+    /// key — are dropped rather than constructed twice, and the drop is
+    /// *surfaced*: [`Self::collapsed_split_count`] reports how many
+    /// requested regions were lost, and callers that shard uploads with
+    /// `titant_parallel::chunk_ranges` must chunk by [`Self::region_count`]
+    /// (not by the requested `n_regions`) whenever that count is non-zero,
+    /// or two shards will contend on one region's lock.
+    ///
     /// # Panics
-    /// Panics if `sorted_user_ids` is not strictly increasing.
+    /// Panics if `sorted_user_ids` is not sorted (non-decreasing).
+    /// Duplicate ids are allowed — they collapse boundaries, visibly.
     pub fn with_user_splits(
         sorted_user_ids: &[u64],
         n_regions: usize,
         config: StoreConfig,
     ) -> std::io::Result<Self> {
         assert!(
-            sorted_user_ids.windows(2).all(|w| w[0] < w[1]),
-            "user ids must be sorted and distinct"
+            sorted_user_ids.windows(2).all(|w| w[0] <= w[1]),
+            "user ids must be sorted"
         );
         let n = sorted_user_ids.len();
         let parts = n_regions.max(1).min(n.max(1));
@@ -175,17 +313,39 @@ impl RegionedTable {
             .map(|i| RowKey::from_user(sorted_user_ids[i * n / parts]))
             .collect();
         splits.dedup();
-        Self::new(splits, config)
+        // Count every boundary the caller asked for but did not get: lost
+        // to the `parts` clamp (more regions than ids) or to `dedup`
+        // (duplicate ids made two quantiles coincide).
+        let collapsed = (n_regions.max(1) - 1).saturating_sub(splits.len());
+        let mut table = Self::new(splits, config)?;
+        table.collapsed_splits = collapsed;
+        Ok(table)
+    }
+
+    /// How many of the regions requested from [`Self::with_user_splits`]
+    /// collapsed because their quantile boundaries coincided (duplicate or
+    /// clustered ids) or exceeded the id count. Zero for tables built any
+    /// other way. When non-zero, shard uploads by [`Self::region_count`]
+    /// rather than the requested region count.
+    pub fn collapsed_split_count(&self) -> usize {
+        self.collapsed_splits
     }
 
     /// Number of regions.
     pub fn region_count(&self) -> usize {
-        self.regions.len()
+        self.map.read().regions.len()
     }
 
     /// Read replicas per region (1 = primary only).
     pub fn replica_count(&self) -> usize {
-        self.regions.first().map_or(1, Vec::len)
+        self.map.read().regions.first().map_or(1, Vec::len)
+    }
+
+    /// The current split points (empty for a single region). A snapshot:
+    /// under an active [`SplitConfig`] the layout may change at the next
+    /// [`Self::tick`].
+    pub fn split_points(&self) -> Vec<RowKey> {
+        self.map.read().splits.clone()
     }
 
     /// Install (or clear) the fault hook consulted by [`Self::try_get_row`].
@@ -196,39 +356,52 @@ impl RegionedTable {
     }
 
     /// Grow every region to `n` read replicas, seeding new replicas with a
-    /// full copy of the primary's cells. Never shrinks.
+    /// full copy of the primary's cells applied through one
+    /// [`Store::put_batch`] — one lock acquisition and one WAL frame per
+    /// new replica, however many cells the primary holds. Never shrinks.
     pub fn with_replicas(self, n: usize) -> std::io::Result<Self> {
         let n = n.max(1);
-        let mut regions = self.regions;
-        for (i, replicas) in regions.iter_mut().enumerate() {
+        let mut map = self.map.into_inner();
+        for replicas in map.regions.iter_mut() {
             if replicas.len() >= n {
                 continue;
             }
             let cells = replicas[0].export_cells();
+            let primary_dir = replicas[0].dir().map(std::path::Path::to_path_buf);
             for k in replicas.len()..n {
-                let store = Store::open(Self::replica_config(&self.config, i, k))?;
-                for (key, version, value) in &cells {
-                    match value {
-                        Some(v) => store.put(key.clone(), *version, v.clone())?,
-                        None => store.delete(key.clone(), *version)?,
-                    }
-                }
+                let mut cfg = self.config.clone();
+                cfg.dir = primary_dir.as_ref().map(|d| {
+                    let name = d
+                        .file_name()
+                        .map(|f| f.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    d.with_file_name(format!("{name}-r{k}"))
+                });
+                let store = Store::open(cfg)?;
+                store.put_batch(cells.clone())?;
                 replicas.push(store);
             }
         }
-        Ok(Self { regions, ..self })
+        Ok(Self {
+            map: RwLock::new(map),
+            ..self
+        })
     }
 
-    /// Which region owns a row key.
+    /// Which region owns a row key. A snapshot: under an active
+    /// [`SplitConfig`] the answer may change at the next [`Self::tick`].
     pub fn region_of(&self, row: &RowKey) -> usize {
-        self.splits.partition_point(|s| s <= row)
+        self.map.read().region_of(row)
     }
 
     /// Write a cell to every replica of the owning region (one logical op
     /// in the counters).
     pub fn put(&self, key: CellKey, version: Version, value: Bytes) -> std::io::Result<()> {
         self.ops.puts.fetch_add(1, Ordering::Relaxed);
-        for store in &self.regions[self.region_of(&key.row)] {
+        let map = self.map.read();
+        let region = map.region_of(&key.row);
+        map.bump(region, 1);
+        for store in &map.regions[region] {
             store.put(key.clone(), version, value.clone())?;
         }
         Ok(())
@@ -237,7 +410,10 @@ impl RegionedTable {
     /// Delete a cell on every replica of the owning region.
     pub fn delete(&self, key: CellKey, version: Version) -> std::io::Result<()> {
         self.ops.deletes.fetch_add(1, Ordering::Relaxed);
-        for store in &self.regions[self.region_of(&key.row)] {
+        let map = self.map.read();
+        let region = map.region_of(&key.row);
+        map.bump(region, 1);
+        for store in &map.regions[region] {
             store.delete(key.clone(), version)?;
         }
         Ok(())
@@ -264,17 +440,19 @@ impl RegionedTable {
         self.ops
             .deletes
             .fetch_add(cells.len() as u64 - values, Ordering::Relaxed);
+        let map = self.map.read();
         let mut by_region: Vec<Vec<(CellKey, Version, Option<Bytes>)>> =
-            (0..self.regions.len()).map(|_| Vec::new()).collect();
+            (0..map.regions.len()).map(|_| Vec::new()).collect();
         for cell in cells {
-            by_region[self.region_of(&cell.0.row)].push(cell);
+            by_region[map.region_of(&cell.0.row)].push(cell);
         }
         let mut waited = std::time::Duration::ZERO;
         for (region, batch) in by_region.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            let replicas = &self.regions[region];
+            map.bump(region, batch.len() as u64);
+            let replicas = &map.regions[region];
             // Clone the sub-batch for all but the last replica; `Bytes`
             // values are refcounted so only the keys cost anything.
             for store in &replicas[..replicas.len() - 1] {
@@ -287,25 +465,194 @@ impl RegionedTable {
         Ok(waited)
     }
 
-    /// One deterministic maintenance tick on every replica of every region,
-    /// in fixed order: close open WAL group-commit windows and run at most
-    /// one size-tiered merge per store (see [`Store::tick`]). Returns the
-    /// aggregated report.
-    pub fn tick(&self) -> std::io::Result<crate::store::TickReport> {
-        let mut report = crate::store::TickReport::default();
-        for store in self.regions.iter().flatten() {
-            report.add(&store.tick()?);
+    /// One deterministic maintenance tick, in fixed order: close open WAL
+    /// group-commit windows and run at most one size-tiered merge per store
+    /// (see [`Store::tick`]), then — when a [`SplitConfig`] is active —
+    /// turn the pressure window accumulated since the previous tick into at
+    /// most **one** region split or merge (reported in
+    /// [`TickReport::region_splits`] / [`TickReport::region_merges`]).
+    ///
+    /// Rebalance decisions depend only on the op counters and the tick
+    /// sequence, never on wall clock: identical traffic replays to an
+    /// identical layout history.
+    pub fn tick(&self) -> std::io::Result<TickReport> {
+        let mut report = TickReport::default();
+        let planned = {
+            let map = self.map.read();
+            for store in map.regions.iter().flatten() {
+                report.add(&store.tick()?);
+            }
+            self.plan_rebalance(&map)
+        };
+        if let Some((epoch, action)) = planned {
+            let mut map = self.map.write();
+            // Another tick may have rebalanced between our read and write
+            // acquisitions; the epoch check pins the plan to the layout it
+            // was computed against.
+            if map.epoch == epoch {
+                match action {
+                    Rebalance::Split { region, at } => {
+                        self.split_region(&mut map, region, at)?;
+                        report.region_splits += 1;
+                    }
+                    Rebalance::Merge { left } => {
+                        self.merge_siblings(&mut map, left)?;
+                        report.region_merges += 1;
+                    }
+                }
+            }
         }
         Ok(report)
     }
 
+    /// Read the pressure window (zeroing it) and pick at most one layout
+    /// change: the hottest region at/over the split threshold splits at its
+    /// median resident row (ties break toward the lowest region index);
+    /// failing that, the leftmost split-born boundary with both siblings
+    /// under the merge threshold merges. `None` when rebalancing is
+    /// disabled or nothing qualifies.
+    fn plan_rebalance(&self, map: &RegionMap) -> Option<(u64, Rebalance)> {
+        let threshold = self.split_config.split_threshold?;
+        let window: Vec<u64> = map
+            .pressure
+            .iter()
+            .map(|p| p.swap(0, Ordering::Relaxed))
+            .collect();
+        if map.regions.len() < self.split_config.max_regions {
+            let hottest = (0..window.len()).max_by_key(|&i| (window[i], std::cmp::Reverse(i)))?;
+            if window[hottest] >= threshold {
+                // A region holding fewer than two distinct rows has no
+                // interior point: it stays whole however hot it runs.
+                if let Some(at) = map.regions[hottest][0].median_resident_row() {
+                    return Some((
+                        map.epoch,
+                        Rebalance::Split {
+                            region: hottest,
+                            at,
+                        },
+                    ));
+                }
+            }
+        }
+        if self.split_config.merge_threshold > 0 {
+            for i in 0..map.splits.len() {
+                if map.split_origin[i]
+                    && window[i] < self.split_config.merge_threshold
+                    && window[i + 1] < self.split_config.merge_threshold
+                {
+                    return Some((map.epoch, Rebalance::Merge { left: i }));
+                }
+            }
+        }
+        None
+    }
+
+    /// Split `region` at row `at`: every replica's cells (all versions,
+    /// tombstones included) migrate into two fresh child stores via one
+    /// `put_batch` each, preserving read results byte-for-byte at every
+    /// `as_of`; child runs rebuild their own blooms and bounds on flush.
+    /// The old stores' directories are removed afterwards.
+    fn split_region(&self, map: &mut RegionMap, region: usize, at: RowKey) -> std::io::Result<()> {
+        let left_id = map.next_child;
+        let right_id = map.next_child + 1;
+        map.next_child += 2;
+        let old = std::mem::take(&mut map.regions[region]);
+        let mut left = Vec::with_capacity(old.len());
+        let mut right = Vec::with_capacity(old.len());
+        let mut old_dirs = Vec::new();
+        for (k, store) in old.iter().enumerate() {
+            let (right_cells, left_cells): (Vec<_>, Vec<_>) = store
+                .export_cells()
+                .into_iter()
+                .partition(|(key, _, _)| key.row >= at);
+            let l = Store::open(self.child_config(left_id, k))?;
+            l.put_batch(left_cells)?;
+            let r = Store::open(self.child_config(right_id, k))?;
+            r.put_batch(right_cells)?;
+            if let Some(d) = store.dir() {
+                old_dirs.push(d.to_path_buf());
+            }
+            left.push(l);
+            right.push(r);
+        }
+        drop(old);
+        for d in old_dirs {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        map.regions[region] = left;
+        map.regions.insert(region + 1, right);
+        map.splits.insert(region, at);
+        map.split_origin.insert(region, true);
+        map.pressure.insert(region + 1, AtomicU64::new(0));
+        map.pressure[region].store(0, Ordering::Relaxed);
+        map.epoch += 1;
+        Ok(())
+    }
+
+    /// Merge the split-born siblings on either side of boundary `left`:
+    /// per replica, both exports land in one fresh store via a single
+    /// `put_batch`. The inverse of [`Self::split_region`]; the boundary,
+    /// its origin flag, and one pressure slot disappear.
+    fn merge_siblings(&self, map: &mut RegionMap, left: usize) -> std::io::Result<()> {
+        let merged_id = map.next_child;
+        map.next_child += 1;
+        let right_stores = map.regions.remove(left + 1);
+        let left_stores = std::mem::take(&mut map.regions[left]);
+        let mut merged = Vec::with_capacity(left_stores.len());
+        let mut old_dirs = Vec::new();
+        for (k, (l, r)) in left_stores.iter().zip(right_stores.iter()).enumerate() {
+            let mut cells = l.export_cells();
+            cells.extend(r.export_cells());
+            let m = Store::open(self.child_config(merged_id, k))?;
+            m.put_batch(cells)?;
+            for s in [l, r] {
+                if let Some(d) = s.dir() {
+                    old_dirs.push(d.to_path_buf());
+                }
+            }
+            merged.push(m);
+        }
+        drop(left_stores);
+        drop(right_stores);
+        for d in old_dirs {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        map.regions[left] = merged;
+        map.splits.remove(left);
+        map.split_origin.remove(left);
+        map.pressure.remove(left + 1);
+        map.pressure[left].store(0, Ordering::Relaxed);
+        map.epoch += 1;
+        Ok(())
+    }
+
     /// Aggregate write-path counters across every replica of every region.
-    pub fn write_stats(&self) -> crate::store::WriteStatsSnapshot {
-        let mut out = crate::store::WriteStatsSnapshot::default();
-        for store in self.regions.iter().flatten() {
+    pub fn write_stats(&self) -> WriteStatsSnapshot {
+        let mut out = WriteStatsSnapshot::default();
+        for store in self.map.read().regions.iter().flatten() {
             out.add(&store.write_stats());
         }
         out
+    }
+
+    /// Per-region write-path counters (each summed over the region's
+    /// replicas), in region order. The bench harness uses this to gate the
+    /// hottest region's *share* of lock acquisitions as splits engage.
+    /// Stores born from a split start from zero — the history of the
+    /// parent region stays attributed to the layout that incurred it.
+    pub fn region_write_stats(&self) -> Vec<WriteStatsSnapshot> {
+        self.map
+            .read()
+            .regions
+            .iter()
+            .map(|replicas| {
+                let mut out = WriteStatsSnapshot::default();
+                for store in replicas {
+                    out.add(&store.write_stats());
+                }
+                out
+            })
+            .collect()
     }
 
     /// Read the latest value.
@@ -316,7 +663,10 @@ impl RegionedTable {
     /// Read the latest value at or below a version (primary replica).
     pub fn get_versioned(&self, key: &CellKey, as_of: Version) -> Option<Bytes> {
         self.ops.point_gets.fetch_add(1, Ordering::Relaxed);
-        self.regions[self.region_of(&key.row)][0].get_versioned(key, as_of)
+        let map = self.map.read();
+        let region = map.region_of(&key.row);
+        map.bump(region, 1);
+        map.regions[region][0].get_versioned(key, as_of)
     }
 
     /// Read every live cell of one row at or below a version, in key order.
@@ -326,7 +676,10 @@ impl RegionedTable {
     /// [`Self::try_get_row`].
     pub fn get_row(&self, row: &RowKey, as_of: Version) -> Vec<(CellKey, Bytes)> {
         self.ops.row_gets.fetch_add(1, Ordering::Relaxed);
-        self.regions[self.region_of(row)][0].get_row(row, as_of)
+        let map = self.map.read();
+        let region = map.region_of(row);
+        map.bump(region, 1);
+        map.regions[region][0].get_row(row, as_of)
     }
 
     /// Batched [`Self::get_row`]: group the rows by owning region and read
@@ -338,17 +691,19 @@ impl RegionedTable {
         self.ops
             .row_gets
             .fetch_add(rows.len() as u64, Ordering::Relaxed);
-        let mut by_region: Vec<Vec<usize>> = vec![Vec::new(); self.regions.len()];
+        let map = self.map.read();
+        let mut by_region: Vec<Vec<usize>> = vec![Vec::new(); map.regions.len()];
         for (i, row) in rows.iter().enumerate() {
-            by_region[self.region_of(row)].push(i);
+            by_region[map.region_of(row)].push(i);
         }
         let mut out: Vec<Vec<(CellKey, Bytes)>> = vec![Vec::new(); rows.len()];
         for (region, indices) in by_region.iter().enumerate() {
             if indices.is_empty() {
                 continue;
             }
+            map.bump(region, indices.len() as u64);
             let batch: Vec<&RowKey> = indices.iter().map(|&i| &rows[i]).collect();
-            let results = self.regions[region][0].get_rows(&batch, as_of);
+            let results = map.regions[region][0].get_rows(&batch, as_of);
             for (&i, cells) in indices.iter().zip(results) {
                 out[i] = cells;
             }
@@ -360,31 +715,48 @@ impl RegionedTable {
     /// caller picked. The table routes and injects; the *policy* (retry,
     /// failover, hedge) stays with the caller, which sees exactly which
     /// replica faulted and how much simulated time the attempt consumed.
+    ///
+    /// A replica index that does not exist in the target region fails with
+    /// [`FaultKind::NoSuchReplica`] before touching any store (and before
+    /// counting a read op): pre-fix the index silently wrapped modulo the
+    /// replica count, so a "hedged" read on a single-replica table re-read
+    /// the same primary while the SLO layer counted a real hedge.
     pub fn try_get_row(
         &self,
         row: &RowKey,
         as_of: Version,
         opts: ReadOptions,
     ) -> Result<RowRead, ReadFault> {
+        let map = self.map.read();
+        let region = map.region_of(row);
+        let replicas = &map.regions[region];
+        if opts.replica >= replicas.len() {
+            return Err(ReadFault {
+                kind: FaultKind::NoSuchReplica,
+                region,
+                replica: opts.replica,
+                waited: Duration::ZERO,
+                injected: Duration::ZERO,
+            });
+        }
         self.ops.row_gets.fetch_add(1, Ordering::Relaxed);
-        let region = self.region_of(row);
-        let replica = opts.replica % self.regions[region].len();
+        map.bump(region, 1);
         let hook = self.fault.read().clone();
         let ctx = ReadCtx {
             region,
-            replica,
+            replica: opts.replica,
             row,
             tick: opts.tick,
             attempt: opts.attempt,
         };
-        self.regions[region][replica].try_get_row(row, as_of, hook.as_deref(), &ctx, opts.max_wait)
+        replicas[opts.replica].try_get_row(row, as_of, hook.as_deref(), &ctx, opts.max_wait)
     }
 
     /// Snapshot the lifetime operation counters, folding in the run-level
     /// read stats of every replica of every region.
     pub fn op_counts(&self) -> StoreOpCounts {
         let mut reads = crate::store::ReadStatsSnapshot::default();
-        for store in self.regions.iter().flatten() {
+        for store in self.map.read().regions.iter().flatten() {
             reads.add(&store.read_stats());
         }
         StoreOpCounts {
@@ -402,7 +774,7 @@ impl RegionedTable {
 
     /// Flush every region (all replicas).
     pub fn flush(&self) -> std::io::Result<()> {
-        for r in self.regions.iter().flatten() {
+        for r in self.map.read().regions.iter().flatten() {
             r.flush()?;
         }
         Ok(())
@@ -410,18 +782,32 @@ impl RegionedTable {
 
     /// Compact every region (all replicas).
     pub fn compact(&self) -> std::io::Result<()> {
-        for r in self.regions.iter().flatten() {
+        for r in self.map.read().regions.iter().flatten() {
             r.compact()?;
         }
         Ok(())
     }
 
-    /// Scan rows across regions in key order (primary replicas).
+    /// Scan rows across regions in key order (primary replicas). Routes
+    /// only to the regions whose key range overlaps `[start, end)` — with
+    /// sorted split points that is the contiguous run `lo..=hi` found by
+    /// two binary searches; regions the scan provably misses contribute
+    /// zero work (no store lock, no runs scanned or skipped).
     pub fn scan_rows(&self, start: &RowKey, end: &RowKey) -> Vec<(CellKey, Bytes)> {
         self.ops.scans.fetch_add(1, Ordering::Relaxed);
         let mut out = Vec::new();
-        for r in &self.regions {
-            out.extend(r[0].scan_rows(start, end));
+        if start >= end {
+            return out;
+        }
+        let map = self.map.read();
+        // Region i owns [splits[i-1], splits[i]): the first overlapping
+        // region is the one holding `start`, the last is the one holding
+        // the greatest key below `end`.
+        let lo = map.splits.partition_point(|s| s <= start);
+        let hi = map.splits.partition_point(|s| s < end);
+        for region in lo..=hi {
+            map.bump(region, 1);
+            out.extend(map.regions[region][0].scan_rows(start, end));
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -471,6 +857,7 @@ mod tests {
         let users: Vec<u64> = (0..100).map(|i| i * 7 + 3).collect();
         let t = RegionedTable::with_user_splits(&users, 4, StoreConfig::default()).unwrap();
         assert_eq!(t.region_count(), 4);
+        assert_eq!(t.collapsed_split_count(), 0);
         // Quantile chunks of the sorted id list land in distinct regions,
         // one region per chunk, in order.
         for (chunk, expect_region) in users.chunks(25).zip(0..) {
@@ -513,8 +900,35 @@ mod tests {
     fn more_regions_than_users_collapses_gracefully() {
         let t = RegionedTable::with_user_splits(&[5, 9], 8, StoreConfig::default()).unwrap();
         assert!(t.region_count() <= 2);
+        // The collapse is no longer silent: 8 regions requested, the rest
+        // are accounted for.
+        assert_eq!(t.collapsed_split_count(), 8 - t.region_count());
         let empty = RegionedTable::with_user_splits(&[], 4, StoreConfig::default()).unwrap();
         assert_eq!(empty.region_count(), 1);
+        assert_eq!(empty.collapsed_split_count(), 3);
+    }
+
+    #[test]
+    fn clustered_ids_surface_collapsed_splits() {
+        // Pathological distribution: heavy duplication puts two quantile
+        // boundaries on the same key. Pre-fix this silently dedup'd (and
+        // the strictly-increasing assertion rejected duplicate ids
+        // outright); now the collapse is constructible and visible.
+        let ids = [1, 1, 1, 1, 2, 2, 2, 3];
+        let t = RegionedTable::with_user_splits(&ids, 4, StoreConfig::default()).unwrap();
+        // Boundaries at indices 2, 4, 6 -> ids 1, 2, 2 -> splits [u1, u2].
+        assert_eq!(t.region_count(), 3);
+        assert_eq!(t.collapsed_split_count(), 1);
+        assert_eq!(
+            t.region_count() + t.collapsed_split_count(),
+            4,
+            "every requested region is either real or accounted collapsed"
+        );
+        // Routing still behaves: region_of is monotone over the id space.
+        assert_eq!(t.region_of(&RowKey::from_user(0)), 0);
+        assert_eq!(t.region_of(&RowKey::from_user(1)), 1);
+        assert_eq!(t.region_of(&RowKey::from_user(2)), 2);
+        assert_eq!(t.region_of(&RowKey::from_user(3)), 2);
     }
 
     #[test]
@@ -526,6 +940,41 @@ mod tests {
         let rows = t.scan_rows(&RowKey::from_str("a"), &RowKey::from_str("zz"));
         let keys: Vec<String> = rows.iter().map(|(k, _)| k.row.to_string()).collect();
         assert_eq!(keys, vec!["alpha", "mike", "zulu"]);
+    }
+
+    #[test]
+    fn scan_routes_only_to_overlapping_regions() {
+        let t = table();
+        for row in ["alpha", "mike", "zulu"] {
+            t.put(key(row), 1, Bytes::from_static(b"x")).unwrap();
+        }
+        // One run per region, so any region a scan touches shows up in the
+        // run-level counters (scanned or bounds-skipped).
+        t.flush().unwrap();
+        let before = t.op_counts();
+        let rows = t.scan_rows(&RowKey::from_str("a"), &RowKey::from_str("b"));
+        let delta = t.op_counts().since(&before);
+        assert_eq!(rows.len(), 1);
+        // Only region 0 was visited: one run scanned, and the disjoint
+        // regions contributed zero work — their runs were never even
+        // bounds-checked, so nothing was scanned *or* skipped.
+        assert_eq!(delta.runs_scanned, 1, "only region 0's run is searched");
+        assert_eq!(
+            delta.runs_skipped, 0,
+            "disjoint regions contribute zero work"
+        );
+        // A scan spanning two of the three regions touches exactly two runs.
+        let before = t.op_counts();
+        t.scan_rows(&RowKey::from_str("a"), &RowKey::from_str("n"));
+        let delta = t.op_counts().since(&before);
+        assert_eq!(delta.runs_scanned, 2);
+        assert_eq!(delta.runs_skipped, 0);
+        // An empty range is free.
+        let before = t.op_counts();
+        assert!(t
+            .scan_rows(&RowKey::from_str("q"), &RowKey::from_str("q"))
+            .is_empty());
+        assert_eq!(t.op_counts().since(&before).runs_scanned, 0);
     }
 
     #[test]
@@ -684,6 +1133,7 @@ mod tests {
         }
         let report = t.tick().unwrap();
         assert_eq!(report.compactions, 2, "both regions were over max_runs");
+        assert_eq!(report.region_splits, 0, "rebalancing is off by default");
         assert_eq!(t.tick().unwrap().compactions, 0, "backlog fully drained");
         for v in 0..4u64 {
             assert!(t.get_versioned(&key("alpha"), v).is_some(), "version {v}");
@@ -780,6 +1230,78 @@ mod tests {
     }
 
     #[test]
+    fn with_replicas_seeds_each_replica_in_one_batch() {
+        let t = RegionedTable::single(StoreConfig::default()).unwrap();
+        let n_cells = 40u64;
+        for i in 0..n_cells {
+            t.put(
+                CellKey::new(format!("u{i:03}"), "basic", "v"),
+                1,
+                Bytes::from_static(b"x"),
+            )
+            .unwrap();
+        }
+        let before = t.write_stats().lock_acquisitions;
+        assert_eq!(before, n_cells, "per-cell puts cost one lock each");
+        let t = t.with_replicas(3).unwrap();
+        let seeded = t.write_stats().lock_acquisitions - before;
+        // Seeding 40 cells into each of 2 new replicas must be one
+        // put_batch per replica — pre-fix this was one lock and one WAL
+        // frame *per cell* (80 here), the exact pathology the batched
+        // upload path was built to avoid.
+        assert_eq!(seeded, 2, "one lock acquisition per new replica");
+        // And the copies are complete.
+        for i in 0..n_cells {
+            let read = t
+                .try_get_row(
+                    &RowKey::from_str(&format!("u{i:03}")),
+                    u64::MAX,
+                    crate::fault::ReadOptions {
+                        replica: 2,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(read.cells.len(), 1);
+        }
+    }
+
+    #[test]
+    fn out_of_range_replica_is_a_typed_fault_not_a_wrap() {
+        let t = RegionedTable::single(StoreConfig::default()).unwrap();
+        t.put(key("sam"), 1, Bytes::from_static(b"v")).unwrap();
+        let before = t.op_counts();
+        // Pre-fix: replica 1 % 1 == 0 silently re-read the primary and the
+        // caller believed it had hedged onto different hardware.
+        let err = t
+            .try_get_row(
+                &RowKey::from_str("sam"),
+                u64::MAX,
+                crate::fault::ReadOptions {
+                    replica: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind, FaultKind::NoSuchReplica);
+        assert_eq!(
+            err.replica, 1,
+            "the fault names the replica that is missing"
+        );
+        assert_eq!(err.waited, Duration::ZERO);
+        let delta = t.op_counts().since(&before);
+        assert_eq!(delta.row_gets, 0, "no store was touched, no op is counted");
+        // In-range replicas still serve.
+        assert!(t
+            .try_get_row(
+                &RowKey::from_str("sam"),
+                u64::MAX,
+                crate::fault::ReadOptions::default(),
+            )
+            .is_ok());
+    }
+
+    #[test]
     fn unavailable_primary_fails_over_to_a_replica() {
         use crate::fault::{FaultKind, FaultPlan, FaultPlanConfig, ReadOptions, UnavailableWindow};
         let t = RegionedTable::single(StoreConfig {
@@ -854,5 +1376,295 @@ mod tests {
             StoreConfig::default(),
         )
         .unwrap();
+    }
+
+    // ---- online split / merge ------------------------------------------
+
+    fn rebalancing(split_at: u64, merge_at: u64) -> SplitConfig {
+        SplitConfig {
+            split_threshold: Some(split_at),
+            merge_threshold: merge_at,
+            max_regions: 64,
+        }
+    }
+
+    fn seed_users(t: &RegionedTable, n: u64) {
+        for u in 0..n {
+            t.put(
+                CellKey::new(RowKey::from_user(u).to_string(), "basic", "v"),
+                1,
+                Bytes::from(u.to_le_bytes().to_vec()),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn hot_region_splits_at_its_median_and_reads_survive() {
+        let t = RegionedTable::single(StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(rebalancing(10, 0));
+        seed_users(&t, 16);
+        let lo = RowKey::from_str("");
+        let hi = RowKey::from_str("v");
+        let before_scan = t.scan_rows(&lo, &hi);
+        // Seeding alone (16 puts) crossed the threshold.
+        let report = t.tick().unwrap();
+        assert_eq!(report.region_splits, 1);
+        assert_eq!(t.region_count(), 2);
+        let splits = t.split_points();
+        assert_eq!(splits, vec![RowKey::from_user(8)], "split at the median");
+        // Routing honours the new boundary…
+        assert_eq!(t.region_of(&RowKey::from_user(7)), 0);
+        assert_eq!(t.region_of(&RowKey::from_user(8)), 1);
+        // …and every read is byte-identical across the split.
+        assert_eq!(t.scan_rows(&lo, &hi), before_scan);
+        for u in 0..16 {
+            let row = RowKey::from_user(u);
+            let cells = t.get_row(&row, u64::MAX);
+            assert_eq!(cells.len(), 1, "u{u}");
+            assert_eq!(cells[0].1.as_ref(), &u.to_le_bytes(), "u{u}");
+        }
+    }
+
+    #[test]
+    fn at_most_one_split_per_tick_and_max_regions_caps_growth() {
+        let t = RegionedTable::single(StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(SplitConfig {
+                split_threshold: Some(1),
+                merge_threshold: 0,
+                max_regions: 3,
+            });
+        seed_users(&t, 32);
+        assert_eq!(t.tick().unwrap().region_splits, 1);
+        assert_eq!(t.region_count(), 2, "one split per tick, however hot");
+        // Keep the pressure on: reads count too.
+        for u in 0..32 {
+            t.get_row(&RowKey::from_user(u), u64::MAX);
+        }
+        assert_eq!(t.tick().unwrap().region_splits, 1);
+        assert_eq!(t.region_count(), 3);
+        for u in 0..32 {
+            t.get_row(&RowKey::from_user(u), u64::MAX);
+        }
+        let report = t.tick().unwrap();
+        assert_eq!(report.region_splits, 0, "max_regions caps growth");
+        assert_eq!(t.region_count(), 3);
+    }
+
+    #[test]
+    fn cold_split_siblings_merge_back_but_constructed_boundaries_never_do() {
+        // One constructed boundary at "m"; rebalancing enabled.
+        let t = RegionedTable::new(vec![RowKey::from_str("m")], StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(rebalancing(10, 5));
+        seed_users(&t, 16); // all user rows sort below "m" -> region 0 is hot
+        assert_eq!(t.tick().unwrap().region_splits, 1);
+        assert_eq!(t.region_count(), 3);
+        let lo = RowKey::from_str("");
+        let hi = RowKey::from_str("z");
+        let before_scan = t.scan_rows(&lo, &hi);
+        // Let the split siblings go cold (the scan above bumped pressure
+        // by one per region — still below the merge threshold of 5).
+        let report = t.tick().unwrap();
+        assert_eq!(report.region_merges, 1, "cold siblings merge");
+        assert_eq!(t.region_count(), 2);
+        assert_eq!(
+            t.split_points(),
+            vec![RowKey::from_str("m")],
+            "the constructed boundary is the one that survives"
+        );
+        // Contents are unchanged by the round trip.
+        assert_eq!(t.scan_rows(&lo, &hi), before_scan);
+        // And with everything cold, no further merges are possible.
+        assert_eq!(t.tick().unwrap().region_merges, 0);
+    }
+
+    #[test]
+    fn split_preserves_replica_fanout() {
+        let t = RegionedTable::single(StoreConfig {
+            replicas: 2,
+            ..Default::default()
+        })
+        .unwrap()
+        .with_rebalancing(rebalancing(8, 0));
+        seed_users(&t, 12);
+        assert_eq!(t.tick().unwrap().region_splits, 1);
+        assert_eq!(t.region_count(), 2);
+        assert_eq!(t.replica_count(), 2, "children inherit the replica count");
+        // Both replicas of both children serve the migrated rows…
+        for u in [0u64, 11] {
+            for replica in 0..2 {
+                let read = t
+                    .try_get_row(
+                        &RowKey::from_user(u),
+                        u64::MAX,
+                        crate::fault::ReadOptions {
+                            replica,
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                assert_eq!(read.cells.len(), 1, "u{u} replica {replica}");
+            }
+        }
+        // …and post-split writes keep fanning out to every replica.
+        t.put(
+            CellKey::new(RowKey::from_user(11).to_string(), "basic", "v"),
+            2,
+            Bytes::from_static(b"new"),
+        )
+        .unwrap();
+        for replica in 0..2 {
+            let read = t
+                .try_get_row(
+                    &RowKey::from_user(11),
+                    u64::MAX,
+                    crate::fault::ReadOptions {
+                        replica,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(read.cells[0].1.as_ref(), b"new", "replica {replica}");
+        }
+    }
+
+    #[test]
+    fn split_migrates_every_version_and_tombstone() {
+        let t = RegionedTable::single(StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(rebalancing(4, 0));
+        // Multi-version history on both sides of the eventual median, part
+        // of it flushed into runs, plus a tombstone.
+        for u in 0..8u64 {
+            for v in 1..=3u64 {
+                t.put(
+                    CellKey::new(RowKey::from_user(u).to_string(), "basic", "v"),
+                    v,
+                    Bytes::from(format!("u{u}v{v}")),
+                )
+                .unwrap();
+            }
+        }
+        t.flush().unwrap();
+        t.delete(
+            CellKey::new(RowKey::from_user(6).to_string(), "basic", "v"),
+            4,
+        )
+        .unwrap();
+        let reference: Vec<_> = (1..=5u64)
+            .map(|as_of| {
+                (0..8u64)
+                    .map(|u| t.get_row(&RowKey::from_user(u), as_of))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(t.tick().unwrap().region_splits, 1);
+        for (i, as_of) in (1..=5u64).enumerate() {
+            for u in 0..8u64 {
+                assert_eq!(
+                    t.get_row(&RowKey::from_user(u), as_of),
+                    reference[i][u as usize],
+                    "u{u} as_of {as_of}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_decisions_replay_identically() {
+        let drive = |t: &RegionedTable| -> Vec<Vec<RowKey>> {
+            let mut layouts = Vec::new();
+            for round in 0..6u64 {
+                for u in 0..24u64 {
+                    t.put(
+                        CellKey::new(RowKey::from_user(u).to_string(), "basic", "v"),
+                        round + 1,
+                        Bytes::from(u.to_le_bytes().to_vec()),
+                    )
+                    .unwrap();
+                }
+                for u in 0..8u64 {
+                    t.get_row(&RowKey::from_user(u), u64::MAX);
+                }
+                t.tick().unwrap();
+                layouts.push(t.split_points());
+            }
+            layouts
+        };
+        let a = RegionedTable::single(StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(rebalancing(16, 4));
+        let b = RegionedTable::single(StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(rebalancing(16, 4));
+        let la = drive(&a);
+        let lb = drive(&b);
+        assert_eq!(la, lb, "identical traffic must yield identical layouts");
+        assert!(
+            !la.last().unwrap().is_empty(),
+            "the workload actually split (non-vacuous)"
+        );
+    }
+
+    #[test]
+    fn frozen_layout_without_split_config_despite_heavy_traffic() {
+        let t = table(); // default SplitConfig: rebalancing disabled
+        for _ in 0..3 {
+            seed_users(&t, 64);
+            let report = t.tick().unwrap();
+            assert_eq!(report.region_splits, 0);
+            assert_eq!(report.region_merges, 0);
+        }
+        assert_eq!(t.region_count(), 3, "layout frozen exactly as constructed");
+        assert_eq!(
+            t.split_points(),
+            vec![RowKey::from_str("m"), RowKey::from_str("t")]
+        );
+    }
+
+    #[test]
+    fn single_row_region_never_splits() {
+        let t = RegionedTable::single(StoreConfig::default())
+            .unwrap()
+            .with_rebalancing(rebalancing(2, 0));
+        // One row, hammered far past the threshold: no interior point, no
+        // split, and no panic.
+        for v in 1..=32u64 {
+            t.put(key("solo"), v, Bytes::from_static(b"x")).unwrap();
+        }
+        let report = t.tick().unwrap();
+        assert_eq!(report.region_splits, 0);
+        assert_eq!(t.region_count(), 1);
+    }
+
+    #[test]
+    fn on_disk_split_survives_and_cleans_up_parent_dirs() {
+        let dir = std::env::temp_dir().join(format!("titant-split-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let t = RegionedTable::single(StoreConfig {
+            dir: Some(dir.clone()),
+            ..Default::default()
+        })
+        .unwrap()
+        .with_rebalancing(rebalancing(8, 0));
+        seed_users(&t, 12);
+        t.flush().unwrap();
+        assert_eq!(t.tick().unwrap().region_splits, 1);
+        // The parent region's directory is gone; two children exist.
+        assert!(!dir.join("region-0000").exists(), "parent dir removed");
+        assert!(dir.join("child-000000").exists());
+        assert!(dir.join("child-000001").exists());
+        for u in 0..12 {
+            assert_eq!(
+                t.get_row(&RowKey::from_user(u), u64::MAX).len(),
+                1,
+                "u{u} readable from its child region"
+            );
+        }
+        drop(t);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

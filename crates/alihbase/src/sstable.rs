@@ -103,6 +103,17 @@ impl SsTable {
         }
     }
 
+    /// True when the run's [min, max] row bounds intersect the scan range
+    /// `[start, end)`. Never a false negative: `false` guarantees no row of
+    /// this run falls inside the range, so a scan can skip it outright.
+    pub fn overlaps(&self, start: &RowKey, end: &RowKey) -> bool {
+        let (Some((first, _)), Some((last, _))) = (self.entries.first(), self.entries.last())
+        else {
+            return false;
+        };
+        last.row >= *start && first.row < *end
+    }
+
     /// Number of stored cells (all versions).
     pub fn len(&self) -> usize {
         self.entries.len()

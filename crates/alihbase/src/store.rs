@@ -189,6 +189,12 @@ pub struct TickReport {
     pub runs_merged: u64,
     /// Stores whose WAL had a pending group-commit window synced.
     pub wal_synced: u64,
+    /// Regions split by [`crate::RegionedTable::tick`] (a single store
+    /// never splits; at most 1 per table tick).
+    pub region_splits: u64,
+    /// Cold sibling pairs merged by [`crate::RegionedTable::tick`] (at
+    /// most 1 per table tick).
+    pub region_merges: u64,
 }
 
 impl TickReport {
@@ -197,6 +203,8 @@ impl TickReport {
         self.compactions += other.compactions;
         self.runs_merged += other.runs_merged;
         self.wal_synced += other.wal_synced;
+        self.region_splits += other.region_splits;
+        self.region_merges += other.region_merges;
     }
 }
 
@@ -569,6 +577,35 @@ impl Store {
         Ok(RowRead { cells, waited })
     }
 
+    /// The store's on-disk directory, when one is configured.
+    pub fn dir(&self) -> Option<&std::path::Path> {
+        self.config.dir.as_deref()
+    }
+
+    /// The median resident row key: collect every distinct row key across
+    /// the memtable and all runs, sort, and return the middle element.
+    /// `None` when fewer than two distinct rows are resident — a region
+    /// with one row (or none) has no interior point to split at. The
+    /// returned key is always a resident row strictly greater than the
+    /// smallest resident row, so splitting at it leaves both sides
+    /// non-empty. A pure function of store contents: identical stores
+    /// yield identical medians.
+    pub fn median_resident_row(&self) -> Option<crate::types::RowKey> {
+        let inner = self.inner.read();
+        let mut rows: std::collections::BTreeSet<&crate::types::RowKey> =
+            inner.memtable.iter().map(|(k, _)| &k.row).collect();
+        rows.extend(
+            inner
+                .runs
+                .iter()
+                .flat_map(|r| r.iter().map(|(k, _)| &k.row)),
+        );
+        if rows.len() < 2 {
+            return None;
+        }
+        rows.iter().nth(rows.len() / 2).map(|r| (*r).clone())
+    }
+
     /// Export every cell (all versions, tombstones included) — the bulk
     /// copy that seeds a fresh read replica from the primary.
     pub fn export_cells(&self) -> Vec<(CellKey, Version, Option<Bytes>)> {
@@ -742,7 +779,10 @@ impl Store {
     }
 
     /// Scan all live cells (latest non-tombstone version per key) in key
-    /// order within `[start, end)` row-key bounds.
+    /// order within `[start, end)` row-key bounds. Runs whose [min, max]
+    /// bounds provably miss the range are skipped (counted in
+    /// `runs_skipped`); runs actually walked count in `runs_scanned`, so
+    /// scan *work* is auditable the same way point/row reads are.
     pub fn scan_rows(
         &self,
         start: &crate::types::RowKey,
@@ -767,11 +807,24 @@ impl Store {
                 consider(k, c);
             }
         }
+        let mut scanned = 0u64;
+        let mut skipped = 0u64;
         for run in &inner.runs {
+            if !run.overlaps(start, end) {
+                skipped += 1;
+                continue;
+            }
+            scanned += 1;
             for (k, c) in run.iter() {
                 consider(k, c);
             }
         }
+        self.stats
+            .runs_scanned
+            .fetch_add(scanned, Ordering::Relaxed);
+        self.stats
+            .runs_skipped
+            .fetch_add(skipped, Ordering::Relaxed);
         latest
             .into_iter()
             .filter_map(|(k, c)| c.value.map(|v| (k, v)))

@@ -1,0 +1,569 @@
+//! **Serving million** — dynamic region splitting under skewed traffic at
+//! population scale: ≥1M distinct users uploaded, then a Zipf-hot mixed
+//! score/ingest stream (with a mid-stream flash event) driven through a
+//! Model Server over three tables built from the identical workload:
+//!
+//! * **frozen** — 8 quantile regions, splitting disabled (the seed layout);
+//! * **dynamic** — same 8 regions plus an active [`SplitConfig`], so ticks
+//!   keep splitting whichever region's pressure window crosses the
+//!   threshold at its median resident row;
+//! * **dynamic re-run** — a from-scratch repeat of the dynamic build, the
+//!   determinism control.
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin serving_million            # 1M users
+//! cargo run --release -p titant-bench --bin serving_million -- --quick # 128k users
+//! ```
+//!
+//! Traffic alternates a scoring phase (reads accumulate per-region
+//! pressure) and an ingest phase of **single-delta** `ingest_update`
+//! calls — one store-lock acquisition each, so per-region lock counts
+//! track per-region traffic and the post-ingest ticks see the scoring
+//! phase's pressure window. The gate asserts:
+//!
+//! * **splitting engages** — the dynamic table splits several times and
+//!   ends with more regions than it started with; the frozen table never
+//!   moves;
+//! * **the hot spot disperses** — the hottest region's share of ingest
+//!   lock acquisitions drops ≥4× on the dynamic table vs the frozen one;
+//! * **reads are unchanged** — frozen and dynamic probabilities are
+//!   bit-identical for every one of the hundreds of thousands of scores;
+//! * **replays are exact** — the re-run reproduces the same split layout
+//!   and the same score bits;
+//! * **worker counts are invisible** — 1-worker and 3-worker pools over
+//!   the split table produce the synchronous score map;
+//! * **scan work stays flat** — p99 runs-scanned per request on the split
+//!   layout does not exceed the frozen layout's by more than a hair.
+//!
+//! Writes `BENCH_serving_million.json`. Exits nonzero when any gate fails.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+use titant_alihbase::{RegionedTable, SplitConfig, StoreConfig};
+use titant_bench::harness;
+use titant_datagen::{FlashEvent, TrafficConfig, TrafficGen};
+use titant_models::{Dataset, GbdtConfig};
+use titant_modelserver::{
+    FeatureCodec, FeatureDelta, FeatureLayout, ModelFile, ModelServer, ScoreRequest, ServableModel,
+    SloConfig, UserFeatures,
+};
+
+/// Regions the tables start with; the dynamic one may grow to
+/// [`MAX_REGIONS`].
+const N_REGIONS: usize = 8;
+const MAX_REGIONS: usize = 32;
+/// Popularity blocks of the Zipf traffic (hot block 0 sits inside frozen
+/// region 0, so the seed layout concentrates both reads and ingest there).
+const N_BLOCKS: u64 = 64;
+/// Version of the bulk upload; stream deltas version monotonically above.
+const UPLOAD_VERSION: u64 = 1;
+/// Users per `put_rows` upload batch.
+const UPLOAD_BATCH: u64 = 4_096;
+
+struct Sizes {
+    n_users: u64,
+    /// Events per round: one scoring phase then one ingest phase.
+    round_events: u64,
+    warmup_rounds: u64,
+    measure_rounds: u64,
+    pool_requests: usize,
+}
+
+fn sizes(quick: bool) -> Sizes {
+    if quick {
+        Sizes {
+            n_users: 1 << 17,
+            round_events: 1_024,
+            warmup_rounds: 20,
+            measure_rounds: 6,
+            pool_requests: 2_048,
+        }
+    } else {
+        Sizes {
+            n_users: 1 << 20,
+            round_events: 4_096,
+            warmup_rounds: 28,
+            measure_rounds: 8,
+            pool_requests: 4_096,
+        }
+    }
+}
+
+/// Minimal serving layout: one payer feature, one receiver feature, one
+/// context value, no embedding — two cells per user, so a million-user
+/// upload stays cheap while the region machinery sees real row keys.
+fn layout() -> FeatureLayout {
+    FeatureLayout {
+        n_basic: 3,
+        payer_slots: vec![0],
+        receiver_slots: vec![1],
+        context_slots: vec![2],
+        embedding_dim: 0,
+    }
+}
+
+fn codec() -> FeatureCodec {
+    FeatureCodec {
+        embedding_dim: 0,
+        payer_width: 1,
+        receiver_width: 1,
+    }
+}
+
+/// Tiny deterministic GBDT over the 3-wide layout: fraud tracks the
+/// context value.
+fn model() -> ModelFile {
+    let mut d = Dataset::new(3);
+    let mut state = 5u64;
+    let mut rand01 = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f32 / (1u64 << 31) as f32
+    };
+    for _ in 0..300 {
+        let row = [rand01(), rand01(), rand01()];
+        let label = (row[2] > 0.5) as u8 as f32;
+        d.push_row(&row, label);
+    }
+    let gbdt = GbdtConfig {
+        n_trees: 16,
+        subsample: 1.0,
+        colsample: 1.0,
+        ..Default::default()
+    }
+    .fit(&d);
+    ModelFile {
+        version: 20170410,
+        alert_threshold: 0.5,
+        n_features: 3,
+        model: ServableModel::Gbdt(gbdt),
+    }
+}
+
+fn features_of(user: u64) -> UserFeatures {
+    UserFeatures {
+        payer_side: vec![(user % 97) as f32 / 97.0],
+        receiver_side: vec![(user % 89) as f32 / 89.0],
+        embedding: Vec::new(),
+    }
+}
+
+/// The shared traffic stream: Zipf-hot transferors AND transferees (two
+/// skewed draws per event keep region pressure proportional to popularity
+/// alone), plus a flash burst on a previously cold block during the warmup
+/// rounds — the layout has to chase a hot spot that moves.
+fn traffic(s: &Sizes) -> TrafficGen {
+    TrafficGen::new(TrafficConfig {
+        n_users: s.n_users,
+        n_blocks: N_BLOCKS,
+        zipf_s: 1.2,
+        // Event `i` consumes draw indices 2i and 2i+1, hence the window in
+        // draw space: score rounds 8..12.
+        flash: Some(FlashEvent {
+            block: 40,
+            from_event: 16 * s.round_events,
+            to_event: 24 * s.round_events,
+            boost: 80.0,
+        }),
+        seed: 0x7174_616e,
+    })
+}
+
+fn request(gen: &TrafficGen, n_users: u64, i: u64, tx_id: u64) -> ScoreRequest {
+    let transferor = gen.user_at(2 * i);
+    let mut transferee = gen.user_at(2 * i + 1);
+    if transferee == transferor {
+        transferee = (transferee + 1) % n_users;
+    }
+    ScoreRequest {
+        tx_id,
+        transferor,
+        transferee,
+        context: vec![(i * 17 % 997) as f32 / 997.0],
+    }
+}
+
+fn delta_value(i: u64) -> f32 {
+    (i * 31 % 1_009) as f32 / 1_009.0
+}
+
+/// One full workload pass over a fresh table. `split_config` = `None`
+/// freezes the seed layout; `Some` lets ticks rebalance it.
+struct Outcome {
+    score_bits: Vec<u32>,
+    splits: u64,
+    merges: u64,
+    regions_end: usize,
+    split_points: Vec<String>,
+    /// Mean over layout-stable measurement rounds of the hottest region's
+    /// share of ingest lock acquisitions.
+    hottest_lock_share: f64,
+    kept_rounds: u64,
+    p99_runs_scanned: u64,
+    mean_runs_scanned: f64,
+    upload_ms: f64,
+    traffic_ms: f64,
+    table: Arc<RegionedTable>,
+    server: ModelServer,
+}
+
+fn run_workload(s: &Sizes, gen: &TrafficGen, split_config: Option<SplitConfig>) -> Outcome {
+    let ids: Vec<u64> = (0..s.n_users).collect();
+    let mut table = RegionedTable::with_user_splits(&ids, N_REGIONS, StoreConfig::default())
+        .expect("in-memory table");
+    if let Some(cfg) = split_config {
+        table = table.with_rebalancing(cfg);
+    }
+    let table = Arc::new(table);
+    let server = ModelServer::with_options(
+        Arc::clone(&table),
+        layout(),
+        model(),
+        SloConfig::default(),
+        None,
+    )
+    .expect("layout matches the model");
+    let c = codec();
+
+    // Bulk upload: every user once, batched so each put_rows call costs one
+    // lock acquisition per owning region, then settle with a flush + tick.
+    let start = Instant::now();
+    let mut batch = Vec::with_capacity(2 * UPLOAD_BATCH as usize);
+    for user in 0..s.n_users {
+        batch.extend(c.encode_user(user, &features_of(user), UPLOAD_VERSION));
+        if user % UPLOAD_BATCH == UPLOAD_BATCH - 1 {
+            table.put_rows(std::mem::take(&mut batch)).expect("upload");
+        }
+    }
+    if !batch.is_empty() {
+        table.put_rows(batch).expect("upload");
+    }
+    table.flush().expect("flush upload");
+    let settle = table.tick().expect("settle tick");
+    let upload_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut splits = settle.region_splits;
+    let mut merges = settle.region_merges;
+
+    let rounds = s.warmup_rounds + s.measure_rounds;
+    let k = s.round_events;
+    let mut score_bits = Vec::with_capacity((rounds * k) as usize);
+    let mut scan_samples: Vec<u64> = Vec::with_capacity((s.measure_rounds * k) as usize);
+    let mut kept_rounds = 0u64;
+    let mut share_sum = 0.0f64;
+    let start = Instant::now();
+    for round in 0..rounds {
+        let measuring = round >= s.warmup_rounds;
+        // Scoring phase: reads accumulate per-region pressure (no ticks).
+        let mut ingest_users = Vec::with_capacity(k as usize);
+        for j in 0..k {
+            let i = round * k + j;
+            let req = request(gen, s.n_users, i, i);
+            ingest_users.push((i, req.transferor));
+            if measuring {
+                let before = table.op_counts();
+                let resp = server.score(&req).expect("clean table scores");
+                scan_samples.push(table.op_counts().since(&before).runs_scanned);
+                score_bits.push(resp.probability.to_bits());
+            } else {
+                let resp = server.score(&req).expect("clean table scores");
+                score_bits.push(resp.probability.to_bits());
+            }
+        }
+        // Ingest phase: one single-delta call per event. The first tick of
+        // the phase sees the whole scoring window, so this is where splits
+        // land; the remaining ticks see near-empty windows.
+        let layout_before = table.split_points();
+        let stats_before = table.region_write_stats();
+        for &(i, user) in &ingest_users {
+            let delta = FeatureDelta {
+                user,
+                payer: vec![(0, delta_value(i))],
+                receiver: Vec::new(),
+                embedding: Vec::new(),
+            };
+            let report = server
+                .ingest_update(&[delta], UPLOAD_VERSION + 1 + i)
+                .expect("clean ingest");
+            splits += report.region_splits;
+            merges += report.region_merges;
+        }
+        // Per-region lock deltas only line up while the layout holds still;
+        // a round that split mid-measurement is dropped from the share.
+        if measuring && table.split_points() == layout_before {
+            let locks: Vec<u64> = table
+                .region_write_stats()
+                .iter()
+                .zip(&stats_before)
+                .map(|(after, before)| after.since(before).lock_acquisitions)
+                .collect();
+            let total: u64 = locks.iter().sum();
+            if total > 0 {
+                share_sum += locks.iter().copied().max().unwrap_or(0) as f64 / total as f64;
+                kept_rounds += 1;
+            }
+        }
+    }
+    let traffic_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    scan_samples.sort_unstable();
+    let p99_runs_scanned =
+        scan_samples[(scan_samples.len() * 99 / 100).min(scan_samples.len() - 1)];
+    let mean_runs_scanned =
+        scan_samples.iter().sum::<u64>() as f64 / scan_samples.len().max(1) as f64;
+    Outcome {
+        score_bits,
+        splits,
+        merges,
+        regions_end: table.region_count(),
+        split_points: table
+            .split_points()
+            .iter()
+            .map(|p| format!("{p:?}"))
+            .collect(),
+        hottest_lock_share: share_sum / kept_rounds.max(1) as f64,
+        kept_rounds,
+        p99_runs_scanned,
+        mean_runs_scanned,
+        upload_ms,
+        traffic_ms,
+        table,
+        server,
+    }
+}
+
+/// Score the stream through a pool and return tx_id-ordered probability
+/// bits — must be invariant under the worker count.
+fn pool_score_map(server: &ModelServer, stream: &[ScoreRequest], workers: usize) -> Vec<u32> {
+    let out = Arc::new(std::sync::Mutex::new(vec![0u32; stream.len()]));
+    let out2 = Arc::clone(&out);
+    let pool = server.serve_pool(
+        workers,
+        move |resp| {
+            out2.lock().expect("no panics in callbacks")[resp.tx_id as usize] =
+                resp.probability.to_bits();
+        },
+        |err| panic!("unexpected serve error: {err}"),
+    );
+    for req in stream {
+        pool.send(req.clone()).expect("pool accepts while running");
+    }
+    pool.shutdown();
+    Arc::try_unwrap(out)
+        .expect("pool joined")
+        .into_inner()
+        .expect("lock unpoisoned")
+}
+
+#[derive(Serialize)]
+struct TableReport {
+    label: String,
+    splits: u64,
+    merges: u64,
+    regions_end: usize,
+    hottest_lock_share: f64,
+    kept_measure_rounds: u64,
+    p99_runs_scanned: u64,
+    mean_runs_scanned: f64,
+    upload_ms: f64,
+    traffic_ms: f64,
+}
+
+impl TableReport {
+    fn new(label: &str, o: &Outcome) -> TableReport {
+        TableReport {
+            label: label.into(),
+            splits: o.splits,
+            merges: o.merges,
+            regions_end: o.regions_end,
+            hottest_lock_share: o.hottest_lock_share,
+            kept_measure_rounds: o.kept_rounds,
+            p99_runs_scanned: o.p99_runs_scanned,
+            mean_runs_scanned: o.mean_runs_scanned,
+            upload_ms: o.upload_ms,
+            traffic_ms: o.traffic_ms,
+        }
+    }
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    n_users: u64,
+    n_score_events: u64,
+    split_threshold: u64,
+    tables: Vec<TableReport>,
+    lock_share_drop: f64,
+    final_split_points: Vec<String>,
+    splitting_engaged: bool,
+    frozen_stayed_frozen: bool,
+    scores_match_frozen: bool,
+    rerun_identical: bool,
+    workers_identical: bool,
+    scan_work_flat: bool,
+    lock_share_dispersed: bool,
+    pass: bool,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let s = sizes(quick);
+    let rounds = s.warmup_rounds + s.measure_rounds;
+    eprintln!(
+        "serving million ({} mode): {} users, {} regions seed, {} rounds x {} events",
+        if quick { "quick" } else { "full" },
+        s.n_users,
+        N_REGIONS,
+        rounds,
+        s.round_events,
+    );
+    let gen = traffic(&s);
+    // The split threshold sits against the per-round pressure window: a
+    // round accumulates ~2 read bumps per event, so a region attracting a
+    // quarter-window of traffic (~12% of the stream) keeps fracturing.
+    let split_config = SplitConfig {
+        split_threshold: Some(s.round_events / 4),
+        // Merging is driven by its own hysteresis; this bench pins the
+        // dispersal direction, so cold siblings stay put.
+        merge_threshold: 0,
+        max_regions: MAX_REGIONS,
+    };
+
+    let frozen = run_workload(&s, &gen, None);
+    eprintln!(
+        "  frozen : regions={} splits={} hottest lock share={:.3} p99 runs/req={}",
+        frozen.regions_end, frozen.splits, frozen.hottest_lock_share, frozen.p99_runs_scanned
+    );
+    let dynamic = run_workload(&s, &gen, Some(split_config.clone()));
+    eprintln!(
+        "  dynamic: regions={} splits={} merges={} hottest lock share={:.3} p99 runs/req={}",
+        dynamic.regions_end,
+        dynamic.splits,
+        dynamic.merges,
+        dynamic.hottest_lock_share,
+        dynamic.p99_runs_scanned
+    );
+    let rerun = run_workload(&s, &gen, Some(split_config));
+
+    let mut pass = true;
+
+    // Gate (a): splitting engaged on the dynamic table and only there.
+    let splitting_engaged = dynamic.splits >= 5 && dynamic.regions_end > N_REGIONS;
+    if !splitting_engaged {
+        eprintln!(
+            "FAIL: splitting never engaged (splits={}, regions={})",
+            dynamic.splits, dynamic.regions_end
+        );
+    }
+    let frozen_stayed_frozen = frozen.splits == 0 && frozen.regions_end == N_REGIONS;
+    if !frozen_stayed_frozen {
+        eprintln!("FAIL: the frozen layout moved");
+    }
+    pass &= splitting_engaged && frozen_stayed_frozen;
+
+    // Gate (b): the hottest region's lock-acquisition share drops ≥4×.
+    let lock_share_drop = frozen.hottest_lock_share / dynamic.hottest_lock_share.max(1e-9);
+    let lock_share_dispersed =
+        frozen.kept_rounds > 0 && dynamic.kept_rounds > 0 && lock_share_drop >= 4.0;
+    if !lock_share_dispersed {
+        eprintln!(
+            "FAIL: hottest lock share {:.3} -> {:.3} (drop {:.2}x < 4x, kept rounds {}/{})",
+            frozen.hottest_lock_share,
+            dynamic.hottest_lock_share,
+            lock_share_drop,
+            frozen.kept_rounds,
+            dynamic.kept_rounds
+        );
+    }
+    pass &= lock_share_dispersed;
+
+    // Gate (c): layout churn is invisible in the scores.
+    let scores_match_frozen = frozen.score_bits == dynamic.score_bits;
+    if !scores_match_frozen {
+        eprintln!("FAIL: frozen and dynamic probabilities diverged");
+    }
+    pass &= scores_match_frozen;
+
+    // Gate (d): a from-scratch re-run replays the same splits and scores.
+    let rerun_identical = rerun.score_bits == dynamic.score_bits
+        && rerun.split_points == dynamic.split_points
+        && rerun.splits == dynamic.splits;
+    if !rerun_identical {
+        eprintln!(
+            "FAIL: re-run diverged (splits {} vs {}, layouts equal: {})",
+            rerun.splits,
+            dynamic.splits,
+            rerun.split_points == dynamic.split_points
+        );
+    }
+    pass &= rerun_identical;
+
+    // Gate (e): p99 scan work per request stays flat across the split
+    // layout (children are compacted like any store; a read still lands in
+    // exactly one region).
+    let scan_work_flat = dynamic.p99_runs_scanned <= frozen.p99_runs_scanned + 2;
+    if !scan_work_flat {
+        eprintln!(
+            "FAIL: p99 runs scanned per request grew {} -> {}",
+            frozen.p99_runs_scanned, dynamic.p99_runs_scanned
+        );
+    }
+    pass &= scan_work_flat;
+
+    // Gate (f): pool worker counts are invisible over the split table.
+    let stream: Vec<ScoreRequest> = (0..s.pool_requests as u64)
+        .map(|j| request(&gen, s.n_users, rounds * s.round_events + j, j))
+        .collect();
+    let sync_bits: Vec<u32> = stream
+        .iter()
+        .map(|req| {
+            dynamic
+                .server
+                .score(req)
+                .expect("clean table scores")
+                .probability
+                .to_bits()
+        })
+        .collect();
+    let one = pool_score_map(&dynamic.server, &stream, 1);
+    let three = pool_score_map(&dynamic.server, &stream, 3);
+    let workers_identical = one == sync_bits && three == sync_bits;
+    if !workers_identical {
+        eprintln!("FAIL: score map varies with pool worker count");
+    }
+    pass &= workers_identical;
+    // The pool phase only reads; it must not have nudged the layout.
+    pass &= dynamic.table.region_count() == dynamic.regions_end;
+
+    let report = Report {
+        bench: "serving_million".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        n_users: s.n_users,
+        n_score_events: rounds * s.round_events,
+        split_threshold: s.round_events / 4,
+        tables: vec![
+            TableReport::new("frozen", &frozen),
+            TableReport::new("dynamic", &dynamic),
+            TableReport::new("rerun", &rerun),
+        ],
+        lock_share_drop,
+        final_split_points: dynamic.split_points.clone(),
+        splitting_engaged,
+        frozen_stayed_frozen,
+        scores_match_frozen,
+        rerun_identical,
+        workers_identical,
+        scan_work_flat,
+        lock_share_dispersed,
+        pass,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_serving_million.json", &json).expect("write BENCH_serving_million.json");
+    eprintln!("results written to BENCH_serving_million.json");
+    harness::save_results("serving_million.json", &json);
+
+    if !pass {
+        eprintln!("FAIL: serving-million gate violated (see BENCH_serving_million.json)");
+        std::process::exit(1);
+    }
+}

@@ -27,10 +27,12 @@ pub mod features;
 pub mod profile;
 pub mod simulate;
 pub mod slicing;
+pub mod traffic;
 pub mod world;
 
 pub use config::WorldConfig;
 pub use features::{feature_names, N_BASIC_FEATURES};
 pub use profile::UserProfile;
 pub use slicing::{DatasetSlice, PAPER_DATASET_COUNT};
+pub use traffic::{FlashEvent, TrafficConfig, TrafficGen};
 pub use world::World;

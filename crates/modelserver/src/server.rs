@@ -58,6 +58,11 @@ pub struct IngestReport {
     pub simulated_wait: Duration,
     /// Background compactions performed by the post-ingest tick.
     pub compactions: u64,
+    /// Regions split by the post-ingest tick (at most 1 per call; only
+    /// under an active [`titant_alihbase::SplitConfig`]).
+    pub region_splits: u64,
+    /// Cold sibling regions merged by the post-ingest tick.
+    pub region_merges: u64,
 }
 
 /// The serving feature layout: where user-side and context features land in
@@ -296,7 +301,20 @@ impl ModelServer {
                 }
             }
         }
-        report.compactions = inner.table.tick().map_err(store_err)?.compactions;
+        let tick = inner.table.tick().map_err(store_err)?;
+        report.compactions = tick.compactions;
+        report.region_splits = tick.region_splits;
+        report.region_merges = tick.region_merges;
+        // A layout change physically rewrites the affected regions' stores.
+        // Migration preserves contents byte-for-byte, but cached decoded
+        // rows must not outlive the stores they were decoded from: drop the
+        // whole cache so every post-split read re-observes the new layout.
+        if tick.region_splits + tick.region_merges > 0 {
+            if let Some(cache) = &inner.cache {
+                report.invalidated_rows += cache.len();
+                cache.clear();
+            }
+        }
         Ok(report)
     }
 
@@ -428,6 +446,17 @@ impl ModelServer {
                             attempt += 1;
                             replica = (replica + 1) % n_replicas;
                             inner.resilience.record_hedge();
+                        }
+                        // A replica index the region does not have: a
+                        // routing bug surfaced as a typed fault, not a
+                        // storage fault. Nothing ran, so no retry, hedge,
+                        // or failover is recorded — pre-fix the table
+                        // silently wrapped onto the primary here and the
+                        // SLO layer believed its hedge had landed on
+                        // different hardware.
+                        FaultKind::NoSuchReplica => {
+                            *degraded = true;
+                            return Ok(None);
                         }
                         // Out of options for this fault kind: degrade to
                         // context-only scoring.
@@ -1786,5 +1815,117 @@ mod tests {
             responses.iter().filter(|r| r.degraded).count()
         );
         assert!(ms.degraded_count() > 0);
+    }
+
+    #[test]
+    fn ingest_tick_reports_splits_and_clears_the_whole_row_cache() {
+        use titant_alihbase::SplitConfig;
+        let table = Arc::new(
+            RegionedTable::single(StoreConfig::default())
+                .unwrap()
+                .with_rebalancing(SplitConfig {
+                    split_threshold: Some(50),
+                    merge_threshold: 0,
+                    max_regions: 8,
+                }),
+        );
+        let ms = ModelServer::with_options(
+            table.clone(),
+            layout(),
+            cached_model(),
+            SloConfig::default(),
+            Some(RowCacheConfig::default()),
+        )
+        .unwrap();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        // Enough users (and enough per-cell write pressure) that the next
+        // tick's window is far past the split threshold.
+        for user in 1..=16u64 {
+            codec
+                .put_user(
+                    &table,
+                    user,
+                    &UserFeatures {
+                        payer_side: vec![0.1, 0.2],
+                        receiver_side: vec![0.3, 0.4],
+                        embedding: vec![0.5, 0.6],
+                    },
+                    20170410,
+                )
+                .unwrap();
+        }
+        // Warm the cache with both parties of one request.
+        ms.score(&req(0, 0.2)).unwrap();
+        assert_eq!(ms.row_cache_stats().unwrap().inserted, 2);
+        let report = ms
+            .ingest_update(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 0.9)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+            )
+            .unwrap();
+        assert_eq!(report.region_splits, 1, "the hot region split on tick");
+        assert_eq!(report.region_merges, 0);
+        assert_eq!(table.region_count(), 2);
+        // User 1's row dropped surgically, then the split flushed the rest
+        // (user 2's row) — nothing decoded pre-split may serve post-split.
+        assert_eq!(report.invalidated_rows, 2);
+        // Post-split scores are bit-identical to a plain server reading the
+        // same (now two-region) table.
+        let plain = ModelServer::new(table.clone(), layout(), cached_model()).unwrap();
+        for i in 0..8u64 {
+            let request = req(i, i as f32 / 8.0);
+            assert_eq!(
+                ms.score(&request).unwrap().probability.to_bits(),
+                plain.score(&request).unwrap().probability.to_bits(),
+                "tx {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_replica_is_a_typed_fault_with_no_resilience_counts() {
+        let (ms, table) = setup_with_table();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        // Pre-fix the table wrapped replica 3 % 1 onto the primary and the
+        // read "succeeded", so a hedge the SLO layer recorded as landing on
+        // different hardware had actually re-read the same store.
+        let err = codec
+            .get_user_opts(
+                &table,
+                1,
+                u64::MAX,
+                ReadOptions {
+                    replica: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ServeError::Fetch { user: 1, fault }
+                    if fault.kind == titant_alihbase::FaultKind::NoSuchReplica
+                        && fault.replica == 3
+            ),
+            "{err:?}"
+        );
+        // No retry/hedge/failover was recorded anywhere: nothing ran.
+        let res = ms.resilience();
+        assert_eq!((res.retried, res.hedged, res.failovers), (0, 0, 0));
+        // And the serving loop itself never requests a replica it does not
+        // have: a hedge policy on a single-replica table stays un-hedged.
+        assert_eq!(table.replica_count(), 1);
     }
 }

@@ -11,9 +11,12 @@
 #                                 # BENCH_chaos.json), the serving-scale
 #                                 # gate (blooms/bounds/row-cache/batch read
 #                                 # path; writes BENCH_serving_scale.json),
-#                                 # and the ingest-throughput gate (batched
+#                                 # the ingest-throughput gate (batched
 #                                 # writes / WAL group commit counters;
-#                                 # writes BENCH_ingest.json)
+#                                 # writes BENCH_ingest.json), and the
+#                                 # serving-million gate (dynamic region
+#                                 # splitting under Zipf-hot traffic;
+#                                 # writes BENCH_serving_million.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -60,6 +63,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> ingest-throughput gate (--quick)"
     cargo run --release -q -p titant-bench --bin ingest_throughput -- --quick
+
+    echo "==> serving-million gate (--quick)"
+    cargo run --release -q -p titant-bench --bin serving_million -- --quick
 fi
 
 echo "verify: all green"
