@@ -1,0 +1,263 @@
+//! **Distributed SQL offline stage** — coordinator/worker execution vs the
+//! single-process reference engine, gated on *counted work* and
+//! byte-identity, not wall clock.
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin offline_sql            # full
+//! cargo run --release -p titant-bench --bin offline_sql -- --quick
+//! ```
+//!
+//! A deterministic synthetic transaction table (and a `labels` join table)
+//! runs a three-query panel — a grouped multi-aggregate, an ORDER BY/LIMIT
+//! top-K, and a partitioned hash JOIN feeding a GROUP BY — through
+//! `Session::sql_distributed` for every (segments × executors) combination,
+//! and checks against the single-process `Session::sql` reference:
+//!
+//! * **byte-identity** — `Table::canonical_bytes` equal for every
+//!   combination (floats compare by IEEE bit pattern);
+//! * **scan conservation** — distributed workers examine exactly as many
+//!   rows as one full scan (no row read twice, none skipped);
+//! * **merge scaling** — the coordinator folds exactly one partial per
+//!   submitted subtask;
+//! * **bounded top-K** — workers ship ≤ LIMIT·subtasks rows into the final
+//!   merge, strictly fewer than the full-sort row count.
+//!
+//! Each executor pool's Fuxi pressure (peak slots, allocations, cumulative
+//! slot-wait) is snapshotted into the report. Writes
+//! `BENCH_offline_sql.json`; exits nonzero on gate failure.
+
+use serde::Serialize;
+use std::time::Instant;
+use titant_maxcompute::{Account, ColumnType, FuxiStats, MaxCompute, Schema, Table, Value};
+
+const TOP_K: u64 = 100;
+
+/// SplitMix64: the deterministic workload generator.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The transaction table: `user` is skewed (hot users exist, like real
+/// transfer graphs), `amount` lands on a coarse grid so ORDER BY ties are
+/// plentiful, and a sprinkle of NULL amounts exercises aggregate skipping.
+fn build_tx(rows: usize, users: u64) -> Table {
+    let mut t = Table::new(Schema::new(vec![
+        ("user", ColumnType::Int),
+        ("day", ColumnType::Int),
+        ("amount", ColumnType::Float),
+    ]));
+    let mut rng = 0xA11CE5EEDu64;
+    for _ in 0..rows {
+        let r = splitmix64(&mut rng);
+        // Square the unit sample: low ids are proportionally hotter.
+        let u = ((r >> 16) % users) as f64 / users as f64;
+        let user = ((u * u * users as f64) as u64).min(users - 1) as i64;
+        let day = (r % 90) as i64;
+        let amount = if r.is_multiple_of(37) {
+            Value::Null
+        } else {
+            Value::Float((splitmix64(&mut rng) % 40_000) as f64 / 16.0)
+        };
+        t.push_row(vec![Value::Int(user), Value::Int(day), amount]);
+    }
+    t
+}
+
+/// One band label per user (the join build side).
+fn build_labels(users: u64) -> Table {
+    let mut t = Table::new(Schema::new(vec![
+        ("user", ColumnType::Int),
+        ("band", ColumnType::Text),
+    ]));
+    for user in 0..users {
+        t.push_row(vec![
+            Value::Int(user as i64),
+            Value::Text(format!("band{}", user % 7)),
+        ]);
+    }
+    t
+}
+
+#[derive(Serialize)]
+struct RunReport {
+    query: String,
+    executors: usize,
+    segments: usize,
+    subtasks: u64,
+    rows_scanned: u64,
+    partials_merged: u64,
+    group_keys_merged: u64,
+    rows_materialized: u64,
+    join_output_rows: Option<u64>,
+    identical: bool,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct PoolReport {
+    executors: usize,
+    fuxi: FuxiStats,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    rows: usize,
+    users: u64,
+    queries: Vec<String>,
+    runs: Vec<RunReport>,
+    pools: Vec<PoolReport>,
+    pass: bool,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rows, users) = if quick {
+        (12_000, 600)
+    } else {
+        (120_000, 3_000)
+    };
+    let segment_sweep: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let executor_sweep: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4] };
+    eprintln!(
+        "offline SQL ({} mode): {} rows × {} users, segments {:?} × executors {:?}",
+        if quick { "quick" } else { "full" },
+        rows,
+        users,
+        segment_sweep,
+        executor_sweep
+    );
+
+    let queries = vec![
+        "SELECT user, COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(day) \
+         FROM tx GROUP BY user"
+            .to_string(),
+        format!("SELECT user, day, amount FROM tx ORDER BY amount DESC LIMIT {TOP_K}"),
+        "SELECT band, COUNT(*), SUM(amount) FROM tx JOIN labels ON tx.user = labels.user \
+         GROUP BY band"
+            .to_string(),
+    ];
+
+    let tx = build_tx(rows, users);
+    let labels = build_labels(users);
+    let mut pass = true;
+    let mut runs = Vec::new();
+    let mut pools = Vec::new();
+    let mut references: Vec<Option<Vec<u8>>> = vec![None; queries.len()];
+
+    for &executors in executor_sweep {
+        let mc = MaxCompute::new(1, executors, 3);
+        mc.create_account(&Account::new("bench", "offline-sql"));
+        let session = mc.login("bench", "offline-sql").unwrap();
+        session.create_table("tx", tx.clone());
+        session.create_table("labels", labels.clone());
+
+        for (qi, query) in queries.iter().enumerate() {
+            // The single-process engine on the FIRST pool is the one
+            // reference everything must match, across pools too.
+            if references[qi].is_none() {
+                references[qi] = Some(session.sql(query).unwrap().canonical_bytes());
+            }
+            let reference = references[qi].as_ref().unwrap();
+
+            for &segments in segment_sweep {
+                let start = Instant::now();
+                let (out, r) = session.sql_distributed_with_stats(query, segments).unwrap();
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                let identical = out.canonical_bytes() == *reference;
+                if !identical {
+                    eprintln!(
+                        "FAIL: query {qi} diverged from reference at \
+                         executors={executors} segments={segments}"
+                    );
+                    pass = false;
+                }
+                // Scan conservation: the distributed scan examines exactly
+                // the reference input — the base table, or the joined one.
+                let expected_scan = match r.join {
+                    Some(j) => j.output_rows,
+                    None => rows as u64,
+                };
+                if r.rows_scanned != expected_scan {
+                    eprintln!(
+                        "FAIL: query {qi} scanned {} rows, expected {expected_scan} \
+                         (executors={executors} segments={segments})",
+                        r.rows_scanned
+                    );
+                    pass = false;
+                }
+                // Merge scaling: one partial folded per submitted subtask.
+                if r.partials_merged != r.subtasks {
+                    eprintln!(
+                        "FAIL: query {qi} merged {} partials for {} subtasks",
+                        r.partials_merged, r.subtasks
+                    );
+                    pass = false;
+                }
+                // Bounded top-K: workers ship ≤ K rows each, and strictly
+                // fewer than the full sort would materialize.
+                if qi == 1 {
+                    let cap = TOP_K * r.subtasks;
+                    if r.rows_materialized > cap || r.rows_materialized >= rows as u64 {
+                        eprintln!(
+                            "FAIL: top-K materialized {} rows (cap {cap}, full sort {rows})",
+                            r.rows_materialized
+                        );
+                        pass = false;
+                    }
+                }
+                runs.push(RunReport {
+                    query: query.clone(),
+                    executors,
+                    segments,
+                    subtasks: r.subtasks,
+                    rows_scanned: r.rows_scanned,
+                    partials_merged: r.partials_merged,
+                    group_keys_merged: r.group_keys_merged,
+                    rows_materialized: r.rows_materialized,
+                    join_output_rows: r.join.map(|j| j.output_rows),
+                    identical,
+                    wall_ms,
+                });
+            }
+        }
+        let fuxi = mc.fuxi_stats();
+        eprintln!(
+            "  executors={executors}: peak_slots={} allocations={} waits={} wait={}us",
+            fuxi.peak_used, fuxi.allocations, fuxi.waits, fuxi.wait_micros
+        );
+        pools.push(PoolReport { executors, fuxi });
+    }
+
+    let ok_runs = runs.iter().filter(|r| r.identical).count();
+    eprintln!(
+        "  {} / {} runs byte-identical to the single-process reference",
+        ok_runs,
+        runs.len()
+    );
+
+    let report = Report {
+        bench: "offline_sql".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        rows,
+        users,
+        queries,
+        runs,
+        pools,
+        pass,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_offline_sql.json", &json).expect("write BENCH_offline_sql.json");
+    eprintln!("results written to BENCH_offline_sql.json");
+    titant_bench::harness::save_results("offline_sql.json", &json);
+
+    if !pass {
+        eprintln!("FAIL: distributed-SQL gate violated (see BENCH_offline_sql.json)");
+        std::process::exit(1);
+    }
+}

@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use titant_alihbase::{RegionedTable, StoreConfig};
 use titant_datagen::{DatasetSlice, World};
 use titant_eval as eval;
-use titant_maxcompute::{Account, ColumnType, MaxCompute, Schema, Table, Value};
+use titant_maxcompute::{Account, ColumnType, MaxCompute, Schema, Table};
 use titant_models::{Classifier, GbdtConfig};
 use titant_modelserver::{FeatureCodec, ModelFile, ServableModel, UserFeatures};
 use titant_nrl::{DeepWalk, DeepWalkConfig, EmbeddingMatrix, Word2VecConfig};
@@ -249,7 +249,15 @@ impl OfflinePipeline {
     }
 
     /// Ingest window records into a MaxCompute table and aggregate them to
-    /// weighted edges with a MapReduce job, then build the CSR graph.
+    /// weighted edges with a distributed SQL GROUP BY (the coordinator
+    /// fans the scan over `threads` Fuxi-slot segments and merges the
+    /// per-segment counts), then build the CSR graph.
+    ///
+    /// This used to be a hand-coded MapReduce job; the SQL plan computes
+    /// the same `((from, to), count)` aggregation, and `GROUP BY` emits
+    /// groups in `BTreeMap` key order — identical to the MapReduce
+    /// engine's sorted-key reduce order — so the edge table (and the
+    /// built graph) is byte-for-byte what the old job produced.
     fn build_graph_via_maxcompute(
         &self,
         world: &World,
@@ -277,18 +285,10 @@ impl OfflinePipeline {
         session.create_table("transaction_logs", logs);
 
         let edges = session
-            .mapreduce(
-                "transaction_logs",
-                Schema::new(vec![
-                    ("from", ColumnType::Int),
-                    ("to", ColumnType::Int),
-                    ("weight", ColumnType::Int),
-                ]),
-                &|row: &[Value]| vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)],
-                &|k: &(i64, i64), vs: &[u32]| {
-                    vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
-                },
-                threads,
+            .sql_distributed(
+                "SELECT transferor, transferee, COUNT(*) FROM transaction_logs \
+                 GROUP BY transferor, transferee",
+                threads.max(1),
             )
             .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
 
@@ -405,6 +405,70 @@ impl OfflinePipeline {
     }
 }
 
+/// Compute mature training labels with a distributed SQL label-join.
+///
+/// Production TitAnt joins the transaction log against the case/report
+/// table in MaxCompute to label the training window; here the same join
+/// runs through the SQL engine: `train_txns` (one row per training
+/// transaction) inner-joins `fraud_reports` (one row per fraudulent
+/// transaction with the day its victim report landed) on transaction id,
+/// keeping only reports mature by the slice's label cutoff. Unreported
+/// fraud carries `report_day == i64::MAX` and is filtered by the same
+/// predicate — exactly the [`World::label_as_of`] rule.
+///
+/// Returns one label per record of `slice.train_days`, in record order.
+/// The join fans out over `segments` Fuxi subtasks; the result is
+/// byte-identical for any segment count.
+pub fn labels_via_sql(
+    world: &World,
+    slice: &DatasetSlice,
+    segments: usize,
+) -> Result<Vec<f32>, TitAntError> {
+    let mc = MaxCompute::new(2, segments.max(1), 3);
+    mc.create_account(&Account::new("titant", "labels"));
+    let session = mc
+        .login("titant", "labels")
+        .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
+
+    let range = world.record_range(slice.train_days.clone());
+
+    let mut txns = Table::new(Schema::new(vec![("txn", ColumnType::Int)]));
+    for i in range.clone() {
+        txns.push_row(vec![(i as i64).into()]);
+    }
+    session.create_table("train_txns", txns);
+
+    let mut reports = Table::new(Schema::new(vec![
+        ("txn", ColumnType::Int),
+        ("report_day", ColumnType::Int),
+    ]));
+    for i in range.clone() {
+        if world.is_fraud(i) {
+            reports.push_row(vec![(i as i64).into(), world.report_day(i).into()]);
+        }
+    }
+    session.create_table("fraud_reports", reports);
+
+    let matured = session
+        .sql_distributed(
+            &format!(
+                "SELECT txn FROM train_txns JOIN fraud_reports \
+                 ON train_txns.txn = fraud_reports.txn \
+                 WHERE report_day <= {}",
+                slice.label_cutoff()
+            ),
+            segments.max(1),
+        )
+        .map_err(|e| TitAntError::MaxCompute(e.to_string()))?;
+
+    let mut labels = vec![0.0f32; range.len()];
+    for r in 0..matured.n_rows() {
+        let txn = matured.cell(r, 0).as_i64().unwrap() as usize;
+        labels[txn - range.start] = 1.0;
+    }
+    Ok(labels)
+}
+
 /// Score threshold achieving the given alert rate on validation scores.
 fn score_at_rate(scores: &[f32], rate: f64) -> f32 {
     if scores.is_empty() || rate <= 0.0 {
@@ -474,6 +538,84 @@ mod tests {
             .unwrap();
         assert_eq!(mc_graph.node_count(), direct.node_count());
         assert_eq!(mc_graph.edge_count(), direct.edge_count());
+    }
+
+    /// The SQL GROUP BY that replaced the hand-coded MapReduce job must
+    /// reproduce its output table cell-for-cell: same `(from, to, count)`
+    /// triples in the same sorted-key order, for any segment count.
+    #[test]
+    fn sql_edge_aggregation_matches_the_old_mapreduce_job() {
+        use titant_maxcompute::Value;
+        let (world, slice) = tiny_setup();
+        let mc = MaxCompute::new(2, 4, 3);
+        mc.create_account(&Account::new("titant", "offline"));
+        let session = mc.login("titant", "offline").unwrap();
+
+        let mut logs = Table::new(Schema::new(vec![
+            ("transferor", ColumnType::Int),
+            ("transferee", ColumnType::Int),
+        ]));
+        for r in world.records_in(slice.graph_days.clone()) {
+            if !r.is_self_transfer() {
+                logs.push_row(vec![
+                    (r.transferor.0 as i64).into(),
+                    (r.transferee.0 as i64).into(),
+                ]);
+            }
+        }
+        session.create_table("transaction_logs", logs);
+
+        let via_mr = session
+            .mapreduce(
+                "transaction_logs",
+                Schema::new(vec![
+                    ("from", ColumnType::Int),
+                    ("to", ColumnType::Int),
+                    ("weight", ColumnType::Int),
+                ]),
+                &|row: &[Value]| vec![((row[0].as_i64().unwrap(), row[1].as_i64().unwrap()), 1u32)],
+                &|k: &(i64, i64), vs: &[u32]| {
+                    vec![vec![k.0.into(), k.1.into(), (vs.len() as i64).into()]]
+                },
+                2,
+            )
+            .unwrap();
+
+        for segments in [1, 2, 4] {
+            let via_sql = session
+                .sql_distributed(
+                    "SELECT transferor, transferee, COUNT(*) FROM transaction_logs \
+                     GROUP BY transferor, transferee",
+                    segments,
+                )
+                .unwrap();
+            assert_eq!(via_sql.n_rows(), via_mr.n_rows());
+            for i in 0..via_mr.n_rows() {
+                for c in 0..3 {
+                    assert_eq!(via_sql.cell(i, c), via_mr.cell(i, c), "row {i} col {c}");
+                }
+            }
+        }
+    }
+
+    /// The SQL label-join must reproduce [`World::label_as_of`] at the
+    /// slice's label cutoff for every training record, and be identical
+    /// across segment counts.
+    #[test]
+    fn sql_label_join_matches_label_as_of() {
+        let (world, slice) = tiny_setup();
+        let range = world.record_range(slice.train_days.clone());
+        let expected: Vec<f32> = range
+            .clone()
+            .map(|i| world.label_as_of(i, slice.label_cutoff()))
+            .collect();
+        assert!(
+            expected.iter().any(|&l| l > 0.5),
+            "fixture must contain matured fraud"
+        );
+        let serial = labels_via_sql(&world, &slice, 1).unwrap();
+        assert_eq!(serial, expected);
+        assert_eq!(labels_via_sql(&world, &slice, 4).unwrap(), expected);
     }
 
     #[test]

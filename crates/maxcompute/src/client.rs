@@ -5,8 +5,9 @@
 //! jobs by web console in client layer, where HTTP server receives the
 //! command"; authentication failures never reach the server layer.
 
-use crate::fuxi::Fuxi;
-use crate::job::{JobSpec, Scheduler, Subtask};
+use crate::distsql::{self, DistReport};
+use crate::fuxi::{Fuxi, FuxiStats};
+use crate::job::Scheduler;
 use crate::mapreduce::{run_mapreduce, MapFn, ReduceFn};
 use crate::ots::Ots;
 use crate::pangu::Pangu;
@@ -118,6 +119,11 @@ impl MaxCompute {
     pub fn fuxi(&self) -> &Fuxi {
         &self.fuxi
     }
+
+    /// Scheduling-pressure snapshot (peak slots, allocations, slot-wait).
+    pub fn fuxi_stats(&self) -> FuxiStats {
+        self.fuxi.stats()
+    }
 }
 
 /// An authenticated session.
@@ -151,27 +157,59 @@ impl Session<'_> {
     }
 
     /// Run a SQL query through the full job path (OTS registration,
-    /// scheduler, Fuxi slot, executor) and wait for the result.
+    /// scheduler, Fuxi slot, executor) as **one** subtask and wait for the
+    /// result. This is the single-process reference engine; queries with a
+    /// JOIN clause resolve the right-side table from the catalog.
     pub fn sql(&self, query: &str) -> Result<Table, McError> {
         let parsed = sql::parse(query).map_err(McError::Sql)?;
         let input = self.table(&parsed.table)?;
-        let result: Arc<Mutex<Option<Result<Table, sql::SqlError>>>> = Arc::new(Mutex::new(None));
-        let slot_result = Arc::clone(&result);
-        let task: Subtask = Box::new(move || {
-            let r = sql::execute(&parsed, &input);
-            *slot_result.lock() = Some(r);
-        });
-        let handle = self.mc.scheduler.submit(
+        let right = match &parsed.join {
+            Some(j) => Some(self.table(&j.table)?),
+            None => None,
+        };
+        let mut results = self.mc.scheduler.run_collect(
             &self.account,
-            JobSpec {
-                description: query.to_string(),
-                priority: 3,
-                subtasks: vec![task],
-            },
+            query,
+            3,
+            vec![move || sql::execute_with(&parsed, &input, right.as_deref())],
         );
-        handle.wait();
-        let out = result.lock().take().expect("subtask must have run");
-        out.map_err(McError::Sql)
+        results
+            .pop()
+            .expect("subtask must have run")
+            .map_err(McError::Sql)
+    }
+
+    /// Run a SQL query as a coordinator/worker job: the scan (and JOIN, if
+    /// any) fans out over `segments` prioritized Fuxi subtasks and the
+    /// coordinator merges the partials. The result is byte-identical to
+    /// [`Session::sql`] for any `segments` and any executor pool size.
+    pub fn sql_distributed(&self, query: &str, segments: usize) -> Result<Table, McError> {
+        self.sql_distributed_with_stats(query, segments)
+            .map(|(table, _)| table)
+    }
+
+    /// [`Session::sql_distributed`], also returning the counted-work
+    /// report (rows scanned, partials merged, top-K rows materialized).
+    pub fn sql_distributed_with_stats(
+        &self,
+        query: &str,
+        segments: usize,
+    ) -> Result<(Table, DistReport), McError> {
+        let parsed = sql::parse(query).map_err(McError::Sql)?;
+        let input = self.table(&parsed.table)?;
+        let right = match &parsed.join {
+            Some(j) => Some(self.table(&j.table)?),
+            None => None,
+        };
+        distsql::execute_distributed(
+            &parsed,
+            input,
+            right,
+            &self.mc.scheduler,
+            &self.account,
+            segments,
+        )
+        .map_err(McError::Sql)
     }
 
     /// Run a MapReduce job over a stored table (the transaction-network

@@ -1,0 +1,237 @@
+//! Distributed SQL execution: the coordinator/worker half of the engine.
+//!
+//! This is Figure 4's offline stage made scale-out-shaped: the coordinator
+//! plans a parsed query once, splits the input into contiguous row-range
+//! segments, submits one scan subtask per segment through the prioritized
+//! [`Scheduler`] (each subtask runs on an executor thread under a Fuxi
+//! slot), and merges the worker partials:
+//!
+//! * **aggregates** merge their decomposable states (COUNT→sum, SUM→exact
+//!   sum, AVG→(exact sum, count), MIN/MAX→first-wins extremum);
+//! * **GROUP BY** merges per-segment `BTreeMap`s in the engine's canonical
+//!   key order;
+//! * **ORDER BY/LIMIT** is a bounded top-K merge — each worker ships at
+//!   most LIMIT rows, the coordinator k-way merges ≤ LIMIT·segments rows;
+//! * **JOIN** is a partitioned hash join: the coordinator hash-partitions
+//!   both sides by join key, one subtask per partition builds and probes,
+//!   and partition outputs k-way merge back into probe-row order.
+//!
+//! Workers run [`sql::execute_partial`] — the *same* code the
+//! single-process engine runs with one segment — and every merge step is
+//! either order-independent (exact sums) or resolved in deterministic
+//! segment/row order, so results are **bit-identical for any
+//! (segments × executor threads) combination**. The property tests and the
+//! `offline_sql` bench gate on exactly that, via `Table::canonical_bytes`.
+
+use crate::job::Scheduler;
+use crate::sql::{self, ExecPlan, Partial, Query, Shape, SqlError};
+use crate::table::Table;
+use crate::value::Value;
+use serde::Serialize;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Counted work of one distributed query — the 1-core-container bench
+/// gates on these instead of wall clock: scans must be conserved, merges
+/// must scale with segments, top-K must stay bounded.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct DistReport {
+    /// Row-range segments the scan was split into.
+    pub segments: usize,
+    /// Scan subtasks submitted to the scheduler (== segments).
+    pub subtasks: u64,
+    /// Rows examined across all scan workers (conserved vs one full scan).
+    pub rows_scanned: u64,
+    /// Worker partials folded by the coordinator.
+    pub partials_merged: u64,
+    /// Group keys that appeared in more than one partial.
+    pub group_keys_merged: u64,
+    /// Rows shipped by workers into the final merge. For ORDER BY + LIMIT
+    /// this is ≤ LIMIT · segments where a full sort ships every row.
+    pub rows_materialized: u64,
+    /// Set when the query had a JOIN stage.
+    pub join: Option<JoinReport>,
+}
+
+/// Counted work of the partitioned hash-join stage.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct JoinReport {
+    /// Hash partitions (== join subtasks).
+    pub partitions: usize,
+    /// Build-side rows hashed into partitions (non-NULL keys).
+    pub build_rows: u64,
+    /// Probe-side rows hashed into partitions (non-NULL keys).
+    pub probe_rows: u64,
+    /// Rows with NULL join keys dropped (inner-join semantics).
+    pub null_keys_dropped: u64,
+    /// Joined rows produced.
+    pub output_rows: u64,
+}
+
+/// Execute a parsed query as a coordinator/worker job over `segments`
+/// row-range segments. `right` supplies the JOIN build table when the
+/// query has a JOIN clause. Results are byte-identical to
+/// [`sql::execute_with`] on the same inputs for **any** segment count and
+/// executor pool size.
+pub fn execute_distributed(
+    query: &Query,
+    table: Arc<Table>,
+    right: Option<Arc<Table>>,
+    scheduler: &Scheduler,
+    owner: &str,
+    segments: usize,
+) -> Result<(Table, DistReport), SqlError> {
+    let segments = segments.max(1);
+    let mut report = DistReport {
+        segments,
+        ..DistReport::default()
+    };
+
+    // JOIN stage: partitioned hash join producing the scan input.
+    let input: Arc<Table> = match (&query.join, right) {
+        (Some(join), Some(build)) => {
+            let (joined, jr) = distributed_join(join, &table, &build, scheduler, owner, segments)?;
+            report.join = Some(jr);
+            Arc::new(joined)
+        }
+        (Some(join), None) => {
+            return Err(SqlError::Semantic(format!(
+                "query joins table {} but no right-side table was provided",
+                join.table
+            )))
+        }
+        (None, _) => table,
+    };
+
+    // Plan once at the coordinator; workers are infallible after this.
+    let plan = Arc::new(sql::plan(query, input.schema())?);
+
+    // One scan subtask per contiguous row-range segment. An empty table
+    // still gets one (empty) segment so global aggregates see their
+    // neutral empty group.
+    let mut ranges: Vec<Range<usize>> = titant_parallel::chunk_ranges(input.n_rows(), segments);
+    if ranges.is_empty() {
+        ranges.push(0..0);
+    }
+    let tasks: Vec<_> = ranges
+        .into_iter()
+        .map(|range| {
+            let plan = Arc::clone(&plan);
+            let input = Arc::clone(&input);
+            move || sql::execute_partial(&plan, &input, range)
+        })
+        .collect();
+    report.subtasks = tasks.len() as u64;
+    let partials: Vec<Partial> = scheduler.run_collect(
+        owner,
+        &format!("distsql scan[{segments}]: {}", describe(&plan)),
+        3,
+        tasks,
+    );
+    for p in &partials {
+        report.rows_scanned += p.scanned;
+    }
+
+    let (out, stats) = sql::finish(&plan, partials);
+    report.partials_merged = stats.partials;
+    report.group_keys_merged = stats.group_keys_merged;
+    report.rows_materialized = stats.rows_materialized;
+    Ok((out, report))
+}
+
+fn describe(plan: &ExecPlan) -> &'static str {
+    match plan.shape {
+        Shape::Grouped { .. } => "grouped aggregation",
+        Shape::Plain { .. } => "projection",
+    }
+}
+
+/// Partitioned hash join. The coordinator hash-partitions both sides' row
+/// indices by join key (NULL keys dropped — inner-join semantics); one
+/// subtask per partition builds a key map from its build rows and probes
+/// its probe rows in row order; the coordinator k-way merges partition
+/// outputs by probe row index. Since `sql::join_hash` is consistent with
+/// `sql_cmp` equality, an equality class lands wholly in one partition,
+/// and the merged output row order is exactly the single-partition
+/// reference order.
+fn distributed_join(
+    join: &sql::JoinClause,
+    left: &Arc<Table>,
+    right: &Arc<Table>,
+    scheduler: &Scheduler,
+    owner: &str,
+    partitions: usize,
+) -> Result<(Table, JoinReport), SqlError> {
+    let jp = Arc::new(sql::plan_join(join, left.schema(), right.schema())?);
+    let partitions = partitions.max(1);
+    let mut report = JoinReport {
+        partitions,
+        ..JoinReport::default()
+    };
+
+    let mut left_parts: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    let mut right_parts: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for r in 0..left.n_rows() {
+        let k = left.cell(r, jp.left_col);
+        if k == &Value::Null {
+            report.null_keys_dropped += 1;
+            continue;
+        }
+        report.probe_rows += 1;
+        left_parts[(sql::join_hash(k) % partitions as u64) as usize].push(r);
+    }
+    for r in 0..right.n_rows() {
+        let k = right.cell(r, jp.right_col);
+        if k == &Value::Null {
+            report.null_keys_dropped += 1;
+            continue;
+        }
+        report.build_rows += 1;
+        right_parts[(sql::join_hash(k) % partitions as u64) as usize].push(r);
+    }
+
+    let tasks: Vec<_> = left_parts
+        .into_iter()
+        .zip(right_parts)
+        .map(|(probe, build)| {
+            let jp = Arc::clone(&jp);
+            let left = Arc::clone(left);
+            let right = Arc::clone(right);
+            move || sql::join_probe(&jp, &left, &right, &probe, &build)
+        })
+        .collect();
+    let outputs: Vec<Vec<(usize, Vec<Value>)>> = scheduler.run_collect(
+        owner,
+        &format!("distsql join[{partitions}]: {}", join.table),
+        3,
+        tasks,
+    );
+
+    // K-way merge by probe (left) row index; each partition's output is
+    // already sorted by it, and indices are globally unique.
+    let mut heads = vec![0usize; outputs.len()];
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    loop {
+        let mut best: Option<usize> = None;
+        for (p, out) in outputs.iter().enumerate() {
+            if heads[p] >= out.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(p),
+                Some(b) => {
+                    if out[heads[p]].0 < outputs[b][heads[b]].0 {
+                        Some(p)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        let Some(b) = best else { break };
+        rows.push(outputs[b][heads[b]].1.clone());
+        heads[b] += 1;
+    }
+    report.output_rows = rows.len() as u64;
+    Ok((Table::from_rows(jp.schema.clone(), rows), report))
+}

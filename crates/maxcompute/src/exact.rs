@@ -1,0 +1,329 @@
+//! Exact, order-independent `f64` accumulation.
+//!
+//! The distributed SQL engine merges per-segment partial aggregates, so a
+//! `SUM`/`AVG` computed over 4 segments adds the same values in a different
+//! association than 1 segment would — and IEEE-754 addition is not
+//! associative. To keep results **bit-identical for every segment count**
+//! (the acceptance gate of the coordinator/worker engine), sums are
+//! accumulated in a Kulisch-style fixed-point accumulator: a 2176-bit
+//! signed integer covering the full magnitude range of `f64`
+//! (`2^-1074 ..= 2^1023` per addend). Every finite double is added
+//! *exactly*; the accumulator state is a pure function of the multiset of
+//! addends, so partial accumulators merge associatively and the final
+//! rounding (round-to-nearest-even) is deterministic no matter how the
+//! values were partitioned.
+//!
+//! Non-finite addends are tallied separately with IEEE semantics: any NaN,
+//! or both `+∞` and `-∞`, poison the sum to NaN; otherwise a lone infinity
+//! sign wins. This matches sequential `f64` addition of the same multiset.
+
+/// 32 value bits per limb, stored in `i64` so carries can be deferred.
+const LIMB_BITS: usize = 32;
+/// 68 limbs = 2176 bits: bit 0 is `2^-1074`, the top mantissa bit of the
+/// largest finite double lands at bit 2097, leaving ~78 bits of headroom
+/// for deferred carries and huge addend counts.
+const LIMBS: usize = 68;
+/// Normalize after this many deferred adds (each add can grow a limb by
+/// `< 2^32`; `2^32 · 2^25 = 2^57` stays far from `i64` overflow).
+const NORM_EVERY: u32 = 1 << 25;
+
+/// An exact `f64` sum. `add` values in any order, `merge` partial sums in
+/// any association — [`ExactSum::value`] is identical regardless.
+#[derive(Debug, Clone)]
+pub struct ExactSum {
+    /// Signed base-2^32 limbs of `sum × 2^1074`, little-endian.
+    limbs: Vec<i64>,
+    /// Adds since the last carry normalization.
+    pending: u32,
+    pos_inf: u64,
+    neg_inf: u64,
+    nan: u64,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    /// The empty sum (`value() == 0.0`).
+    pub fn new() -> Self {
+        Self {
+            limbs: vec![0i64; LIMBS],
+            pending: 0,
+            pos_inf: 0,
+            neg_inf: 0,
+            nan: 0,
+        }
+    }
+
+    /// Add one addend exactly.
+    pub fn add(&mut self, x: f64) {
+        let bits = x.to_bits();
+        let neg = bits >> 63 == 1;
+        let exp = ((bits >> 52) & 0x7FF) as usize;
+        let frac = bits & ((1u64 << 52) - 1);
+        if exp == 0x7FF {
+            if frac != 0 {
+                self.nan += 1;
+            } else if neg {
+                self.neg_inf += 1;
+            } else {
+                self.pos_inf += 1;
+            }
+            return;
+        }
+        if exp == 0 && frac == 0 {
+            return; // ±0 contributes nothing
+        }
+        // value = m × 2^(e-1075); in the ×2^1074 frame its low bit sits at
+        // bit e-1 (subnormals behave as e = 1).
+        let (m, e) = if exp == 0 {
+            (frac, 1)
+        } else {
+            (frac | 1 << 52, exp)
+        };
+        let bit0 = e - 1;
+        let (limb0, shift) = (bit0 / LIMB_BITS, bit0 % LIMB_BITS);
+        let wide = (m as u128) << shift; // ≤ 85 bits → 3 limbs
+        for k in 0..3 {
+            let chunk = ((wide >> (LIMB_BITS * k)) & 0xFFFF_FFFF) as i64;
+            if chunk != 0 {
+                if neg {
+                    self.limbs[limb0 + k] -= chunk;
+                } else {
+                    self.limbs[limb0 + k] += chunk;
+                }
+            }
+        }
+        self.pending += 1;
+        if self.pending >= NORM_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Fold another partial sum in. Exact, so `merge` is associative and
+    /// commutative with `add`.
+    pub fn merge(&mut self, other: &ExactSum) {
+        let mut other = other.clone();
+        other.normalize();
+        self.normalize();
+        for (a, b) in self.limbs.iter_mut().zip(other.limbs.iter()) {
+            *a += *b;
+        }
+        self.pending = 2;
+        self.pos_inf += other.pos_inf;
+        self.neg_inf += other.neg_inf;
+        self.nan += other.nan;
+    }
+
+    /// Propagate deferred carries so every limb is back in `[0, 2^32)`
+    /// (two's-complement wraparound for negative totals).
+    fn normalize(&mut self) {
+        let mut carry = 0i64;
+        for l in self.limbs.iter_mut() {
+            let v = *l + carry;
+            carry = v >> LIMB_BITS; // arithmetic shift = floor div
+            *l = v & 0xFFFF_FFFF;
+        }
+        // With the headroom limbs the total magnitude stays below 2^2175,
+        // so the out-carry can only be the two's-complement sign borrow.
+        debug_assert!(carry == 0 || carry == -1, "accumulator overflow");
+        if carry == -1 {
+            // Keep the borrow inside the limb array: fold it into the top
+            // limb so the representation stays self-contained.
+            *self.limbs.last_mut().expect("limbs") -= 1i64 << LIMB_BITS;
+        }
+        self.pending = 0;
+    }
+
+    /// Round the exact sum to the nearest `f64` (ties to even).
+    pub fn value(&self) -> f64 {
+        if self.nan > 0 || (self.pos_inf > 0 && self.neg_inf > 0) {
+            return f64::NAN;
+        }
+        if self.pos_inf > 0 {
+            return f64::INFINITY;
+        }
+        if self.neg_inf > 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = self.clone();
+        acc.normalize();
+        // Sign: after normalization every limb is in [0, 2^32) except a
+        // negative top limb, which marks a negative total.
+        let negative = *acc.limbs.last().expect("limbs") < 0;
+        let mag: Vec<u32> = if negative {
+            // magnitude = 2^2176 - unsigned(limbs): two's-complement negate.
+            let mut carry = 1u64;
+            acc.limbs
+                .iter()
+                .map(|l| {
+                    let v = (!(*l as u32)) as u64 + carry;
+                    carry = v >> LIMB_BITS;
+                    v as u32
+                })
+                .collect()
+        } else {
+            acc.limbs.iter().map(|l| *l as u32).collect()
+        };
+        let Some(h) = mag.iter().rposition(|&l| l != 0) else {
+            return 0.0;
+        };
+        let top_bit = h * LIMB_BITS + (31 - mag[h].leading_zeros() as usize);
+        let bit = |i: usize| -> u64 { ((mag[i / LIMB_BITS] >> (i % LIMB_BITS)) & 1) as u64 };
+        let sign_bit = if negative { 1u64 << 63 } else { 0 };
+
+        if top_bit <= 52 {
+            // The integer fits in 53 bits: exactly a subnormal (or the
+            // smallest normals), whose IEEE encoding is the integer itself.
+            let mut x = 0u64;
+            for i in (0..=top_bit).rev() {
+                x = (x << 1) | bit(i);
+            }
+            return f64::from_bits(sign_bit | x);
+        }
+
+        // 53-bit mantissa [top_bit-52 ..= top_bit], round-to-nearest-even
+        // on the guard bit with a sticky OR of everything below it.
+        let mut mant = 0u64;
+        for i in ((top_bit - 52)..=top_bit).rev() {
+            mant = (mant << 1) | bit(i);
+        }
+        let guard = bit(top_bit - 53) == 1;
+        let cut = top_bit - 53;
+        let (cut_limb, cut_off) = (cut / LIMB_BITS, cut % LIMB_BITS);
+        let mut sticky = cut_off > 0 && (mag[cut_limb] & ((1u32 << cut_off) - 1)) != 0;
+        if !sticky {
+            sticky = mag[..cut_limb].iter().any(|&l| l != 0);
+        }
+        let mut b = top_bit as u64;
+        if guard && (sticky || mant & 1 == 1) {
+            mant += 1;
+            if mant == 1 << 53 {
+                mant >>= 1;
+                b += 1;
+            }
+        }
+        let e_unbiased = b as i64 - 1074;
+        if e_unbiased > 1023 {
+            return if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+        }
+        let exp_field = (e_unbiased + 1023) as u64; // ≥ 2 because top_bit ≥ 53
+        f64::from_bits(sign_bit | (exp_field << 52) | (mant & ((1u64 << 52) - 1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_of(values: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &v in values {
+            s.add(v);
+        }
+        s.value()
+    }
+
+    #[test]
+    fn matches_naive_sum_on_exact_inputs() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64) - 500.0).collect();
+        assert_eq!(exact_of(&values), values.iter().sum::<f64>());
+        assert_eq!(exact_of(&[]), 0.0);
+        assert_eq!(exact_of(&[0.0, -0.0]), 0.0);
+        assert_eq!(exact_of(&[2.5]), 2.5);
+        assert_eq!(exact_of(&[-2.5]), -2.5);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_exact() {
+        // Naively, (1e16 + 1.0) - 1e16 == 0.0 in left-to-right f64.
+        assert_eq!(exact_of(&[1e16, 1.0, -1e16]), 1.0);
+        assert_eq!(exact_of(&[1e300, 1e-300, -1e300]), 1e-300);
+    }
+
+    #[test]
+    fn order_and_partition_invariant() {
+        let values = [
+            0.1,
+            -7.25,
+            1e16,
+            3.5e-310,
+            -1e16,
+            2.0f64.powi(-1074),
+            123456789.123,
+            -0.3,
+            1e-30,
+        ];
+        let reference = exact_of(&values);
+        // Reversed order.
+        let rev: Vec<f64> = values.iter().rev().copied().collect();
+        assert_eq!(exact_of(&rev).to_bits(), reference.to_bits());
+        // Every 2-way partition point, merged.
+        for split in 0..=values.len() {
+            let mut a = ExactSum::new();
+            for &v in &values[..split] {
+                a.add(v);
+            }
+            let mut b = ExactSum::new();
+            for &v in &values[split..] {
+                b.add(v);
+            }
+            a.merge(&b);
+            assert_eq!(a.value().to_bits(), reference.to_bits(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn subnormals_accumulate_exactly() {
+        let tiny = f64::from_bits(1); // 2^-1074
+        let mut s = ExactSum::new();
+        for _ in 0..3 {
+            s.add(tiny);
+        }
+        assert_eq!(s.value(), f64::from_bits(3));
+        s.add(-tiny);
+        assert_eq!(s.value(), f64::from_bits(2));
+    }
+
+    #[test]
+    fn round_to_nearest_even_on_the_guard_bit() {
+        let ulp_half = 2.0f64.powi(-53);
+        // 1.0 + 2^-53 is an exact tie -> rounds to even (1.0).
+        assert_eq!(exact_of(&[1.0, ulp_half]).to_bits(), 1.0f64.to_bits());
+        // A sticky bit below the guard breaks the tie upward.
+        let up = exact_of(&[1.0, ulp_half, 2.0f64.powi(-100)]);
+        assert_eq!(up.to_bits(), (1.0f64 + 2.0 * ulp_half).to_bits());
+        // Tie with an odd mantissa rounds up to the even neighbour.
+        let three_ulps = 1.0 + 3.0 * 2.0 * ulp_half; // odd mantissa
+        let tied = exact_of(&[three_ulps, ulp_half]);
+        assert_eq!(tied.to_bits(), (1.0 + 4.0 * 2.0 * ulp_half).to_bits());
+    }
+
+    #[test]
+    fn overflow_and_specials_follow_ieee() {
+        assert_eq!(exact_of(&[f64::MAX, f64::MAX]), f64::INFINITY);
+        assert_eq!(exact_of(&[-f64::MAX, -f64::MAX]), f64::NEG_INFINITY);
+        assert_eq!(exact_of(&[f64::INFINITY, 1.0]), f64::INFINITY);
+        assert_eq!(exact_of(&[f64::NEG_INFINITY, 1.0]), f64::NEG_INFINITY);
+        assert!(exact_of(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+        assert!(exact_of(&[f64::NAN, 1.0]).is_nan());
+        // MAX + MAX - MAX: the exact sum is back in range -> finite.
+        assert_eq!(exact_of(&[f64::MAX, f64::MAX, -f64::MAX]), f64::MAX);
+    }
+
+    #[test]
+    fn many_deferred_adds_trigger_normalization() {
+        let mut s = ExactSum::new();
+        for i in 0..100_000u32 {
+            s.add(if i % 2 == 0 { 1.25e10 } else { -0.25e10 });
+        }
+        assert_eq!(s.value(), 50_000.0 * 1.25e10 - 50_000.0 * 0.25e10);
+    }
+}

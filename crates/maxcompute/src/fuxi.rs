@@ -9,8 +9,9 @@
 //! directly measurable here.
 
 use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A slot allocation; slots return to the pool on drop (RAII).
 pub struct Allocation {
@@ -18,11 +19,40 @@ pub struct Allocation {
     pool: Arc<Pool>,
 }
 
+/// Point-in-time snapshot of scheduling pressure — the paper's §5.2 "more
+/// resources requested, more waiting time may be needed for allocation"
+/// made measurable. Counters are cumulative since cluster boot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FuxiStats {
+    pub total_slots: usize,
+    pub free_slots: usize,
+    /// Peak concurrent slot usage.
+    pub peak_used: usize,
+    /// Allocations granted.
+    pub allocations: u64,
+    /// Allocation requests that had to wait for slots to free up.
+    pub waits: u64,
+    /// Cumulative time spent waiting for slots, in microseconds.
+    pub wait_micros: u64,
+}
+
 struct PoolState {
     free_slots: usize,
     /// Peak concurrent usage (diagnostics).
     peak_used: usize,
     total_slots: usize,
+    allocations: u64,
+    waits: u64,
+    wait_micros: u64,
+}
+
+impl PoolState {
+    fn grant(&mut self, slots: usize) {
+        self.free_slots -= slots;
+        let used = self.total_slots - self.free_slots;
+        self.peak_used = self.peak_used.max(used);
+        self.allocations += 1;
+    }
 }
 
 struct Pool {
@@ -47,6 +77,9 @@ impl Fuxi {
                     free_slots: total,
                     peak_used: 0,
                     total_slots: total,
+                    allocations: 0,
+                    waits: 0,
+                    wait_micros: 0,
                 }),
                 cv: Condvar::new(),
             }),
@@ -68,6 +101,19 @@ impl Fuxi {
         self.pool.state.lock().peak_used
     }
 
+    /// Scheduling-pressure snapshot.
+    pub fn stats(&self) -> FuxiStats {
+        let state = self.pool.state.lock();
+        FuxiStats {
+            total_slots: state.total_slots,
+            free_slots: state.free_slots,
+            peak_used: state.peak_used,
+            allocations: state.allocations,
+            waits: state.waits,
+            wait_micros: state.wait_micros,
+        }
+    }
+
     /// Block until `slots` are available, then take them.
     ///
     /// # Panics
@@ -80,12 +126,15 @@ impl Fuxi {
             "requested {slots} slots but the cluster has {}",
             state.total_slots
         );
-        while state.free_slots < slots {
-            self.pool.cv.wait(&mut state);
+        if state.free_slots < slots {
+            state.waits += 1;
+            let started = Instant::now();
+            while state.free_slots < slots {
+                self.pool.cv.wait(&mut state);
+            }
+            state.wait_micros += started.elapsed().as_micros() as u64;
         }
-        state.free_slots -= slots;
-        let used = state.total_slots - state.free_slots;
-        state.peak_used = state.peak_used.max(used);
+        state.grant(slots);
         Allocation {
             slots,
             pool: Arc::clone(&self.pool),
@@ -98,9 +147,7 @@ impl Fuxi {
         if slots > state.total_slots || state.free_slots < slots {
             return None;
         }
-        state.free_slots -= slots;
-        let used = state.total_slots - state.free_slots;
-        state.peak_used = state.peak_used.max(used);
+        state.grant(slots);
         Some(Allocation {
             slots,
             pool: Arc::clone(&self.pool),
@@ -113,15 +160,24 @@ impl Fuxi {
         if slots > state.total_slots {
             return None;
         }
-        let deadline = std::time::Instant::now() + timeout;
-        while state.free_slots < slots {
-            if self.pool.cv.wait_until(&mut state, deadline).timed_out() {
+        if state.free_slots < slots {
+            state.waits += 1;
+            let started = Instant::now();
+            let deadline = started + timeout;
+            let waited = loop {
+                if self.pool.cv.wait_until(&mut state, deadline).timed_out() {
+                    break false;
+                }
+                if state.free_slots >= slots {
+                    break true;
+                }
+            };
+            state.wait_micros += started.elapsed().as_micros() as u64;
+            if !waited {
                 return None;
             }
         }
-        state.free_slots -= slots;
-        let used = state.total_slots - state.free_slots;
-        state.peak_used = state.peak_used.max(used);
+        state.grant(slots);
         Some(Allocation {
             slots,
             pool: Arc::clone(&self.pool),
@@ -194,5 +250,36 @@ mod tests {
     fn oversized_request_panics() {
         let fuxi = Fuxi::new(1, 1);
         let _ = fuxi.allocate(2);
+    }
+
+    #[test]
+    fn stats_count_allocations_and_waits() {
+        let fuxi = Fuxi::new(1, 2);
+        let a = fuxi.allocate(2); // no wait
+        let fuxi2 = fuxi.clone();
+        let handle = std::thread::spawn(move || {
+            let _b = fuxi2.allocate(1); // must wait for `a`
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        drop(a);
+        handle.join().unwrap();
+        let s = fuxi.stats();
+        assert_eq!(s.total_slots, 2);
+        assert_eq!(s.free_slots, 2);
+        assert_eq!(s.peak_used, 2);
+        assert_eq!(s.allocations, 2);
+        assert_eq!(s.waits, 1);
+        assert!(
+            s.wait_micros > 0,
+            "blocked allocation must record wait time"
+        );
+        // A failed timeout still counts as a wait but not an allocation.
+        let _c = fuxi.allocate(2);
+        assert!(fuxi
+            .allocate_timeout(1, Duration::from_millis(10))
+            .is_none());
+        let s = fuxi.stats();
+        assert_eq!(s.allocations, 3);
+        assert_eq!(s.waits, 2);
     }
 }

@@ -153,6 +153,56 @@ impl Scheduler {
         }
     }
 
+    /// Submit one job whose subtasks each *produce* a value, wait for the
+    /// instance to terminate, and return the values **in subtask order**
+    /// (not completion order). This is the coordinator side of scatter/
+    /// gather: the distributed SQL engine fans per-segment scans out
+    /// through it and merges the partials it gets back.
+    ///
+    /// # Panics
+    /// Panics if a subtask panicked on its executor (its result slot stays
+    /// empty).
+    pub fn run_collect<T, F>(
+        &self,
+        owner: &str,
+        description: &str,
+        priority: u8,
+        tasks: Vec<F>,
+    ) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        let slots: Arc<Mutex<Vec<Option<T>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let subtasks: Vec<Subtask> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    let v = f();
+                    slots.lock()[i] = Some(v);
+                }) as Subtask
+            })
+            .collect();
+        self.submit(
+            owner,
+            JobSpec {
+                description: description.to_string(),
+                priority,
+                subtasks,
+            },
+        )
+        .wait();
+        let mut slots = slots.lock();
+        slots
+            .iter_mut()
+            .map(|s| s.take().expect("subtask did not produce a result"))
+            .collect()
+    }
+
     /// Stop executors after draining the pool.
     pub fn shutdown(mut self) {
         {
@@ -312,6 +362,25 @@ mod tests {
         high.wait();
         low.wait();
         assert_eq!(*order.lock(), vec!["high", "low"]);
+    }
+
+    #[test]
+    fn run_collect_returns_results_in_subtask_order() {
+        let (sched, _ots) = setup(4, 4);
+        let tasks: Vec<_> = (0..16u64)
+            .map(|i| {
+                move || {
+                    // Finish out of order on purpose.
+                    std::thread::sleep(std::time::Duration::from_millis((16 - i) % 4));
+                    i * i
+                }
+            })
+            .collect();
+        let results = sched.run_collect("a", "squares", 3, tasks);
+        assert_eq!(results, (0..16u64).map(|i| i * i).collect::<Vec<_>>());
+        assert!(sched
+            .run_collect("a", "empty", 3, Vec::<fn() -> u8>::new())
+            .is_empty());
     }
 
     #[test]

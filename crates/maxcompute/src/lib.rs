@@ -12,11 +12,17 @@
 //!   [`fuxi`] resource manager grants slots;
 //! * **storage & compute layer** — [`pangu`] is the chunked, replicated
 //!   blob store results persist to, and the compute layer executes either
-//!   [`sql`] queries (SELECT/WHERE/GROUP BY with aggregates — enough to
-//!   extract basic features and labels) or [`mapreduce`] jobs (how the
-//!   transaction network is aggregated) over columnar [`table::Table`]s.
+//!   [`sql`] queries (SELECT/WHERE/GROUP BY/JOIN with aggregates — enough
+//!   to extract basic features and labels) or [`mapreduce`] jobs over
+//!   columnar [`table::Table`]s. SQL runs either single-process or as a
+//!   coordinator/worker job fanned over Fuxi slots ([`distsql`]): workers
+//!   scan row-range segments and ship decomposable partials (exact sums,
+//!   grouped states, bounded top-K), the coordinator merges — results are
+//!   bit-identical for any (segments × threads) combination.
 
 pub mod client;
+pub mod distsql;
+pub mod exact;
 pub mod fuxi;
 pub mod job;
 pub mod mapreduce;
@@ -27,5 +33,8 @@ pub mod table;
 pub mod value;
 
 pub use client::{Account, MaxCompute, Session};
+pub use distsql::{DistReport, JoinReport};
+pub use exact::ExactSum;
+pub use fuxi::FuxiStats;
 pub use table::{Schema, Table};
 pub use value::{ColumnType, Value};

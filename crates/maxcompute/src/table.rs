@@ -75,6 +75,66 @@ impl Table {
         }
     }
 
+    /// Build a table by pushing `rows` in order.
+    ///
+    /// # Panics
+    /// Same contract as [`Table::push_row`].
+    pub fn from_rows<I: IntoIterator<Item = Vec<Value>>>(schema: Schema, rows: I) -> Self {
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.push_row(row);
+        }
+        t
+    }
+
+    /// Canonical byte encoding of schema + contents. Two tables are
+    /// **byte-identical** exactly when their encodings are equal: floats
+    /// are encoded by IEEE bit pattern (so `-0.0 ≠ 0.0` and NaN payloads
+    /// count), which is the equality the distributed SQL engine is gated
+    /// on against its single-process reference.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let push_str = |out: &mut Vec<u8>, s: &str| {
+            out.extend((s.len() as u64).to_le_bytes());
+            out.extend(s.as_bytes());
+        };
+        out.extend((self.schema.len() as u64).to_le_bytes());
+        for c in 0..self.schema.len() {
+            push_str(&mut out, self.schema.name(c));
+            out.push(match self.schema.column_type(c) {
+                ColumnType::Int => 1,
+                ColumnType::Float => 2,
+                ColumnType::Text => 3,
+                ColumnType::Bool => 4,
+            });
+        }
+        out.extend((self.n_rows() as u64).to_le_bytes());
+        for col in &self.columns {
+            for v in col {
+                match v {
+                    Value::Null => out.push(0),
+                    Value::Int(i) => {
+                        out.push(1);
+                        out.extend(i.to_le_bytes());
+                    }
+                    Value::Float(f) => {
+                        out.push(2);
+                        out.extend(f.to_bits().to_le_bytes());
+                    }
+                    Value::Text(s) => {
+                        out.push(3);
+                        push_str(&mut out, s);
+                    }
+                    Value::Bool(b) => {
+                        out.push(4);
+                        out.push(*b as u8);
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// The schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -13,10 +13,14 @@
 #                                 # path; writes BENCH_serving_scale.json),
 #                                 # the ingest-throughput gate (batched
 #                                 # writes / WAL group commit counters;
-#                                 # writes BENCH_ingest.json), and the
+#                                 # writes BENCH_ingest.json), the
 #                                 # serving-million gate (dynamic region
 #                                 # splitting under Zipf-hot traffic;
-#                                 # writes BENCH_serving_million.json)
+#                                 # writes BENCH_serving_million.json),
+#                                 # and the distributed-SQL gate
+#                                 # (coordinator/worker byte-identity +
+#                                 # counted-work scaling; writes
+#                                 # BENCH_offline_sql.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -66,6 +70,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> serving-million gate (--quick)"
     cargo run --release -q -p titant-bench --bin serving_million -- --quick
+
+    echo "==> distributed-SQL gate (--quick)"
+    cargo run --release -q -p titant-bench --bin offline_sql -- --quick
 fi
 
 echo "verify: all green"
