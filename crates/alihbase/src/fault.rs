@@ -1,15 +1,18 @@
-//! Deterministic fault injection for storage reads.
+//! Deterministic fault injection for storage reads **and writes**.
 //!
 //! A [`FaultHook`] sits between the table and the store and decides, per
 //! read, whether the read proceeds cleanly or experiences one of four
 //! failure modes: a transient error, injected latency, a torn first cell,
-//! or a region-unavailable window. The shipped implementation,
-//! [`FaultPlan`], makes each decision a **pure function of the seed and the
-//! read's coordinates** (row, region, replica, tick, attempt) — never of
-//! wall-clock time or global call order — so the same seed produces a
-//! bit-identical fault sequence regardless of thread count or interleaving.
-//! That determinism is what lets the chaos gate assert exact counter
-//! equality across re-runs.
+//! or a region-unavailable window. The write side mirrors it: per batched
+//! write, [`FaultHook::on_write`] can fail the WAL append, fail the fsync
+//! barrier, stall the write, or cut the power (the un-synced WAL tail and
+//! all in-memory state vanish and the store recovers its durable prefix).
+//! The shipped implementation, [`FaultPlan`], makes each decision a **pure
+//! function of the seed and the operation's coordinates** (row, region,
+//! replica, tick, attempt) — never of wall-clock time or global call order
+//! — so the same seed produces a bit-identical fault sequence regardless
+//! of thread count or interleaving. That determinism is what lets the
+//! chaos and crash gates assert exact counter equality across re-runs.
 
 use crate::types::RowKey;
 use std::time::Duration;
@@ -69,14 +72,120 @@ pub struct ReadCtx<'a> {
     pub attempt: u32,
 }
 
-/// A fault-decision point threaded through [`crate::RegionedTable`] reads.
+/// What a hook tells the store to do with one batched write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFaultAction {
+    /// Write proceeds normally.
+    None,
+    /// The WAL append fails before any byte reaches the log (a transient
+    /// I/O error); the batch is not applied and the caller may retry.
+    AppendError,
+    /// The frame reaches the log file but its durability barrier fails.
+    /// The write is **not acknowledged** and not applied to the memtable;
+    /// the bytes may still become durable via a later barrier — replaying
+    /// them is harmless because a retry rewrites the identical cells.
+    SyncError,
+    /// The write succeeds after the given simulated stall (a slow disk or
+    /// a saturated group-commit queue).
+    Latency(Duration),
+    /// Power is cut at this write: the un-synced WAL tail and every
+    /// in-memory structure vanish. The store recovers from its durable
+    /// prefix in place; the triggering write is lost and reports failure.
+    PowerLoss,
+}
+
+/// Coordinates of one batched storage write, as seen by a [`FaultHook`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriteCtx<'a> {
+    /// Region index the batch routes to.
+    pub region: usize,
+    /// Replica index the batch is being applied to.
+    pub replica: usize,
+    /// First row of the batch — the batch's row contribution to the draw.
+    pub row: &'a RowKey,
+    /// Logical time of the write (ingest passes its batch sequence
+    /// number), so fault schedules vary over a workload.
+    pub tick: u64,
+    /// Zero-based attempt number within one logical write (the ingest
+    /// retry loop bumps it so re-writes draw fresh faults).
+    pub attempt: u32,
+}
+
+/// Per-write options for [`crate::RegionedTable::try_put_rows`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteOptions {
+    /// Logical write time forwarded to the fault hook.
+    pub tick: u64,
+    /// Attempt number forwarded to the fault hook.
+    pub attempt: u32,
+}
+
+/// Classification of a failed batched write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFaultKind {
+    /// Injected WAL append error — nothing reached the log; retryable.
+    AppendError,
+    /// Injected fsync failure — the frame may or may not be durable; the
+    /// write is unacknowledged. Retryable (a retry rewrites the same
+    /// cells, and duplicate `(key, version)` entries with equal values
+    /// replay idempotently).
+    SyncError,
+    /// Power loss struck at this write; the store recovered its durable
+    /// prefix in place and the batch was lost. Retryable after recovery.
+    PowerLoss,
+    /// A real (non-injected) I/O error from the store; see
+    /// [`WriteFault::source`].
+    Io,
+}
+
+/// A batched write that was not acknowledged.
+#[derive(Debug)]
+pub struct WriteFault {
+    /// What went wrong.
+    pub kind: WriteFaultKind,
+    /// Region the write routed to.
+    pub region: usize,
+    /// Replica that faulted.
+    pub replica: usize,
+    /// Simulated wait incurred before the fault surfaced; callers charge
+    /// this against their deadline budget.
+    pub waited: Duration,
+    /// The underlying I/O error for [`WriteFaultKind::Io`].
+    pub source: Option<std::io::Error>,
+}
+
+impl std::fmt::Display for WriteFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (&self.kind, &self.source) {
+            (WriteFaultKind::Io, Some(e)) => write!(
+                f,
+                "write to region {} replica {} failed: {e}",
+                self.region, self.replica
+            ),
+            _ => write!(
+                f,
+                "write to region {} replica {} failed: {:?}",
+                self.region, self.replica, self.kind
+            ),
+        }
+    }
+}
+
+/// A fault-decision point threaded through [`crate::RegionedTable`] reads
+/// and batched writes.
 ///
 /// Implementations must be pure with respect to the context: the same
-/// `ReadCtx` must always yield the same `FaultAction`, or downstream
+/// `ReadCtx`/`WriteCtx` must always yield the same action, or downstream
 /// determinism guarantees break.
 pub trait FaultHook: Send + Sync {
     /// Decide what happens to the read described by `ctx`.
     fn on_read(&self, ctx: &ReadCtx<'_>) -> FaultAction;
+
+    /// Decide what happens to the batched write described by `ctx`.
+    /// Defaults to a clean write so read-only hooks stay source-compatible.
+    fn on_write(&self, _ctx: &WriteCtx<'_>) -> WriteFaultAction {
+        WriteFaultAction::None
+    }
 }
 
 /// Classification of a failed read.
@@ -182,6 +291,17 @@ pub struct FaultPlanConfig {
     pub torn_cell_rate: f64,
     /// Optional deterministic outage window.
     pub unavailable: Option<UnavailableWindow>,
+    /// Probability a batched write fails its WAL append.
+    pub write_append_error_rate: f64,
+    /// Probability a batched write fails its fsync barrier.
+    pub write_sync_error_rate: f64,
+    /// Probability a batched write stalls for [`Self::write_latency`].
+    pub write_latency_rate: f64,
+    /// Injected stall for latency-spiked writes.
+    pub write_latency: Duration,
+    /// Probability a batched write triggers a power-loss point (the
+    /// un-synced WAL tail and all in-memory state vanish mid-workload).
+    pub power_loss_rate: f64,
 }
 
 impl Default for FaultPlanConfig {
@@ -193,6 +313,11 @@ impl Default for FaultPlanConfig {
             latency: Duration::from_millis(1),
             torn_cell_rate: 0.0,
             unavailable: None,
+            write_append_error_rate: 0.0,
+            write_sync_error_rate: 0.0,
+            write_latency_rate: 0.0,
+            write_latency: Duration::from_millis(1),
+            power_loss_rate: 0.0,
         }
     }
 }
@@ -218,12 +343,44 @@ impl FaultPlan {
 
     /// Uniform draw in `[0, 1)` for one (read, fault-kind) pair.
     fn draw(&self, ctx: &ReadCtx<'_>, salt: u64) -> f64 {
+        self.draw_parts(
+            ctx.row,
+            ctx.region,
+            ctx.replica,
+            ctx.tick,
+            ctx.attempt,
+            salt,
+        )
+    }
+
+    /// Uniform draw in `[0, 1)` for one (write, fault-kind) pair — same
+    /// mixing as reads; the salt keeps read and write schedules independent.
+    fn draw_write(&self, ctx: &WriteCtx<'_>, salt: u64) -> f64 {
+        self.draw_parts(
+            ctx.row,
+            ctx.region,
+            ctx.replica,
+            ctx.tick,
+            ctx.attempt,
+            salt,
+        )
+    }
+
+    fn draw_parts(
+        &self,
+        row: &RowKey,
+        region: usize,
+        replica: usize,
+        tick: u64,
+        attempt: u32,
+        salt: u64,
+    ) -> f64 {
         let mut key = self.config.seed;
-        key ^= row_hash(ctx.row).rotate_left(17);
-        key ^= (ctx.region as u64).wrapping_mul(0xA076_1D64_78BD_642F);
-        key ^= (ctx.replica as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB);
-        key ^= ctx.tick.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
-        key ^= (ctx.attempt as u64).wrapping_mul(0x5896_27F6_EB5C_04F9);
+        key ^= row_hash(row).rotate_left(17);
+        key ^= (region as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+        key ^= (replica as u64).wrapping_mul(0xE703_7ED1_A0B4_28DB);
+        key ^= tick.wrapping_mul(0x8EBC_6AF0_9C88_C6E3);
+        key ^= (attempt as u64).wrapping_mul(0x5896_27F6_EB5C_04F9);
         key ^= salt;
         (splitmix64(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
@@ -246,6 +403,30 @@ impl FaultHook for FaultPlan {
         }
         FaultAction::None
     }
+
+    fn on_write(&self, ctx: &WriteCtx<'_>) -> WriteFaultAction {
+        let c = &self.config;
+        // Power loss outranks everything (it is the rarest and the most
+        // destructive), then append beats sync beats latency — mirroring
+        // the read side's severity ordering.
+        if c.power_loss_rate > 0.0 && self.draw_write(ctx, 0x706f_7772) < c.power_loss_rate {
+            return WriteFaultAction::PowerLoss;
+        }
+        if c.write_append_error_rate > 0.0
+            && self.draw_write(ctx, 0x6170_7065) < c.write_append_error_rate
+        {
+            return WriteFaultAction::AppendError;
+        }
+        if c.write_sync_error_rate > 0.0
+            && self.draw_write(ctx, 0x7773_796e) < c.write_sync_error_rate
+        {
+            return WriteFaultAction::SyncError;
+        }
+        if c.write_latency_rate > 0.0 && self.draw_write(ctx, 0x776c_6174) < c.write_latency_rate {
+            return WriteFaultAction::Latency(c.write_latency);
+        }
+        WriteFaultAction::None
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +436,16 @@ mod tests {
 
     fn ctx(row: &RowKey, region: usize, replica: usize, tick: u64, attempt: u32) -> ReadCtx<'_> {
         ReadCtx {
+            region,
+            replica,
+            row,
+            tick,
+            attempt,
+        }
+    }
+
+    fn wctx(row: &RowKey, region: usize, replica: usize, tick: u64, attempt: u32) -> WriteCtx<'_> {
+        WriteCtx {
             region,
             replica,
             row,
@@ -333,6 +524,93 @@ mod tests {
     }
 
     #[test]
+    fn zero_write_rates_inject_nothing() {
+        let plan = FaultPlan::new(FaultPlanConfig::default());
+        let row = RowKey::from_user(7);
+        for tick in 0..1000 {
+            assert_eq!(
+                plan.on_write(&wctx(&row, 0, 0, tick, 0)),
+                WriteFaultAction::None
+            );
+        }
+    }
+
+    #[test]
+    fn certain_write_rates_fire_in_severity_order() {
+        let plan = FaultPlan::new(FaultPlanConfig {
+            write_append_error_rate: 1.0,
+            write_sync_error_rate: 1.0,
+            write_latency_rate: 1.0,
+            power_loss_rate: 1.0,
+            ..Default::default()
+        });
+        let row = RowKey::from_user(7);
+        assert_eq!(
+            plan.on_write(&wctx(&row, 0, 0, 3, 0)),
+            WriteFaultAction::PowerLoss
+        );
+        let no_power = FaultPlan::new(FaultPlanConfig {
+            write_append_error_rate: 1.0,
+            write_sync_error_rate: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(
+            no_power.on_write(&wctx(&row, 0, 0, 3, 0)),
+            WriteFaultAction::AppendError
+        );
+        let sync_only = FaultPlan::new(FaultPlanConfig {
+            write_sync_error_rate: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(
+            sync_only.on_write(&wctx(&row, 0, 0, 3, 0)),
+            WriteFaultAction::SyncError
+        );
+        let latency_only = FaultPlan::new(FaultPlanConfig {
+            write_latency_rate: 1.0,
+            write_latency: Duration::from_micros(250),
+            ..Default::default()
+        });
+        assert_eq!(
+            latency_only.on_write(&wctx(&row, 0, 0, 3, 0)),
+            WriteFaultAction::Latency(Duration::from_micros(250))
+        );
+    }
+
+    #[test]
+    fn write_and_read_schedules_are_independent() {
+        // Identical rates on both sides: the salts must decorrelate the
+        // two schedules, or write chaos would shadow read chaos.
+        let plan = FaultPlan::new(FaultPlanConfig {
+            transient_rate: 0.5,
+            write_append_error_rate: 0.5,
+            ..Default::default()
+        });
+        let differs = (0..64u64).any(|u| {
+            let row = RowKey::from_user(u);
+            let r = plan.on_read(&ctx(&row, 0, 0, 1, 0)) == FaultAction::Transient;
+            let w = plan.on_write(&wctx(&row, 0, 0, 1, 0)) == WriteFaultAction::AppendError;
+            r != w
+        });
+        assert!(differs, "read and write draws must not be correlated");
+    }
+
+    #[test]
+    fn write_retry_attempts_draw_fresh_faults() {
+        let plan = FaultPlan::new(FaultPlanConfig {
+            write_append_error_rate: 0.5,
+            ..Default::default()
+        });
+        let differs = (0..64u64).any(|u| {
+            let row = RowKey::from_user(u);
+            let a0 = plan.on_write(&wctx(&row, 0, 0, 1, 0));
+            let a1 = plan.on_write(&wctx(&row, 0, 0, 1, 1));
+            a0 != a1
+        });
+        assert!(differs, "attempt number must influence the write draw");
+    }
+
+    #[test]
     fn retry_attempts_draw_fresh_faults() {
         // With a 50% transient rate some attempt must differ from attempt 0
         // for at least one row — i.e. the attempt number feeds the draw.
@@ -372,6 +650,10 @@ mod tests {
                     from_tick: 1000,
                     to_tick: 2000,
                 }),
+                write_append_error_rate: 0.1,
+                write_sync_error_rate: 0.1,
+                write_latency_rate: 0.05,
+                power_loss_rate: 0.02,
                 ..Default::default()
             };
             let plan_a = FaultPlan::new(config.clone());
@@ -385,6 +667,18 @@ mod tests {
                     })
                     .collect()
             };
+            // The write schedule obeys the same contract with the same
+            // coordinates.
+            let decide_writes = |plan: &FaultPlan| -> Vec<WriteFaultAction> {
+                reads
+                    .iter()
+                    .map(|&(user, region, replica, tick, attempt)| {
+                        let row = RowKey::from_user(user);
+                        plan.on_write(&wctx(&row, region, replica, tick, attempt))
+                    })
+                    .collect()
+            };
+            prop_assert_eq!(decide_writes(&plan_a), decide_writes(&plan_b));
             let forward = decide(&plan_a);
             prop_assert_eq!(&forward, &decide(&plan_b));
             // Issue the same reads in reverse order: per-read decisions are

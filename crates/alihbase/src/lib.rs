@@ -18,9 +18,12 @@
 //!   [`store::Store::compact`] merges runs and discards superseded versions;
 //! * [`region`] shards a table by row-key range, HBase-style, with
 //!   optional per-region read replicas for failover;
-//! * [`fault`] injects seeded, deterministic storage faults (transient
-//!   errors, latency, torn cells, region outages) into the online read
-//!   path via a [`fault::FaultHook`] threaded through the table.
+//! * [`fault`] injects seeded, deterministic storage faults into the
+//!   online paths via a [`fault::FaultHook`] threaded through the table:
+//!   reads (transient errors, latency, torn cells, region outages) and
+//!   writes (WAL append errors, fsync failures, write latency, power-loss
+//!   points), with crash-restart recovery via
+//!   [`region::RegionedTable::reopen`].
 
 pub mod bloom;
 pub mod fault;
@@ -34,9 +37,10 @@ pub mod wal;
 pub use bloom::RowBloom;
 pub use fault::{
     FaultAction, FaultHook, FaultKind, FaultPlan, FaultPlanConfig, ReadCtx, ReadFault, ReadOptions,
-    RowRead, UnavailableWindow,
+    RowRead, UnavailableWindow, WriteCtx, WriteFault, WriteFaultAction, WriteFaultKind,
+    WriteOptions,
 };
-pub use region::{RegionedTable, SplitConfig, StoreOpCounts};
+pub use region::{RegionedTable, ReopenReport, SplitConfig, StoreOpCounts};
 pub use sstable::RowPresence;
 pub use store::{
     CompactionMode, ReadStatsSnapshot, Store, StoreConfig, TickReport, WriteStatsSnapshot,

@@ -1,6 +1,9 @@
 //! The LSM store: WAL + memtable + sorted runs + compaction.
 
-use crate::fault::{FaultAction, FaultHook, FaultKind, ReadCtx, ReadFault, RowRead};
+use crate::fault::{
+    FaultAction, FaultHook, FaultKind, ReadCtx, ReadFault, RowRead, WriteCtx, WriteFault,
+    WriteFaultAction, WriteFaultKind,
+};
 use crate::memtable::MemTable;
 use crate::sstable::{RowPresence, SsTable};
 use crate::types::{Cell, CellKey, Version};
@@ -124,6 +127,10 @@ struct WriteStats {
     lock_acquisitions: AtomicU64,
     cells_written: AtomicU64,
     batches: AtomicU64,
+    wal_append_failures: AtomicU64,
+    wal_sync_failures: AtomicU64,
+    power_loss_recoveries: AtomicU64,
+    orphans_cleaned: AtomicU64,
 }
 
 /// Point-in-time copy of a store's write-path counters, WAL work included.
@@ -149,6 +156,17 @@ pub struct WriteStatsSnapshot {
     pub wal_bytes: u64,
     /// Simulated group-commit wait charged to deferred appends (µs).
     pub wal_simulated_wait_micros: u64,
+    /// Injected WAL append I/O errors surfaced by [`Store::try_put_batch`].
+    pub wal_append_failures: u64,
+    /// fsync failures surfaced by [`Store::try_put_batch`] or by a tick's
+    /// group-commit barrier.
+    pub wal_sync_failures: u64,
+    /// Simulated power losses recovered in place (WAL tail truncated,
+    /// memtable rebuilt from the surviving prefix).
+    pub power_loss_recoveries: u64,
+    /// Leftover crash artifacts (temp run files, aborted child dirs)
+    /// removed on open.
+    pub orphans_cleaned: u64,
 }
 
 impl WriteStatsSnapshot {
@@ -162,6 +180,10 @@ impl WriteStatsSnapshot {
         self.wal_syncs += other.wal_syncs;
         self.wal_bytes += other.wal_bytes;
         self.wal_simulated_wait_micros += other.wal_simulated_wait_micros;
+        self.wal_append_failures += other.wal_append_failures;
+        self.wal_sync_failures += other.wal_sync_failures;
+        self.power_loss_recoveries += other.power_loss_recoveries;
+        self.orphans_cleaned += other.orphans_cleaned;
     }
 
     /// Field-wise delta against an earlier snapshot.
@@ -176,6 +198,10 @@ impl WriteStatsSnapshot {
             wal_bytes: self.wal_bytes - earlier.wal_bytes,
             wal_simulated_wait_micros: self.wal_simulated_wait_micros
                 - earlier.wal_simulated_wait_micros,
+            wal_append_failures: self.wal_append_failures - earlier.wal_append_failures,
+            wal_sync_failures: self.wal_sync_failures - earlier.wal_sync_failures,
+            power_loss_recoveries: self.power_loss_recoveries - earlier.power_loss_recoveries,
+            orphans_cleaned: self.orphans_cleaned - earlier.orphans_cleaned,
         }
     }
 }
@@ -195,6 +221,10 @@ pub struct TickReport {
     /// Cold sibling pairs merged by [`crate::RegionedTable::tick`] (at
     /// most 1 per table tick).
     pub region_merges: u64,
+    /// Stores whose pending group-commit sync *failed* this tick. The tick
+    /// carries on (the frames stay pending for the next barrier) — one
+    /// region's sick disk must not stall compaction everywhere else.
+    pub wal_sync_errors: u64,
 }
 
 impl TickReport {
@@ -205,6 +235,7 @@ impl TickReport {
         self.wal_synced += other.wal_synced;
         self.region_splits += other.region_splits;
         self.region_merges += other.region_merges;
+        self.wal_sync_errors += other.wal_sync_errors;
     }
 }
 
@@ -239,8 +270,20 @@ impl Store {
         let mut run_ids = Vec::new();
         let mut wal = None;
         let mut next_run_id = 0;
+        let mut orphans_cleaned = 0u64;
         if let Some(dir) = &config.dir {
             std::fs::create_dir_all(dir)?;
+            // Sweep crash leftovers first: a `run-*.sst.tmp` is a merge
+            // that died before its rename and is by construction redundant
+            // (every cell still lives in the window's source runs). Loading
+            // it would double cells; failing on it would brick recovery.
+            for entry in std::fs::read_dir(dir)?.filter_map(|e| e.ok()) {
+                let name = entry.file_name().into_string().unwrap_or_default();
+                if name.starts_with("run-") && name.ends_with(".sst.tmp") {
+                    std::fs::remove_file(entry.path())?;
+                    orphans_cleaned += 1;
+                }
+            }
             // Load persisted runs, newest (highest id) first.
             let mut run_files: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)?
                 .filter_map(|e| e.ok())
@@ -270,7 +313,7 @@ impl Store {
             }
             wal = Some(w);
         }
-        Ok(Self {
+        let store = Self {
             config,
             inner: RwLock::new(Inner {
                 memtable,
@@ -281,7 +324,12 @@ impl Store {
             }),
             stats: ReadStats::default(),
             write_stats: WriteStats::default(),
-        })
+        };
+        store
+            .write_stats
+            .orphans_cleaned
+            .store(orphans_cleaned, Ordering::Relaxed);
+        Ok(store)
     }
 
     /// Snapshot the read-path counters.
@@ -312,6 +360,13 @@ impl Store {
             wal_syncs: wal.syncs,
             wal_bytes: wal.bytes,
             wal_simulated_wait_micros: wal.simulated_wait_micros,
+            wal_append_failures: self.write_stats.wal_append_failures.load(Ordering::Relaxed),
+            wal_sync_failures: self.write_stats.wal_sync_failures.load(Ordering::Relaxed),
+            power_loss_recoveries: self
+                .write_stats
+                .power_loss_recoveries
+                .load(Ordering::Relaxed),
+            orphans_cleaned: self.write_stats.orphans_cleaned.load(Ordering::Relaxed),
         }
     }
 
@@ -383,6 +438,117 @@ impl Store {
             self.flush_locked(&mut inner)?;
         }
         Ok(waited)
+    }
+
+    /// [`Self::put_batch`] behind a write fault hook: consult `hook` (when
+    /// present) for this write's fate before touching WAL or memtable.
+    ///
+    /// * `WriteFaultAction::None` — delegates to `put_batch` unchanged, so
+    ///   with no hook (or a quiet one) counters and behaviour are
+    ///   byte-identical to the plain path.
+    /// * `Latency(d)` — sleeps `d` (real, like the read path) then writes;
+    ///   `d` joins the returned simulated wait.
+    /// * `AppendError` — the WAL write never happens: nothing reaches disk
+    ///   or the memtable. A clean, retryable I/O error.
+    /// * `SyncError` — the frame reaches the *file* but its durability
+    ///   barrier fails: the memtable is not updated and the caller must not
+    ///   acknowledge. A later successful barrier may still make the frame
+    ///   durable — harmless, because a retry rewrites the identical cells
+    ///   and duplicate `(key, version)` entries dedup newest-wins.
+    /// * `PowerLoss` — the box dies mid-write: every in-memory structure is
+    ///   discarded and the WAL file is cut back to its last durability
+    ///   barrier, then the store rebuilds itself in place exactly as a cold
+    ///   restart would (runs are on-disk files and survive; a dir-less
+    ///   store loses everything). The triggering write is not applied.
+    pub fn try_put_batch(
+        &self,
+        cells: Vec<(CellKey, Version, Option<Bytes>)>,
+        hook: Option<&dyn FaultHook>,
+        ctx: &WriteCtx<'_>,
+    ) -> Result<Duration, WriteFault> {
+        let action = hook.map_or(WriteFaultAction::None, |h| h.on_write(ctx));
+        let fault = |kind: WriteFaultKind, source: Option<std::io::Error>| WriteFault {
+            kind,
+            region: ctx.region,
+            replica: ctx.replica,
+            waited: Duration::ZERO,
+            source,
+        };
+        let io_fault = |e: std::io::Error| WriteFault {
+            kind: WriteFaultKind::Io,
+            region: ctx.region,
+            replica: ctx.replica,
+            waited: Duration::ZERO,
+            source: Some(e),
+        };
+        match action {
+            WriteFaultAction::None => self.put_batch(cells).map_err(io_fault),
+            WriteFaultAction::Latency(d) => {
+                std::thread::sleep(d);
+                let waited = self.put_batch(cells).map_err(io_fault)?;
+                Ok(waited + d)
+            }
+            WriteFaultAction::AppendError => {
+                self.write_stats
+                    .wal_append_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(fault(WriteFaultKind::AppendError, None))
+            }
+            WriteFaultAction::SyncError => {
+                let mut inner = self.inner.write();
+                self.write_stats
+                    .lock_acquisitions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.write_stats
+                    .wal_sync_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                if let Some(wal) = &mut inner.wal {
+                    // The frame lands in the file (it may yet become
+                    // durable at a later barrier) but the fsync "failed":
+                    // no acknowledgment, no memtable update.
+                    wal.append_batch_unsynced(&cells).map_err(io_fault)?;
+                }
+                Err(fault(WriteFaultKind::SyncError, None))
+            }
+            WriteFaultAction::PowerLoss => {
+                let mut inner = self.inner.write();
+                self.write_stats
+                    .lock_acquisitions
+                    .fetch_add(1, Ordering::Relaxed);
+                self.write_stats
+                    .power_loss_recoveries
+                    .fetch_add(1, Ordering::Relaxed);
+                self.power_loss_locked(&mut inner).map_err(io_fault)?;
+                Err(fault(WriteFaultKind::PowerLoss, None))
+            }
+        }
+    }
+
+    /// Discard all volatile state and rebuild from the durable prefix, in
+    /// place: the crash half of a crash-restart cycle, under the write
+    /// lock so readers only ever see pre- or post-crash state.
+    fn power_loss_locked(&self, inner: &mut Inner) -> std::io::Result<()> {
+        inner.memtable = MemTable::new();
+        if let Some(wal) = &mut inner.wal {
+            for r in wal.power_loss()? {
+                inner.memtable.put(r.key, r.version, r.value);
+            }
+        } else {
+            // No directory: nothing survives — total amnesia.
+            inner.runs.clear();
+            inner.run_ids.clear();
+        }
+        Ok(())
+    }
+
+    /// Arm one injected fsync failure on this store's WAL, so the next
+    /// durability barrier (e.g. a tick's group-commit sync) fails. Chaos
+    /// testing only.
+    #[doc(hidden)]
+    pub fn inject_wal_sync_failure(&self) {
+        if let Some(wal) = &mut self.inner.write().wal {
+            wal.inject_sync_failures(1);
+        }
     }
 
     /// Latest value at or below `as_of` (`Version::MAX` = newest).
@@ -725,8 +891,18 @@ impl Store {
         let mut inner = self.inner.write();
         let mut report = TickReport::default();
         if let Some(wal) = &mut inner.wal {
-            if wal.sync_pending()? {
-                report.wal_synced = 1;
+            // A failed barrier must not abort the rest of the tick: the
+            // frames stay pending (the next barrier retries them) and the
+            // failure is reported, while compaction below still runs.
+            match wal.sync_pending() {
+                Ok(true) => report.wal_synced = 1,
+                Ok(false) => {}
+                Err(_) => {
+                    report.wal_sync_errors = 1;
+                    self.write_stats
+                        .wal_sync_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
         if self.config.compaction == CompactionMode::Scheduled {
@@ -953,6 +1129,196 @@ mod tests {
             Some(b"in-wal".as_ref())
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A write hook whose scripted actions fire in order, then fall back
+    /// to clean writes — lets a test place one exact fault.
+    struct ScriptedWrites(parking_lot::Mutex<Vec<WriteFaultAction>>);
+
+    impl ScriptedWrites {
+        fn new(mut actions: Vec<WriteFaultAction>) -> Self {
+            actions.reverse(); // pop() yields them in the given order
+            Self(parking_lot::Mutex::new(actions))
+        }
+    }
+
+    impl FaultHook for ScriptedWrites {
+        fn on_read(&self, _ctx: &ReadCtx<'_>) -> FaultAction {
+            FaultAction::None
+        }
+        fn on_write(&self, _ctx: &WriteCtx<'_>) -> WriteFaultAction {
+            self.0.lock().pop().unwrap_or(WriteFaultAction::None)
+        }
+    }
+
+    fn wctx(row: &RowKey, attempt: u32) -> WriteCtx<'_> {
+        WriteCtx {
+            region: 0,
+            replica: 0,
+            row,
+            tick: 0,
+            attempt,
+        }
+    }
+
+    /// Regression: a `run-*.sst.tmp` left by a crash mid-merge must be
+    /// swept (and counted) on open, not loaded as a run — its cells are
+    /// all still present in the window's source runs.
+    #[test]
+    fn orphan_tmp_runs_are_removed_on_open() {
+        let dir = std::env::temp_dir().join(format!("titant-orphan-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        {
+            let s = Store::open(cfg.clone()).unwrap();
+            s.put(key("u1", "age"), 1, Bytes::from_static(b"real"))
+                .unwrap();
+            s.flush().unwrap();
+        }
+        std::fs::write(dir.join("run-00000042.sst.tmp"), b"half-written merge").unwrap();
+        let s = Store::open(cfg).unwrap();
+        assert_eq!(s.write_stats().orphans_cleaned, 1);
+        assert!(!dir.join("run-00000042.sst.tmp").exists());
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"real".as_ref()));
+        assert_eq!(s.run_count(), 1, "the orphan must not load as a run");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a failing group-commit sync must not abort the rest of
+    /// the tick — compaction still runs and the error is reported.
+    #[test]
+    fn tick_survives_wal_sync_failure() {
+        let dir = std::env::temp_dir().join(format!("titant-ticksync-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            max_runs: 2,
+            sync: SyncPolicy::GroupCommit {
+                max_batch: 64,
+                max_wait: Duration::from_micros(640),
+            },
+            ..Default::default()
+        };
+        let s = Store::open(cfg).unwrap();
+        // Compaction backlog: 4 runs > max_runs = 2.
+        for v in 0..4u64 {
+            s.put(key("u1", "age"), v, Bytes::from(format!("v{v}")))
+                .unwrap();
+            s.flush().unwrap();
+        }
+        // A pending group-commit frame, then a barrier armed to fail.
+        s.put(key("u2", "age"), 9, Bytes::from_static(b"pending"))
+            .unwrap();
+        s.inject_wal_sync_failure();
+        let report = s.tick().unwrap();
+        assert_eq!(report.wal_sync_errors, 1);
+        assert_eq!(report.wal_synced, 0);
+        assert_eq!(report.compactions, 1, "compaction must still run");
+        assert_eq!(s.write_stats().wal_sync_failures, 1);
+        // The frames stayed pending: the next (healthy) barrier syncs them.
+        let report = s.tick().unwrap();
+        assert_eq!(report.wal_synced, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Power loss mid-workload drops exactly the unacknowledged tail:
+    /// under `Always` every acked write survives the in-place recovery and
+    /// the triggering write is absent.
+    #[test]
+    fn power_loss_recovers_acknowledged_writes() {
+        let dir = std::env::temp_dir().join(format!("titant-power-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            sync: SyncPolicy::Always,
+            ..Default::default()
+        };
+        let s = Store::open(cfg).unwrap();
+        let row = RowKey::from_str("u1");
+        for v in 1..=3u64 {
+            let cells = vec![(key("u1", "age"), v, Some(Bytes::from(format!("v{v}"))))];
+            s.try_put_batch(cells, None, &wctx(&row, 0)).unwrap();
+        }
+        let hook = ScriptedWrites::new(vec![WriteFaultAction::PowerLoss]);
+        let doomed = vec![(key("u1", "age"), 4, Some(Bytes::from_static(b"lost")))];
+        let err = s
+            .try_put_batch(doomed, Some(&hook), &wctx(&row, 0))
+            .unwrap_err();
+        assert_eq!(err.kind, WriteFaultKind::PowerLoss);
+        assert_eq!(s.write_stats().power_loss_recoveries, 1);
+        // Every acked write survived; the doomed one never happened.
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"v3".as_ref()));
+        // The store keeps working after recovery.
+        let cells = vec![(key("u1", "age"), 5, Some(Bytes::from_static(b"v5")))];
+        s.try_put_batch(cells, Some(&hook), &wctx(&row, 1)).unwrap();
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"v5".as_ref()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A failed-fsync write is never applied, and retrying it is
+    /// idempotent even though the unsynced frame may become durable later:
+    /// the retry rewrites identical cells and duplicates dedup.
+    #[test]
+    fn sync_error_then_retry_is_idempotent() {
+        let dir = std::env::temp_dir().join(format!("titant-syncerr-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            sync: SyncPolicy::Always,
+            ..Default::default()
+        };
+        let cells = vec![(key("u1", "age"), 1, Some(Bytes::from_static(b"x")))];
+        {
+            let s = Store::open(cfg.clone()).unwrap();
+            let row = RowKey::from_str("u1");
+            let hook = ScriptedWrites::new(vec![WriteFaultAction::SyncError]);
+            let err = s
+                .try_put_batch(cells.clone(), Some(&hook), &wctx(&row, 0))
+                .unwrap_err();
+            assert_eq!(err.kind, WriteFaultKind::SyncError);
+            // Not applied: the memtable never saw the write.
+            assert!(s.get(&key("u1", "age")).is_none());
+            assert_eq!(s.write_stats().wal_sync_failures, 1);
+            // Retry succeeds; its barrier also covers the orphan frame.
+            s.try_put_batch(cells.clone(), Some(&hook), &wctx(&row, 1))
+                .unwrap();
+            assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"x".as_ref()));
+        }
+        // Recovery replays both the orphan frame and the retry — identical
+        // cells, deduped: exactly one value, no duplicate.
+        let s = Store::open(cfg).unwrap();
+        assert_eq!(s.get(&key("u1", "age")).as_deref(), Some(b"x".as_ref()));
+        let all: Vec<_> = s
+            .export_cells()
+            .into_iter()
+            .filter(|(k, v, _)| *k == key("u1", "age") && *v == 1)
+            .collect();
+        assert_eq!(all.len(), 1, "retry must not duplicate the cell");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// With no hook (or a quiet one), `try_put_batch` is byte-identical to
+    /// `put_batch` — counters included. The default-off guarantee the
+    /// existing benches rely on.
+    #[test]
+    fn quiet_write_hook_changes_nothing() {
+        let plain = mem_store();
+        let hooked = mem_store();
+        let row = RowKey::from_str("u1");
+        let cells = vec![
+            (key("u1", "p0"), 1, Some(Bytes::from_static(b"a"))),
+            (key("u1", "p1"), 1, Some(Bytes::from_static(b"b"))),
+        ];
+        plain.put_batch(cells.clone()).unwrap();
+        let quiet = ScriptedWrites::new(vec![]);
+        hooked
+            .try_put_batch(cells, Some(&quiet), &wctx(&row, 0))
+            .unwrap();
+        assert_eq!(plain.write_stats(), hooked.write_stats());
+        assert_eq!(plain.export_cells(), hooked.export_cells());
     }
 
     #[test]

@@ -188,6 +188,15 @@ pub struct Wal {
     /// Frames appended since the last durability barrier (group commit).
     pending: u32,
     stats: WalStats,
+    /// Logical file length written so far (always frame-aligned).
+    written_len: u64,
+    /// Length covered by the last durability barrier: the prefix a
+    /// simulated power loss preserves. Appends between barriers live in
+    /// the volatile tail (`synced_len..written_len`).
+    synced_len: u64,
+    /// Armed injected fsync failures (chaos testing); each `sync_data`
+    /// consumes one and fails.
+    fail_syncs: u32,
 }
 
 impl Wal {
@@ -199,12 +208,25 @@ impl Wal {
     }
 
     /// Open (or create) the WAL at `path` under an explicit [`SyncPolicy`].
+    ///
+    /// Recovery truncates any torn tail (partial or corrupt trailing
+    /// frame) off the file before appending resumes. Without the
+    /// truncation, frames appended after a torn-tail recovery would land
+    /// *behind* the garbage and every later replay — which stops at the
+    /// first bad frame — would silently lose them.
     pub fn open_with(path: &Path, sync: SyncPolicy) -> std::io::Result<(Self, Vec<WalRecord>)> {
         let mut existing = Vec::new();
+        let mut good_len = 0u64;
         if path.exists() {
             let mut data = Vec::new();
             File::open(path)?.read_to_end(&mut data)?;
-            existing = replay(&data);
+            let (records, consumed) = replay(&data);
+            existing = records;
+            good_len = consumed as u64;
+            if consumed < data.len() {
+                let file = OpenOptions::new().write(true).open(path)?;
+                file.set_len(good_len)?;
+            }
         }
         let writer = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
         Ok((
@@ -214,6 +236,11 @@ impl Wal {
                 sync,
                 pending: 0,
                 stats: WalStats::default(),
+                written_len: good_len,
+                // Bytes that survived to be read back are durable by
+                // definition — they are on the platter we just read.
+                synced_len: good_len,
+                fail_syncs: 0,
             },
             existing,
         ))
@@ -257,7 +284,32 @@ impl Wal {
         self.write_frame(&payload, cells.len() as u64)
     }
 
-    fn write_frame(&mut self, payload: &[u8], records: u64) -> std::io::Result<Duration> {
+    /// Append a whole batch as one frame **without** any durability action:
+    /// no sync, no group-commit accounting beyond marking the frame
+    /// pending, no simulated wait. This models the write that reached the
+    /// file right before its fsync failed — physically present (a later
+    /// barrier may make it durable) but never acknowledged. Chaos
+    /// injection only; the normal path is [`Wal::append_batch`].
+    pub fn append_batch_unsynced(
+        &mut self,
+        cells: &[(CellKey, Version, Option<Bytes>)],
+    ) -> std::io::Result<()> {
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(BATCH_SENTINEL);
+        payload.put_u32_le(cells.len() as u32);
+        for (key, version, value) in cells {
+            encode_record_into(&mut payload, key, *version, value.as_ref());
+        }
+        self.emit_frame(&payload, cells.len() as u64)?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Write one frame to the file and flush to the OS (no sync decision).
+    fn emit_frame(&mut self, payload: &[u8], records: u64) -> std::io::Result<()> {
         let mut frame = BytesMut::with_capacity(payload.len() + 8);
         frame.put_u32_le(payload.len() as u32);
         frame.put_u32_le(crc32(payload));
@@ -267,6 +319,12 @@ impl Wal {
         self.stats.frames += 1;
         self.stats.records += records;
         self.stats.bytes += frame.len() as u64;
+        self.written_len += frame.len() as u64;
+        Ok(())
+    }
+
+    fn write_frame(&mut self, payload: &[u8], records: u64) -> std::io::Result<Duration> {
+        self.emit_frame(payload, records)?;
         match self.sync {
             SyncPolicy::Always => {
                 self.sync_data()?;
@@ -296,10 +354,26 @@ impl Wal {
     }
 
     fn sync_data(&mut self) -> std::io::Result<()> {
+        if self.fail_syncs > 0 {
+            // Injected fsync failure: the frame is in the file (and may
+            // yet become durable via a later barrier) but the caller must
+            // not acknowledge the write.
+            self.fail_syncs -= 1;
+            return Err(std::io::Error::other("injected fsync failure"));
+        }
         self.writer.get_ref().sync_data()?;
         self.pending = 0;
         self.stats.syncs += 1;
+        self.synced_len = self.written_len;
         Ok(())
+    }
+
+    /// Arm `n` injected fsync failures: the next `n` durability barriers
+    /// (from appends under `Always`/`GroupCommit`, or [`Wal::sync_pending`])
+    /// return an error without syncing. Chaos testing only.
+    #[doc(hidden)]
+    pub fn inject_sync_failures(&mut self, n: u32) {
+        self.fail_syncs += n;
     }
 
     /// Force the durability barrier for any frames still waiting on their
@@ -328,30 +402,60 @@ impl Wal {
             self.stats.syncs += 1;
         }
         self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        // The truncation itself is treated as durable in the simulated
+        // crash model (it rides on the flush that wrote the run file),
+        // so the volatile tail resets with the log.
+        self.written_len = 0;
+        self.synced_len = 0;
         Ok(())
+    }
+
+    /// Simulate a power loss at this instant, in place: everything past
+    /// the last durability barrier vanishes. The file is cut back to
+    /// `synced_len`, the writer reopened, and the surviving prefix
+    /// replayed — the caller rebuilds its memtable from the returned
+    /// records exactly as a cold restart would.
+    pub fn power_loss(&mut self) -> std::io::Result<Vec<WalRecord>> {
+        self.writer.flush()?;
+        let file = OpenOptions::new().write(true).open(&self.path)?;
+        file.set_len(self.synced_len)?;
+        file.sync_data()?;
+        drop(file);
+        self.writer = BufWriter::new(OpenOptions::new().append(true).open(&self.path)?);
+        self.written_len = self.synced_len;
+        self.pending = 0;
+        let mut data = Vec::new();
+        File::open(&self.path)?.read_to_end(&mut data)?;
+        let (records, _consumed) = replay(&data);
+        Ok(records)
     }
 }
 
 /// Decode frames until the first torn or corrupt one. A batch frame either
 /// contributes every one of its records or stops replay — never a prefix.
-fn replay(mut data: &[u8]) -> Vec<WalRecord> {
+/// Also returns the byte length of the good prefix so recovery can truncate
+/// the torn tail off the file.
+fn replay(data: &[u8]) -> (Vec<WalRecord>, usize) {
     let mut out = Vec::new();
-    while data.remaining() >= 8 {
-        let len = (&data[..4]).get_u32_le() as usize;
-        let crc = (&data[4..8]).get_u32_le();
-        if data.remaining() < 8 + len {
+    let mut consumed = 0usize;
+    let mut rest = data;
+    while rest.remaining() >= 8 {
+        let len = (&rest[..4]).get_u32_le() as usize;
+        let crc = (&rest[4..8]).get_u32_le();
+        if rest.remaining() < 8 + len {
             break; // torn tail
         }
-        let payload = &data[8..8 + len];
+        let payload = &rest[8..8 + len];
         if crc32(payload) != crc {
             break; // corruption: stop at last good frame
         }
         if !decode_payload(payload, &mut out) {
             break;
         }
-        data.advance(8 + len);
+        rest.advance(8 + len);
+        consumed += 8 + len;
     }
-    out
+    (out, consumed)
 }
 
 /// Decode one CRC-verified payload (single record or batch) into `out`.
@@ -617,6 +721,122 @@ mod tests {
         assert!(wal.sync_pending().unwrap());
         assert!(!wal.sync_pending().unwrap(), "nothing left pending");
         assert_eq!(wal.stats().syncs, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Power loss drops exactly the tail past the last durability barrier,
+    /// and each policy places that barrier differently: `Always` loses
+    /// nothing, `OnTruncate`/`Never` lose every append since open (or the
+    /// last truncate), `GroupCommit` loses the open group window.
+    #[test]
+    fn power_loss_window_matches_sync_policy() {
+        for (name, policy, survivors) in [
+            ("always", SyncPolicy::Always, 5usize),
+            ("ontrunc", SyncPolicy::OnTruncate, 0),
+            ("never", SyncPolicy::Never, 0),
+            (
+                "group",
+                SyncPolicy::GroupCommit {
+                    max_batch: 4,
+                    max_wait: Duration::from_micros(400),
+                },
+                // 5 appends in groups of 4: one closed group survives, the
+                // open window of 1 is lost.
+                4,
+            ),
+        ] {
+            let dir = tmpdir(&format!("power-{name}"));
+            let path = dir.join("wal.log");
+            let _ = std::fs::remove_file(&path);
+            let (mut wal, _) = Wal::open_with(&path, policy).unwrap();
+            for i in 0..5u64 {
+                wal.append(&record("u1", i, Some(b"v"))).unwrap();
+            }
+            let replayed = wal.power_loss().unwrap();
+            assert_eq!(replayed.len(), survivors, "{name}");
+            // The handle stays usable: post-blackout appends are durable
+            // under the same policy and recovery sees survivors + new.
+            wal.append(&record("u9", 100, Some(b"after"))).unwrap();
+            drop(wal);
+            let (_w, recovered) = Wal::open_with(&path, policy).unwrap();
+            assert_eq!(recovered.len(), survivors + 1, "{name}");
+            assert_eq!(
+                recovered.last().unwrap(),
+                &record("u9", 100, Some(b"after")),
+                "{name}"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// Regression: recovery must truncate a torn tail off the file.
+    /// Before, the garbage stayed and new appends landed *behind* it, so
+    /// the next replay — which stops at the first bad frame — silently
+    /// lost every acknowledged post-recovery write.
+    #[test]
+    fn appends_after_torn_tail_recovery_survive_the_next_replay() {
+        let dir = tmpdir("torn-append");
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&record("u1", 1, Some(b"keep"))).unwrap();
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[42, 0, 0, 0, 7, 7, 7]).unwrap(); // torn half-frame
+        }
+        {
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert_eq!(replayed.len(), 1);
+            wal.append(&record("u2", 2, Some(b"new"))).unwrap();
+        }
+        let (_w, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2, "post-recovery append was lost");
+        assert_eq!(replayed[1], record("u2", 2, Some(b"new")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An injected fsync failure leaves the frame in the file without
+    /// acknowledging it: a later successful barrier makes it durable, and
+    /// an immediate power loss drops it.
+    #[test]
+    fn injected_sync_failure_leaves_frame_unacknowledged() {
+        let dir = tmpdir("failsync");
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_with(&path, SyncPolicy::Always).unwrap();
+        wal.append(&record("u1", 1, Some(b"ok"))).unwrap();
+        wal.inject_sync_failures(1);
+        assert!(wal.append(&record("u2", 2, Some(b"lost"))).is_err());
+        // Power loss now: only the first (synced) append survives.
+        let replayed = wal.power_loss().unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0], record("u1", 1, Some(b"ok")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `append_batch_unsynced` leaves the frame pending; the group-commit
+    /// stand-in timer (`sync_pending`) later makes it durable.
+    #[test]
+    fn unsynced_batch_becomes_durable_at_the_next_barrier() {
+        let dir = tmpdir("unsynced");
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let (mut wal, _) = Wal::open_with(&path, SyncPolicy::Always).unwrap();
+        wal.append_batch_unsynced(&[cell("u1", "p0", 1, b"a")])
+            .unwrap();
+        wal.append_batch_unsynced(&[]).unwrap(); // no-op
+                                                 // Before any barrier, power loss drops it.
+        assert_eq!(wal.power_loss().unwrap().len(), 0);
+        // Written again and then synced: survives.
+        wal.append_batch_unsynced(&[cell("u1", "p0", 2, b"b")])
+            .unwrap();
+        assert!(wal.sync_pending().unwrap());
+        let replayed = wal.power_loss().unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].version, 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -98,6 +98,9 @@ fn fault_plan(level: &Level) -> FaultPlan {
             from_tick: OUTAGE_TICKS.start,
             to_tick: OUTAGE_TICKS.end,
         }),
+        // Write-fault rates stay at their default-off zeros: this bench
+        // gates the read path and must stay byte-identical.
+        ..FaultPlanConfig::default()
     })
 }
 

@@ -57,6 +57,18 @@ pub struct ServingReport {
     /// Requests shed at the serving queue (always 0 in this synchronous
     /// replay; populated by pool-driven harnesses).
     pub shed: usize,
+    /// Ingest write retries performed against write faults during the
+    /// replayed interval (0 unless a write-fault hook is installed).
+    pub write_retried: usize,
+    /// WAL append failures the feature table absorbed during the interval.
+    pub wal_append_failures: u64,
+    /// WAL fsync failures (injected or real) absorbed during the interval.
+    pub wal_sync_failures: u64,
+    /// Seeded power-loss events recovered in place during the interval.
+    pub power_loss_recoveries: u64,
+    /// Crash artifacts (orphan temp runs, aborted child dirs) swept by
+    /// store opens during the interval.
+    pub orphans_cleaned: u64,
 }
 
 /// A live deployment built from offline artifacts.
@@ -132,6 +144,7 @@ impl OnlineDeployment {
         let latency_before = self.model_server().latency().snapshot();
         let stats_before = self.alipay.stats();
         let resilience_before = self.model_server().resilience();
+        let write_before = self.model_server().write_stats();
         let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
         let mut total = 0usize;
         let mut errors = 0usize;
@@ -191,6 +204,7 @@ impl OnlineDeployment {
         };
         let total_stage = delta.stage(Stage::Total);
         let resilience = self.model_server().resilience();
+        let write_delta = self.model_server().write_stats().since(&write_before);
         ServingReport {
             transactions: total,
             true_alerts: tp,
@@ -209,6 +223,11 @@ impl OnlineDeployment {
             hedged: (resilience.hedged - resilience_before.hedged) as usize,
             failovers: (resilience.failovers - resilience_before.failovers) as usize,
             shed: (resilience.shed - resilience_before.shed) as usize,
+            write_retried: (resilience.write_retried - resilience_before.write_retried) as usize,
+            wal_append_failures: write_delta.wal_append_failures,
+            wal_sync_failures: write_delta.wal_sync_failures,
+            power_loss_recoveries: write_delta.power_loss_recoveries,
+            orphans_cleaned: write_delta.orphans_cleaned,
         }
     }
 }

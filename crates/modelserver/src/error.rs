@@ -131,6 +131,17 @@ pub enum ServeError {
         /// The underlying storage error, stringified.
         message: String,
     },
+    /// A streaming ingest exhausted its bounded write retries against
+    /// injected or real write faults (failed appends, failed fsyncs) and
+    /// was never acknowledged. Nothing from the batch is readable; the
+    /// caller may retry the whole call — rewriting identical cells is
+    /// idempotent.
+    IngestRetriesExhausted {
+        /// Write attempts made (initial try + retries).
+        attempts: u32,
+        /// The last write fault, stringified.
+        message: String,
+    },
 }
 
 impl ServeError {
@@ -205,6 +216,12 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Ingest { message } => {
                 write!(f, "streaming ingest failed in the feature store: {message}")
+            }
+            ServeError::IngestRetriesExhausted { attempts, message } => {
+                write!(
+                    f,
+                    "streaming ingest unacknowledged after {attempts} write attempts: {message}"
+                )
             }
         }
     }
@@ -290,5 +307,13 @@ mod tests {
         };
         assert!(!e.is_degradable());
         assert!(e.to_string().contains("disk full"));
+
+        let e = ServeError::IngestRetriesExhausted {
+            attempts: 4,
+            message: "injected fsync failure".into(),
+        };
+        assert!(!e.is_degradable(), "an unacked write must not degrade");
+        assert!(e.to_string().contains("4 write attempts"));
+        assert!(e.to_string().contains("fsync"));
     }
 }

@@ -46,6 +46,6 @@ pub use latency::{LatencyRecorder, LatencySnapshot, Stage, StageSnapshot};
 pub use model_file::{ModelFile, ServableModel};
 pub use row_cache::{RowCache, RowCacheConfig, RowCacheStats};
 pub use server::{
-    FeatureLayout, IngestReport, ModelServer, ScoreRequest, ScoreResponse, ServePool,
+    FeatureLayout, IngestOptions, IngestReport, ModelServer, ScoreRequest, ScoreResponse, ServePool,
 };
 pub use slo::{Deadline, HedgePolicy, ReqRng, ResilienceSnapshot, RetryPolicy, SloConfig};

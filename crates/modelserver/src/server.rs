@@ -19,7 +19,10 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use titant_alihbase::{FaultKind, ReadOptions, RegionedTable, Version};
+use titant_alihbase::{
+    FaultKind, ReadOptions, RegionedTable, ReopenReport, Version, WriteFaultKind, WriteOptions,
+    WriteStatsSnapshot,
+};
 use titant_models::{Classifier, Dataset};
 
 /// A scoring request: the two transfer parties plus the per-transaction
@@ -63,6 +66,19 @@ pub struct IngestReport {
     pub region_splits: u64,
     /// Cold sibling regions merged by the post-ingest tick.
     pub region_merges: u64,
+    /// Write attempts beyond the first this batch needed against injected
+    /// write faults (failed appends/fsyncs, power loss) before it was
+    /// acknowledged.
+    pub write_retries: u64,
+}
+
+/// Per-call options for [`ModelServer::ingest_update_opts`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestOptions {
+    /// Logical time of the write (e.g. the batch sequence number),
+    /// forwarded to the table's write-fault hook so fault schedules vary
+    /// across a workload and across retry attempts deterministically.
+    pub tick: u64,
 }
 
 /// The serving feature layout: where user-side and context features land in
@@ -236,6 +252,28 @@ impl ModelServer {
         self.inner.cache.as_ref().map(|c| c.stats())
     }
 
+    /// Crash-restart the feature table in place: discard every volatile
+    /// structure and rebuild all regions and replicas from their on-disk
+    /// dirs via [`RegionedTable::reopen`], then drop the decoded-row cache
+    /// — cached decodes must not outlive the stores they were decoded
+    /// from. Acknowledged (flushed or WAL-synced) writes survive; scores
+    /// served afterwards are identical to the pre-crash acknowledged
+    /// state.
+    pub fn recover_table(&self) -> Result<ReopenReport, ServeError> {
+        let report = self.inner.table.reopen().map_err(|e| ServeError::Ingest {
+            message: e.to_string(),
+        })?;
+        self.invalidate_row_cache();
+        Ok(report)
+    }
+
+    /// Physical write/durability counters of the underlying feature table
+    /// (WAL appends/syncs, injected failures, power-loss recoveries,
+    /// orphans swept on open).
+    pub fn write_stats(&self) -> WriteStatsSnapshot {
+        self.inner.table.write_stats()
+    }
+
     /// Apply a batch of streaming per-user feature deltas at `version`.
     ///
     /// This is the online half of the write path: instead of waiting for
@@ -255,6 +293,29 @@ impl ModelServer {
         &self,
         deltas: &[FeatureDelta],
         version: Version,
+    ) -> Result<IngestReport, ServeError> {
+        self.ingest_update_opts(deltas, version, IngestOptions::default())
+    }
+
+    /// [`Self::ingest_update`] with explicit [`IngestOptions`] — the entry
+    /// point the crash bench uses to thread a logical tick into the
+    /// table's write-fault hook.
+    ///
+    /// The write goes through a bounded retry loop governed by the same
+    /// [`crate::slo::RetryPolicy`] and simulated-time deadline budget as
+    /// the read path: an injected write fault (failed append, failed
+    /// fsync, power loss) charges its simulated wait, backs off with
+    /// decorrelated jitter from a seeded RNG, and retries with a bumped
+    /// attempt number — rewriting identical cells is idempotent, so a
+    /// retry after an ambiguous fsync failure is safe. Exhausting the
+    /// retry budget (or the deadline) returns
+    /// [`ServeError::IngestRetriesExhausted`]; a real (non-injected) I/O
+    /// error is not retried and returns [`ServeError::Ingest`].
+    pub fn ingest_update_opts(
+        &self,
+        deltas: &[FeatureDelta],
+        version: Version,
+        opts: IngestOptions,
     ) -> Result<IngestReport, ServeError> {
         let inner = &self.inner;
         let codec = &inner.codec;
@@ -294,7 +355,45 @@ impl ModelServer {
             ..IngestReport::default()
         };
         if n_cells > 0 {
-            report.simulated_wait = inner.table.put_rows(cells).map_err(store_err)?;
+            // Bounded write retry under the serving SLO's simulated-time
+            // budget. Jitter is seeded from (slo seed, logical tick) so the
+            // same fault plan replays the same retry schedule bit-for-bit.
+            let mut deadline = Deadline::new(inner.slo.deadline);
+            let mut rng = ReqRng::new(inner.slo.seed ^ opts.tick.rotate_left(17) ^ 0x7772_6974);
+            let mut prev = inner.slo.retry.base;
+            let mut attempt: u32 = 0;
+            let waited = loop {
+                let wopts = WriteOptions {
+                    tick: opts.tick,
+                    attempt,
+                };
+                match inner.table.try_put_rows(cells.clone(), wopts) {
+                    Ok(waited) => break waited,
+                    Err(fault) => {
+                        deadline.charge(fault.waited);
+                        if fault.kind == WriteFaultKind::Io {
+                            return Err(ServeError::Ingest {
+                                message: fault.to_string(),
+                            });
+                        }
+                        if attempt >= inner.slo.retry.max_retries || deadline.exceeded() {
+                            inner.resilience.record_write_retries_exhausted();
+                            return Err(ServeError::IngestRetriesExhausted {
+                                attempts: attempt + 1,
+                                message: fault.to_string(),
+                            });
+                        }
+                        let pause = inner.slo.retry.backoff(prev, &mut rng);
+                        prev = pause;
+                        deadline.charge(pause);
+                        std::thread::sleep(pause);
+                        inner.resilience.record_write_retry();
+                        report.write_retries += 1;
+                        attempt += 1;
+                    }
+                }
+            };
+            report.simulated_wait = deadline.charged() + waited;
             if let Some(cache) = &inner.cache {
                 for &user in &users {
                     report.invalidated_rows += cache.invalidate_user(user);
@@ -901,7 +1000,8 @@ mod tests {
     use std::sync::OnceLock;
     use std::time::Duration;
     use titant_alihbase::{
-        FaultAction, FaultHook, FaultPlan, FaultPlanConfig, ReadCtx, StoreConfig, UnavailableWindow,
+        FaultAction, FaultHook, FaultPlan, FaultPlanConfig, ReadCtx, StoreConfig, SyncPolicy,
+        UnavailableWindow, WriteCtx, WriteFaultAction,
     };
     use titant_models::{Dataset, GbdtConfig};
 
@@ -1379,6 +1479,8 @@ mod tests {
                 from_tick: 20,
                 to_tick: 60,
             }),
+            // Write-fault rates stay at their default-off zeros.
+            ..FaultPlanConfig::default()
         }))));
         let n = 80u64;
         let ok = Arc::new(AtomicU64::new(0));
@@ -1689,6 +1791,191 @@ mod tests {
         let report = ms.ingest_update(&[], 20170413).unwrap();
         assert_eq!((report.users, report.cells), (0, 0));
         assert_eq!(table.write_stats().since(&before).batches, 0);
+    }
+
+    /// A write-fault hook that plays a fixed script of actions in order,
+    /// then goes clean. Reads are never touched.
+    struct ScriptedWrites(parking_lot::Mutex<Vec<WriteFaultAction>>);
+
+    impl ScriptedWrites {
+        fn new(mut script: Vec<WriteFaultAction>) -> Self {
+            script.reverse();
+            Self(parking_lot::Mutex::new(script))
+        }
+    }
+
+    impl FaultHook for ScriptedWrites {
+        fn on_read(&self, _ctx: &ReadCtx<'_>) -> FaultAction {
+            FaultAction::None
+        }
+        fn on_write(&self, _ctx: &WriteCtx<'_>) -> WriteFaultAction {
+            self.0.lock().pop().unwrap_or(WriteFaultAction::None)
+        }
+    }
+
+    fn setup_with_slo(slo: SloConfig) -> (ModelServer, Arc<RegionedTable>) {
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let ms = ModelServer::with_slo(table.clone(), layout(), model(), slo).unwrap();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        for user in [1u64, 2] {
+            codec
+                .put_user(
+                    &table,
+                    user,
+                    &UserFeatures {
+                        payer_side: vec![0.1, 0.2],
+                        receiver_side: vec![0.3, 0.4],
+                        embedding: vec![0.5, 0.6],
+                    },
+                    20170410,
+                )
+                .unwrap();
+        }
+        (ms, table)
+    }
+
+    #[test]
+    fn ingest_retries_through_transient_write_faults() {
+        let slo = SloConfig {
+            retry: RetryPolicy {
+                max_retries: 3,
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(50),
+            },
+            ..SloConfig::default()
+        };
+        let (ms, table) = setup_with_slo(slo);
+        table.set_fault_hook(Some(Arc::new(ScriptedWrites::new(vec![
+            WriteFaultAction::AppendError,
+            WriteFaultAction::SyncError,
+        ]))));
+        let report = ms
+            .ingest_update_opts(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 0.9)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+                IngestOptions { tick: 7 },
+            )
+            .unwrap();
+        assert_eq!(report.write_retries, 2, "two faulted attempts, then ack");
+        let r = ms.resilience();
+        assert_eq!((r.write_retried, r.write_retries_exhausted), (2, 0));
+        // The acknowledged attempt's cells are readable.
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.payer_side, vec![0.9, 0.2]);
+        // And the physical failures were counted.
+        let stats = table.write_stats();
+        assert_eq!(stats.wal_append_failures, 1);
+        assert_eq!(stats.wal_sync_failures, 1);
+    }
+
+    #[test]
+    fn exhausted_write_retries_surface_a_typed_error() {
+        let slo = SloConfig {
+            retry: RetryPolicy {
+                max_retries: 2,
+                base: Duration::from_micros(10),
+                cap: Duration::from_micros(50),
+            },
+            ..SloConfig::default()
+        };
+        let (ms, table) = setup_with_slo(slo);
+        table.set_fault_hook(Some(Arc::new(ScriptedWrites::new(vec![
+            WriteFaultAction::AppendError;
+            3
+        ]))));
+        let err = ms
+            .ingest_update_opts(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 0.9)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+                IngestOptions { tick: 3 },
+            )
+            .unwrap_err();
+        match &err {
+            ServeError::IngestRetriesExhausted { attempts, message } => {
+                assert_eq!(*attempts, 3, "initial try + max_retries");
+                assert!(message.contains("AppendError"), "{message}");
+            }
+            other => panic!("expected IngestRetriesExhausted, got {other:?}"),
+        }
+        assert!(!err.is_degradable());
+        let r = ms.resilience();
+        assert_eq!((r.write_retried, r.write_retries_exhausted), (2, 1));
+        // Nothing from the rejected batch is readable: user 1 still serves
+        // its seeded values.
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.payer_side, vec![0.1, 0.2]);
+    }
+
+    /// `recover_table` crash-restarts the store in place; acknowledged
+    /// ingests survive and post-recovery scores are bit-identical.
+    #[test]
+    fn recover_table_preserves_acknowledged_scores() {
+        let dir = std::env::temp_dir().join(format!("titant-ms-recover-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            sync: SyncPolicy::Always,
+            ..Default::default()
+        };
+        let table = Arc::new(RegionedTable::single(cfg).unwrap());
+        let ms = ModelServer::new(table.clone(), layout(), model()).unwrap();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+        };
+        for user in [1u64, 2] {
+            codec
+                .put_user(
+                    &table,
+                    user,
+                    &UserFeatures {
+                        payer_side: vec![0.1, 0.2],
+                        receiver_side: vec![0.3, 0.4],
+                        embedding: vec![0.5, 0.6],
+                    },
+                    20170410,
+                )
+                .unwrap();
+        }
+        ms.ingest_update(
+            &[FeatureDelta {
+                user: 1,
+                payer: vec![(0, 0.7)],
+                ..FeatureDelta::default()
+            }],
+            20170412,
+        )
+        .unwrap();
+        let before = ms.score(&req(0, 0.4)).unwrap();
+        let report = ms.recover_table().unwrap();
+        assert_eq!((report.regions, report.replicas), (1, 1));
+        let after = ms.score(&req(1, 0.4)).unwrap();
+        assert_eq!(before.probability.to_bits(), after.probability.to_bits());
+        assert!(!after.degraded, "recovered rows must read back intact");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

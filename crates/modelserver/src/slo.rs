@@ -150,6 +150,8 @@ pub struct ResilienceCounters {
     failovers: AtomicU64,
     deadline_exceeded: AtomicU64,
     shed: AtomicU64,
+    write_retried: AtomicU64,
+    write_retries_exhausted: AtomicU64,
 }
 
 impl ResilienceCounters {
@@ -178,6 +180,16 @@ impl ResilienceCounters {
         self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A faulted ingest write was retried.
+    pub fn record_write_retry(&self) {
+        self.write_retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An ingest write ran out of retries without being acknowledged.
+    pub fn record_write_retries_exhausted(&self) {
+        self.write_retries_exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of every counter.
     pub fn snapshot(&self) -> ResilienceSnapshot {
         ResilienceSnapshot {
@@ -186,6 +198,8 @@ impl ResilienceCounters {
             failovers: self.failovers.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
+            write_retried: self.write_retried.load(Ordering::Relaxed),
+            write_retries_exhausted: self.write_retries_exhausted.load(Ordering::Relaxed),
         }
     }
 }
@@ -203,6 +217,10 @@ pub struct ResilienceSnapshot {
     pub deadline_exceeded: u64,
     /// Requests shed at the queue.
     pub shed: u64,
+    /// Ingest write retries performed against write faults.
+    pub write_retried: u64,
+    /// Ingest calls whose write retries were exhausted unacknowledged.
+    pub write_retries_exhausted: u64,
 }
 
 impl ResilienceSnapshot {
@@ -214,6 +232,8 @@ impl ResilienceSnapshot {
             failovers: self.failovers - earlier.failovers,
             deadline_exceeded: self.deadline_exceeded - earlier.deadline_exceeded,
             shed: self.shed - earlier.shed,
+            write_retried: self.write_retried - earlier.write_retried,
+            write_retries_exhausted: self.write_retries_exhausted - earlier.write_retries_exhausted,
         }
     }
 }
@@ -271,6 +291,9 @@ mod tests {
         c.record_failover();
         c.record_deadline_exceeded();
         c.record_shed();
+        c.record_write_retry();
+        c.record_write_retry();
+        c.record_write_retries_exhausted();
         let delta = c.snapshot().since(&before);
         assert_eq!(
             delta,
@@ -280,6 +303,8 @@ mod tests {
                 failovers: 1,
                 deadline_exceeded: 1,
                 shed: 1,
+                write_retried: 2,
+                write_retries_exhausted: 1,
             }
         );
     }

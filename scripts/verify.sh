@@ -17,10 +17,13 @@
 #                                 # serving-million gate (dynamic region
 #                                 # splitting under Zipf-hot traffic;
 #                                 # writes BENCH_serving_million.json),
-#                                 # and the distributed-SQL gate
+#                                 # the distributed-SQL gate
 #                                 # (coordinator/worker byte-identity +
 #                                 # counted-work scaling; writes
-#                                 # BENCH_offline_sql.json)
+#                                 # BENCH_offline_sql.json), and the
+#                                 # crash-replay gate (write-path fault
+#                                 # injection + crash-restart recovery;
+#                                 # writes BENCH_crash.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -73,6 +76,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> distributed-SQL gate (--quick)"
     cargo run --release -q -p titant-bench --bin offline_sql -- --quick
+
+    echo "==> crash-replay gate (--quick)"
+    cargo run --release -q -p titant-bench --bin crash_replay -- --quick
 fi
 
 echo "verify: all green"
