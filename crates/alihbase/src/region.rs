@@ -938,11 +938,15 @@ impl RegionedTable {
     /// Each attempt counts its own logical ops, exactly as a client-side
     /// retry against a real region server would.
     ///
+    /// Takes the batch by reference so a retry loop can encode once and
+    /// re-submit the same buffer on every attempt; each replica write
+    /// clones only the (refcounted-`Bytes`) cells it routes.
+    ///
     /// With no hook installed this is behaviourally identical to
     /// [`Self::put_rows`] (which always bypasses the hook).
     pub fn try_put_rows(
         &self,
-        cells: Vec<(CellKey, Version, Option<Bytes>)>,
+        cells: &[(CellKey, Version, Option<Bytes>)],
         opts: WriteOptions,
     ) -> Result<Duration, WriteFault> {
         let values = cells.iter().filter(|(_, _, v)| v.is_some()).count() as u64;
@@ -951,36 +955,32 @@ impl RegionedTable {
             .deletes
             .fetch_add(cells.len() as u64 - values, Ordering::Relaxed);
         let map = self.map.read();
-        let mut by_region: Vec<Vec<(CellKey, Version, Option<Bytes>)>> =
+        let mut by_region: Vec<Vec<&(CellKey, Version, Option<Bytes>)>> =
             (0..map.regions.len()).map(|_| Vec::new()).collect();
         for cell in cells {
             by_region[map.region_of(&cell.0.row)].push(cell);
         }
         let hook = self.fault.read().clone();
         let mut waited = Duration::ZERO;
-        for (region, mut batch) in by_region.into_iter().enumerate() {
+        for (region, batch) in by_region.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
             map.bump(region, batch.len() as u64);
-            let row = batch[0].0.row.clone();
+            let row = &batch[0].0.row;
             let replicas = &map.regions[region];
-            let n = replicas.len();
             for (k, store) in replicas.iter().enumerate() {
                 let ctx = WriteCtx {
                     region,
                     replica: k,
-                    row: &row,
+                    row,
                     tick: opts.tick,
                     attempt: opts.attempt,
                 };
-                // Clone for all but the last replica (Bytes values are
-                // refcounted), move into the last — same as put_rows.
-                let sub = if k + 1 == n {
-                    std::mem::take(&mut batch)
-                } else {
-                    batch.clone()
-                };
+                // One clone per replica write (Bytes values are refcounted)
+                // — the caller's batch is never consumed, so a retry costs
+                // no extra copy of the encoded cells.
+                let sub: Vec<_> = batch.iter().map(|&c| c.clone()).collect();
                 waited += store.try_put_batch(sub, hook.as_deref(), &ctx)?;
             }
         }
@@ -2183,10 +2183,41 @@ mod tests {
             (key("zulu"), 1, None),
         ];
         let w1 = plain.put_rows(cells.clone()).unwrap();
-        let w2 = hooked.try_put_rows(cells, WriteOptions::default()).unwrap();
+        let w2 = hooked
+            .try_put_rows(&cells, WriteOptions::default())
+            .unwrap();
         assert_eq!(w1, w2);
         assert_eq!(plain.op_counts(), hooked.op_counts());
         assert_eq!(plain.write_stats(), hooked.write_stats());
         assert_eq!(plain.export_cells(), hooked.export_cells());
+    }
+
+    /// The borrowed batch survives the call, so a retry loop can re-submit
+    /// the same buffer: each attempt counts its own logical ops (as a
+    /// client-side retry would) and rewriting identical cells is
+    /// idempotent newest-wins.
+    #[test]
+    fn try_put_rows_borrowed_batch_can_be_resubmitted() {
+        let t = table();
+        let cells: Vec<(CellKey, Version, Option<Bytes>)> = vec![
+            (key("alpha"), 1, Some(Bytes::from_static(b"a"))),
+            (key("zulu"), 1, Some(Bytes::from_static(b"z"))),
+        ];
+        t.try_put_rows(&cells, WriteOptions::default()).unwrap();
+        let after_first = t.export_cells();
+        t.try_put_rows(
+            &cells,
+            WriteOptions {
+                tick: 0,
+                attempt: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.op_counts().puts, 4, "each attempt counts its ops");
+        assert_eq!(
+            t.export_cells(),
+            after_first,
+            "identical rewrite is a no-op on contents"
+        );
     }
 }

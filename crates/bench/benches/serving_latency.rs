@@ -105,6 +105,7 @@ fn bench_store_reads(c: &mut Criterion) {
         embedding_dim: 32,
         payer_width: 18,
         receiver_width: 19,
+        velocity_width: 0,
     };
     for user in 0..2_000u64 {
         codec
@@ -115,6 +116,7 @@ fn bench_store_reads(c: &mut Criterion) {
                     payer_side: vec![1.0; 18],
                     receiver_side: vec![2.0; 19],
                     embedding: vec![0.5; 32],
+                    velocity: Vec::new(),
                 },
                 1,
             )

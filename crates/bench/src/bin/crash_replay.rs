@@ -239,6 +239,7 @@ fn deltas_for(
                     (mix(seed, batch, j + 200) as usize) % lay.embedding_dim,
                     val(seed, batch, j + 200),
                 )],
+                velocity: Vec::new(),
             }
         })
         .collect()

@@ -44,6 +44,7 @@ fn codec() -> FeatureCodec {
         embedding_dim: EMBEDDING_DIM,
         payer_width: PAYER_WIDTH,
         receiver_width: RECEIVER_WIDTH,
+        velocity_width: 0,
     }
 }
 
@@ -57,6 +58,7 @@ fn features_of(user: u64) -> UserFeatures {
         payer_side: (0..PAYER_WIDTH).map(|i| x + i as f32).collect(),
         receiver_side: (0..RECEIVER_WIDTH).map(|i| x - i as f32).collect(),
         embedding: (0..EMBEDDING_DIM).map(|i| x * i as f32).collect(),
+        velocity: Vec::new(),
     }
 }
 

@@ -100,6 +100,7 @@ fn layout() -> FeatureLayout {
         receiver_slots: vec![1],
         context_slots: vec![2],
         embedding_dim: 0,
+        velocity_width: 0,
     }
 }
 
@@ -108,6 +109,7 @@ fn codec() -> FeatureCodec {
         embedding_dim: 0,
         payer_width: 1,
         receiver_width: 1,
+        velocity_width: 0,
     }
 }
 
@@ -145,6 +147,7 @@ fn features_of(user: u64) -> UserFeatures {
         payer_side: vec![(user % 97) as f32 / 97.0],
         receiver_side: vec![(user % 89) as f32 / 89.0],
         embedding: Vec::new(),
+        velocity: Vec::new(),
     }
 }
 
@@ -278,8 +281,7 @@ fn run_workload(s: &Sizes, gen: &TrafficGen, split_config: Option<SplitConfig>) 
             let delta = FeatureDelta {
                 user,
                 payer: vec![(0, delta_value(i))],
-                receiver: Vec::new(),
-                embedding: Vec::new(),
+                ..FeatureDelta::default()
             };
             let report = server
                 .ingest_update(&[delta], UPLOAD_VERSION + 1 + i)

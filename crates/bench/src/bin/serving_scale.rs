@@ -49,6 +49,7 @@ fn layout() -> FeatureLayout {
         receiver_slots: vec![2, 3],
         context_slots: vec![4],
         embedding_dim: 2,
+        velocity_width: 0,
     }
 }
 
@@ -57,6 +58,7 @@ fn codec() -> FeatureCodec {
         embedding_dim: 2,
         payer_width: 2,
         receiver_width: 2,
+        velocity_width: 0,
     }
 }
 
@@ -97,6 +99,7 @@ fn features_of(user: u64) -> UserFeatures {
         payer_side: vec![x, 1.0 - x],
         receiver_side: vec![x * 0.5, x * 0.25],
         embedding: vec![x, -x],
+        velocity: Vec::new(),
     }
 }
 

@@ -1,0 +1,531 @@
+//! **Stream freshness** — the windowed velocity aggregator closing the
+//! T+1 gap, gated on detection latency and bit-identity.
+//!
+//! ```sh
+//! cargo run --release -p titant-bench --bin stream_freshness            # full
+//! cargo run --release -p titant-bench --bin stream_freshness -- --quick
+//! ```
+//!
+//! Replays one [`TrafficGen`] day with an injected [`FlashEvent`] fraud
+//! burst (a cold user block suddenly dominating the stream) through two
+//! serving stacks over the same basic-feature upload:
+//!
+//! * **baseline** — the paper's T+1 story: the day-start upload is all the
+//!   server ever sees, so in-day velocity is invisible until tomorrow;
+//! * **streaming** — a `titant-stream` [`VelocityAggregator`] observing
+//!   every transaction and flushing per-tick [`FeatureDelta`]s through
+//!   `ingest_update_opts` into the `velocity` column family.
+//!
+//! The served model alerts on the payer's 1-tick-window txn count, so a
+//! score can only move when streamed slots reach the store. Gates:
+//!
+//! * **freshness** — the burst's hottest payer alerts on the streaming
+//!   stack within ≤2 ticks of burst start; the baseline stack never
+//!   alerts all day (and the streaming stack never alerts pre-burst);
+//! * **bit-identity vs brute force** — at *every* tick cut, sampled users'
+//!   window vectors equal a from-scratch recompute over the raw event log;
+//! * **bit-identity across runs** — replaying the day reproduces the
+//!   per-tick probe score bits, the emitted-delta digest, and every
+//!   aggregator counter exactly;
+//! * **bit-identity across pools** — a fixed probe stream scored
+//!   synchronously, on a 1-worker pool, and on a 3-worker pool returns
+//!   identical probability bit patterns.
+//!
+//! Writes `BENCH_stream.json`; exits nonzero on gate failure.
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use titant_alihbase::{RegionedTable, StoreConfig};
+use titant_bench::harness;
+use titant_core::layout;
+use titant_datagen::{FlashEvent, TrafficConfig, TrafficGen};
+use titant_models::{Dataset, GbdtConfig};
+use titant_modelserver::{
+    FeatureCodec, ModelFile, ModelServer, ScoreRequest, ServableModel, UserFeatures,
+};
+use titant_stream::{brute_force_velocity, TxnEvent, VelocityAggregator, VelocityConfig};
+
+const VERSION: u64 = 20170410;
+/// The model's alert rule: payer 1-tick-window txn count at or above this.
+const BURST_COUNT: f32 = 3.0;
+/// Freshness gate: the burst must alert within this many ticks of start.
+const MAX_DETECT_TICKS: u64 = 2;
+
+struct Scale {
+    n_users: u64,
+    n_blocks: u64,
+    ticks: u64,
+    events_per_tick: u64,
+    windows: Vec<u32>,
+    burst_ticks: std::ops::Range<u64>,
+}
+
+fn scale(quick: bool) -> Scale {
+    if quick {
+        Scale {
+            n_users: 256,
+            n_blocks: 32,
+            ticks: 96,
+            events_per_tick: 48,
+            windows: vec![1, 8, 32],
+            burst_ticks: 48..64,
+        }
+    } else {
+        Scale {
+            n_users: 1_024,
+            n_blocks: 64,
+            ticks: 480,
+            events_per_tick: 96,
+            // ~1m/1h/24h under a one-minute tick.
+            windows: vec![1, 60, 1_440],
+            burst_ticks: 240..300,
+        }
+    }
+}
+
+fn traffic(s: &Scale) -> TrafficGen {
+    TrafficGen::new(TrafficConfig {
+        n_users: s.n_users,
+        n_blocks: s.n_blocks,
+        zipf_s: 1.2,
+        // The burst hits the *coldest* block, so its users are quiet all
+        // morning and the boost is unambiguous fraud-shaped velocity.
+        flash: Some(FlashEvent {
+            block: s.n_blocks - 1,
+            from_event: s.burst_ticks.start * s.events_per_tick,
+            to_event: s.burst_ticks.end * s.events_per_tick,
+            boost: 2_000.0,
+        }),
+        seed: 0x7174_616e,
+    })
+}
+
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn amount_cents(event: u64) -> u64 {
+    100 + splitmix64(event ^ 0xA17A_60D5) % 9_900
+}
+
+fn event_at(gen: &TrafficGen, s: &Scale, event: u64) -> TxnEvent {
+    let (payer, payee) = gen.pair_at(event);
+    TxnEvent {
+        tick: event / s.events_per_tick,
+        payer,
+        payee,
+        amount_cents: amount_cents(event),
+    }
+}
+
+/// The payer with the most transactions in the burst's first tick — a
+/// pure function of the traffic seed, so every run probes the same user.
+fn burst_probe_user(gen: &TrafficGen, s: &Scale) -> u64 {
+    let mut counts = std::collections::BTreeMap::new();
+    let start = s.burst_ticks.start * s.events_per_tick;
+    for event in start..start + s.events_per_tick {
+        *counts.entry(gen.pair_at(event).0).or_insert(0u64) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(user, n)| (n, u64::MAX - user))
+        .map(|(user, _)| user)
+        .unwrap_or(0)
+}
+
+/// GBDT trained on synthetic rows whose label is exactly the alert rule
+/// (payer 1-tick count >= BURST_COUNT), everything else noise — the score
+/// is a pure function of the streamed slot.
+fn model(width: usize, count_slot: usize) -> ModelFile {
+    let mut d = Dataset::new(width);
+    let mut state = 29u64;
+    let mut rand01 = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (state >> 33) as f32 / (1u64 << 31) as f32
+    };
+    for _ in 0..600 {
+        let mut row = vec![0f32; width];
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = if i < layout::serving_layout(0).n_basic {
+                rand01()
+            } else {
+                (rand01() * 8.0).floor()
+            };
+        }
+        let label = (row[count_slot] >= BURST_COUNT) as u8 as f32;
+        d.push_row(&row, label);
+    }
+    let gbdt = GbdtConfig {
+        n_trees: 30,
+        subsample: 1.0,
+        colsample: 1.0,
+        ..Default::default()
+    }
+    .fit(&d);
+    ModelFile {
+        version: VERSION,
+        alert_threshold: 0.5,
+        n_features: width,
+        model: ServableModel::Gbdt(gbdt),
+    }
+}
+
+/// A fresh table with every user's day-start basic upload (no velocity).
+fn seeded_table(s: &Scale, codec: &FeatureCodec) -> Arc<RegionedTable> {
+    let table = Arc::new(RegionedTable::single(StoreConfig::default()).expect("table"));
+    for user in 0..s.n_users {
+        let x = (user % 89) as f32 / 89.0;
+        codec
+            .put_user(
+                &table,
+                user,
+                &UserFeatures {
+                    payer_side: vec![x; codec.payer_width],
+                    receiver_side: vec![1.0 - x; codec.receiver_width],
+                    embedding: Vec::new(),
+                    velocity: Vec::new(),
+                },
+                VERSION,
+            )
+            .expect("seed upload");
+    }
+    table
+}
+
+fn probe_req(tx_id: u64, user: u64, n_users: u64) -> ScoreRequest {
+    ScoreRequest {
+        tx_id,
+        transferor: user,
+        transferee: (user + 1) % n_users,
+        context: vec![0.0; layout::CONTEXT_SLOTS.len()],
+    }
+}
+
+/// Everything one day replay must reproduce bit-identically.
+#[derive(PartialEq, Eq, Debug)]
+struct DayResult {
+    /// Streaming-stack probe probability bits, one per tick cut.
+    probe_bits: Vec<u32>,
+    /// Baseline-stack probe probability bits, one per tick cut.
+    baseline_bits: Vec<u32>,
+    /// FNV-1a over every emitted (user, slot, value-bits) triple in order.
+    delta_digest: u64,
+    detection_tick: Option<u64>,
+    pre_burst_alerts: u64,
+    baseline_alerts: u64,
+    brute_mismatches: u64,
+    observed: u64,
+    slots_emitted: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_day(
+    gen: &TrafficGen,
+    s: &Scale,
+    vcfg: &VelocityConfig,
+    codec: &FeatureCodec,
+    model: &ModelFile,
+    probe: u64,
+    check_users: &[u64],
+) -> (DayResult, ModelServer) {
+    let lay = layout::serving_layout_with_velocity(0, vcfg.width());
+    let streaming = ModelServer::new(seeded_table(s, codec), lay.clone(), model.clone())
+        .expect("streaming server");
+    let baseline =
+        ModelServer::new(seeded_table(s, codec), lay, model.clone()).expect("baseline server");
+
+    let mut agg = VelocityAggregator::new(vcfg.clone());
+    let mut log: Vec<TxnEvent> = Vec::new();
+    let mut r = DayResult {
+        probe_bits: Vec::with_capacity(s.ticks as usize),
+        baseline_bits: Vec::with_capacity(s.ticks as usize),
+        delta_digest: 0xcbf2_9ce4_8422_2325,
+        detection_tick: None,
+        pre_burst_alerts: 0,
+        baseline_alerts: 0,
+        brute_mismatches: 0,
+        observed: 0,
+        slots_emitted: 0,
+    };
+    let fnv = |acc: u64, x: u64| (acc ^ x).wrapping_mul(0x0000_0100_0000_01B3);
+
+    for tick in 0..s.ticks {
+        for event in tick * s.events_per_tick..(tick + 1) * s.events_per_tick {
+            let e = event_at(gen, s, event);
+            assert!(agg.observe(&e), "in-order stream is never rejected");
+            log.push(e);
+        }
+        // Brute-force cut check *before* the flush: the windows ending at
+        // this tick must equal a from-scratch recompute over the log.
+        for &u in check_users {
+            if agg.features_of(u) != brute_force_velocity(vcfg, &log, tick, u) {
+                r.brute_mismatches += 1;
+            }
+        }
+        // Flush through the real ingest path, then probe both stacks.
+        let deltas_before = agg.stats().slots_emitted;
+        agg.advance_and_ingest(&streaming, VERSION).expect("ingest");
+        r.delta_digest = fnv(r.delta_digest, agg.stats().slots_emitted - deltas_before);
+        let sp = streaming
+            .score(&probe_req(tick, probe, s.n_users))
+            .expect("probe");
+        let bp = baseline
+            .score(&probe_req(tick, probe, s.n_users))
+            .expect("probe");
+        r.probe_bits.push(sp.probability.to_bits());
+        r.baseline_bits.push(bp.probability.to_bits());
+        if bp.alert {
+            r.baseline_alerts += 1;
+        }
+        if sp.alert {
+            if tick < s.burst_ticks.start {
+                r.pre_burst_alerts += 1;
+            } else if r.detection_tick.is_none() {
+                r.detection_tick = Some(tick);
+            }
+        }
+    }
+    // Fold the final emitted vectors of the sampled users into the digest
+    // so content drift (not just delta-count drift) fails the replay gate.
+    for &u in check_users {
+        for v in agg.emitted_of(u) {
+            r.delta_digest = fnv(r.delta_digest, u64::from(v.to_bits()));
+        }
+    }
+    let stats = agg.stats();
+    r.observed = stats.observed;
+    r.slots_emitted = stats.slots_emitted;
+    (r, streaming)
+}
+
+/// Score a fixed probe stream on `workers` pool threads (0 = caller
+/// thread) and return the sorted `(tx_id, probability bits, alert)` set.
+fn pool_scores(
+    server: &ModelServer,
+    reqs: &[ScoreRequest],
+    workers: usize,
+) -> Vec<(u64, u32, bool)> {
+    let mut out: Vec<(u64, u32, bool)> = if workers == 0 {
+        reqs.iter()
+            .map(|q| {
+                let resp = server.score(q).expect("probe");
+                (resp.tx_id, resp.probability.to_bits(), resp.alert)
+            })
+            .collect()
+    } else {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let errors = Arc::new(AtomicU64::new(0));
+        let (g2, e2) = (Arc::clone(&got), Arc::clone(&errors));
+        let pool = server.serve_pool(
+            workers,
+            move |resp| {
+                g2.lock()
+                    .expect("sink")
+                    .push((resp.tx_id, resp.probability.to_bits(), resp.alert))
+            },
+            move |_| {
+                e2.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        for q in reqs {
+            pool.send(q.clone()).expect("pool accepts while running");
+        }
+        pool.shutdown();
+        assert_eq!(
+            errors.load(Ordering::Relaxed),
+            0,
+            "probe stream never errors"
+        );
+        Arc::try_unwrap(got)
+            .expect("pool joined")
+            .into_inner()
+            .expect("sink")
+    };
+    out.sort_unstable();
+    out
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench: String,
+    mode: String,
+    n_users: u64,
+    ticks: u64,
+    events: u64,
+    windows: Vec<u32>,
+    velocity_width: usize,
+    burst_start_tick: u64,
+    probe_user: u64,
+    detection_tick: Option<u64>,
+    detection_delay_ticks: Option<u64>,
+    baseline_alerts: u64,
+    pre_burst_alerts: u64,
+    brute_force_cuts: u64,
+    brute_mismatches: u64,
+    delta_digest: String,
+    slots_emitted: u64,
+    reruns_identical: bool,
+    pools_identical: bool,
+    pool_workers_checked: Vec<usize>,
+    pass: bool,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let s = scale(quick);
+    let vcfg = VelocityConfig {
+        windows: s.windows.clone(),
+        max_counterparties: 64,
+    };
+    let gen = traffic(&s);
+    let probe = burst_probe_user(&gen, &s);
+    // Sampled brute-force users: the burst probe, a hot-block user, and
+    // two spread across the id space.
+    let check_users: Vec<u64> = {
+        let mut v = vec![probe, 0, s.n_users / 2, s.n_users - 1];
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    eprintln!(
+        "stream freshness ({} mode): {} users × {} ticks × {} events/tick, windows {:?}, burst @ tick {} (probe user {probe})",
+        if quick { "quick" } else { "full" },
+        s.n_users,
+        s.ticks,
+        s.events_per_tick,
+        s.windows,
+        s.burst_ticks.start,
+    );
+
+    let codec = FeatureCodec {
+        embedding_dim: 0,
+        payer_width: layout::PAYER_SLOTS.len(),
+        receiver_width: layout::RECEIVER_SLOTS.len(),
+        velocity_width: vcfg.width(),
+    };
+    let lay = layout::serving_layout_with_velocity(0, vcfg.width());
+    // The payer 1-tick count is the first velocity slot after the basic
+    // block (embedding_dim = 0).
+    let model = model(lay.width(), lay.n_basic);
+
+    let mut pass = true;
+
+    // ---- the day, twice: gates + replay identity ----
+    let (day, streaming) = run_day(&gen, &s, &vcfg, &codec, &model, probe, &check_users);
+    eprintln!(
+        "  day: observed={} slots_emitted={} digest={:016x}",
+        day.observed, day.slots_emitted, day.delta_digest
+    );
+    let (replay, _) = run_day(&gen, &s, &vcfg, &codec, &model, probe, &check_users);
+    let reruns_identical = day == replay;
+    if !reruns_identical {
+        eprintln!("FAIL: replaying the day did not reproduce it bit-identically");
+        pass = false;
+    }
+
+    // Gate: detection latency, no baseline visibility, no false fires.
+    let detection_delay = day.detection_tick.map(|t| t - s.burst_ticks.start);
+    match detection_delay {
+        Some(d) if d <= MAX_DETECT_TICKS => {
+            eprintln!(
+                "  burst detected at tick {} (+{d} ticks, floor ≤{MAX_DETECT_TICKS})",
+                day.detection_tick.unwrap_or_default()
+            );
+        }
+        Some(d) => {
+            eprintln!("FAIL: burst detected only {d} ticks after start (floor {MAX_DETECT_TICKS})");
+            pass = false;
+        }
+        None => {
+            eprintln!("FAIL: burst never became visible in streaming scores");
+            pass = false;
+        }
+    }
+    if day.baseline_alerts > 0 {
+        eprintln!(
+            "FAIL: T+1 baseline alerted {} time(s) — it must be blind to in-day velocity",
+            day.baseline_alerts
+        );
+        pass = false;
+    }
+    if day.pre_burst_alerts > 0 {
+        eprintln!(
+            "FAIL: streaming stack alerted {} time(s) before the burst",
+            day.pre_burst_alerts
+        );
+        pass = false;
+    }
+    let brute_cuts = s.ticks * check_users.len() as u64;
+    if day.brute_mismatches > 0 {
+        eprintln!(
+            "FAIL: {}/{} brute-force cuts diverged from the aggregator",
+            day.brute_mismatches, brute_cuts
+        );
+        pass = false;
+    } else {
+        eprintln!("  {brute_cuts} brute-force cuts bit-identical");
+    }
+
+    // ---- pool identity: sync vs 1 vs 3 workers on the final state ----
+    let pool_reqs: Vec<ScoreRequest> = (0..64u64)
+        .map(|i| {
+            let user = match i % 4 {
+                0 => probe,
+                1 => 0,
+                2 => (i * 37) % s.n_users,
+                _ => s.n_users - 1 - (i % s.n_users.min(17)),
+            };
+            probe_req(10_000 + i, user, s.n_users)
+        })
+        .collect();
+    let workers_checked = vec![0usize, 1, 3];
+    let reference = pool_scores(&streaming, &pool_reqs, 0);
+    let mut pools_identical = true;
+    for &w in &workers_checked[1..] {
+        if pool_scores(&streaming, &pool_reqs, w) != reference {
+            eprintln!("FAIL: {w}-worker pool scores diverged from the synchronous run");
+            pools_identical = false;
+        }
+    }
+    pass &= pools_identical;
+    if pools_identical {
+        eprintln!("  pool scores bit-identical across {workers_checked:?} workers");
+    }
+
+    let report = Report {
+        bench: "stream_freshness".into(),
+        mode: if quick { "quick" } else { "full" }.into(),
+        n_users: s.n_users,
+        ticks: s.ticks,
+        events: s.ticks * s.events_per_tick,
+        windows: s.windows.clone(),
+        velocity_width: vcfg.width(),
+        burst_start_tick: s.burst_ticks.start,
+        probe_user: probe,
+        detection_tick: day.detection_tick,
+        detection_delay_ticks: detection_delay,
+        baseline_alerts: day.baseline_alerts,
+        pre_burst_alerts: day.pre_burst_alerts,
+        brute_force_cuts: brute_cuts,
+        brute_mismatches: day.brute_mismatches,
+        delta_digest: format!("{:016x}", day.delta_digest),
+        slots_emitted: day.slots_emitted,
+        reruns_identical,
+        pools_identical,
+        pool_workers_checked: workers_checked,
+        pass,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write("BENCH_stream.json", &json).expect("write BENCH_stream.json");
+    eprintln!("results written to BENCH_stream.json");
+    harness::save_results("stream.json", &json);
+
+    if !pass {
+        eprintln!("FAIL: stream-freshness gate violated (see BENCH_stream.json)");
+        std::process::exit(1);
+    }
+}

@@ -11,7 +11,9 @@
 //!   pair history) that the Alipay server computes at request time.
 //!
 //! Node embeddings (when the model uses them) append after the basic block:
-//! transferor's `dim` values, then the transferee's.
+//! transferor's `dim` values, then the transferee's. Streaming **velocity**
+//! slots (windowed counts/amounts/distinct counterparties maintained by
+//! `titant-stream`) append after the embeddings, again transferor first.
 
 /// Indices of payer-side features in the 52-column basic block.
 pub const PAYER_SLOTS: [usize; 18] = [
@@ -31,12 +33,23 @@ pub const CONTEXT_SLOTS: [usize; 15] = [37, 38, 39, 40, 41, 42, 43, 44, 45, 46, 
 /// Build the model-server layout for a given embedding dimensionality
 /// (0 = a model trained on basic features only).
 pub fn serving_layout(embedding_dim: usize) -> titant_modelserver::server::FeatureLayout {
+    serving_layout_with_velocity(embedding_dim, 0)
+}
+
+/// [`serving_layout`] plus a per-party streaming velocity block of
+/// `velocity_width` slots (0 = no streaming features — bit-identical to
+/// the plain layout).
+pub fn serving_layout_with_velocity(
+    embedding_dim: usize,
+    velocity_width: usize,
+) -> titant_modelserver::server::FeatureLayout {
     titant_modelserver::server::FeatureLayout {
         n_basic: titant_datagen::N_BASIC_FEATURES,
         payer_slots: PAYER_SLOTS.to_vec(),
         receiver_slots: RECEIVER_SLOTS.to_vec(),
         context_slots: CONTEXT_SLOTS.to_vec(),
         embedding_dim,
+        velocity_width,
     }
 }
 
@@ -109,5 +122,21 @@ mod tests {
     fn serving_layout_width_includes_embeddings() {
         assert_eq!(serving_layout(0).width(), N_BASIC_FEATURES);
         assert_eq!(serving_layout(32).width(), N_BASIC_FEATURES + 64);
+    }
+
+    #[test]
+    fn velocity_block_widens_the_layout_and_zero_matches_plain() {
+        assert_eq!(
+            serving_layout_with_velocity(0, 9).width(),
+            N_BASIC_FEATURES + 18
+        );
+        assert_eq!(
+            serving_layout_with_velocity(32, 9).width(),
+            N_BASIC_FEATURES + 64 + 18
+        );
+        let plain = serving_layout(8);
+        let off = serving_layout_with_velocity(8, 0);
+        assert_eq!(plain.width(), off.width());
+        assert_eq!(plain.velocity_width, 0);
     }
 }

@@ -330,6 +330,10 @@ impl OfflinePipeline {
             embedding_dim: dim,
             payer_width: layout::PAYER_SLOTS.len(),
             receiver_width: layout::RECEIVER_SLOTS.len(),
+            // The offline stage never writes velocity cells: those belong
+            // to the streaming tier (titant-stream) and merge over this
+            // upload at read time.
+            velocity_width: 0,
         };
 
         // Latest snapshot per user over the train window. Serial: insertion
@@ -385,6 +389,7 @@ impl OfflinePipeline {
                     .cloned()
                     .unwrap_or_else(|| vec![0.0; layout::RECEIVER_SLOTS.len()]),
                 embedding,
+                velocity: Vec::new(),
             };
             codec.encode_user(user, &features, version)
         };
@@ -517,6 +522,7 @@ mod tests {
             embedding_dim: 8,
             payer_width: layout::PAYER_SLOTS.len(),
             receiver_width: layout::RECEIVER_SLOTS.len(),
+            velocity_width: 0,
         };
         let some_user = artifacts.graph.users()[0];
         assert!(codec

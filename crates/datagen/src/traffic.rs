@@ -169,11 +169,15 @@ impl TrafficGen {
     /// uniform over the population, re-drawn once if the two collide.
     pub fn pair_at(&self, event: u64) -> (u64, u64) {
         let from = self.user_at(event);
-        let mut to = (draw01(self.config.seed, event, 0x3) * self.config.n_users as f64) as u64;
+        // Clamp the raw draw into range *before* the collision check: a
+        // boundary draw clamped afterwards could land back on `from` and
+        // leak a self-transfer past the re-draw.
+        let raw = (draw01(self.config.seed, event, 0x3) * self.config.n_users as f64) as u64;
+        let mut to = raw.min(self.config.n_users - 1);
         if to == from {
             to = (to + 1) % self.config.n_users;
         }
-        (from, to.min(self.config.n_users - 1))
+        (from, to)
     }
 }
 
@@ -220,6 +224,57 @@ mod tests {
             assert!(gen.user_at(i) < 1_000, "event {i}");
             let (from, to) = gen.pair_at(i);
             assert!(from < 1_000 && to < 1_000 && from != to, "event {i}");
+        }
+    }
+
+    #[test]
+    fn pair_draws_never_self_transfer_across_seeds() {
+        // Regression: the pre-fix order (collision re-draw, then clamp)
+        // could clamp a boundary draw back onto `from`. Sweep seeds and
+        // user-counts ragged enough to exercise the boundary.
+        for seed in [0, 1, 7, 42, 0x7174_616e, u64::MAX] {
+            for n_users in [2, 3, 5, 64, 1_000] {
+                let gen = TrafficGen::new(TrafficConfig {
+                    n_users,
+                    n_blocks: n_users.min(7),
+                    seed,
+                    ..Default::default()
+                });
+                for i in 0..4_000 {
+                    let (from, to) = gen.pair_at(i);
+                    assert!(from < n_users && to < n_users, "seed {seed} event {i}");
+                    assert_ne!(from, to, "self-transfer at seed {seed} event {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pair_fix_preserves_previously_valid_draws() {
+        // Every draw the old order already produced as a valid pair must be
+        // unchanged — the fix only rewrites the broken boundary case.
+        let old_order = |gen: &TrafficGen, event: u64| -> (u64, u64) {
+            let n = gen.config().n_users;
+            let from = gen.user_at(event);
+            let mut to = (draw01(gen.config().seed, event, 0x3) * n as f64) as u64;
+            if to == from {
+                to = (to + 1) % n;
+            }
+            (from, to.min(n - 1))
+        };
+        for seed in [3, 11, 0x7174_616e] {
+            let gen = TrafficGen::new(TrafficConfig {
+                n_users: 257,
+                n_blocks: 7,
+                seed,
+                ..Default::default()
+            });
+            for i in 0..8_000 {
+                let old = old_order(&gen, i);
+                if old.0 != old.1 {
+                    assert_eq!(gen.pair_at(i), old, "seed {seed} event {i}");
+                }
+            }
         }
     }
 

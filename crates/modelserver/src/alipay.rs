@@ -109,6 +109,7 @@ mod tests {
             receiver_slots: vec![1],
             context_slots: vec![2],
             embedding_dim: 0,
+            velocity_width: 0,
         };
         let mut d = Dataset::new(3);
         let mut state = 11u64;
@@ -139,6 +140,7 @@ mod tests {
             embedding_dim: 0,
             payer_width: 1,
             receiver_width: 1,
+            velocity_width: 0,
         };
         for u in [1u64, 2] {
             codec
@@ -149,6 +151,7 @@ mod tests {
                         payer_side: vec![0.5],
                         receiver_side: vec![0.5],
                         embedding: vec![],
+                        velocity: Vec::new(),
                     },
                     1,
                 )

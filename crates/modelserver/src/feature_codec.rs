@@ -39,6 +39,9 @@ enum BasicSlot {
 struct QualTable {
     basic: ColumnFamily,
     embedding_family: ColumnFamily,
+    /// Streaming velocity slots live in their own family so T+1 uploads
+    /// and the streaming aggregator never contend on a qualifier.
+    velocity_family: ColumnFamily,
     payer: Vec<Qualifier>,
     receiver: Vec<Qualifier>,
     embedding: Vec<Qualifier>,
@@ -67,6 +70,7 @@ impl QualTable {
         QualTable {
             basic: ColumnFamily("basic".into()),
             embedding_family: ColumnFamily("embedding".into()),
+            velocity_family: ColumnFamily("velocity".into()),
             payer,
             receiver,
             embedding,
@@ -94,6 +98,17 @@ impl QualTable {
             Some(q) => q.clone(),
             None => Qualifier(i.to_string()),
         }
+    }
+
+    /// Velocity qualifiers are plain dimension indices like embedding
+    /// ones (the family disambiguates), so the interned names are shared.
+    fn velocity_qualifier(&self, i: usize) -> Qualifier {
+        self.embedding_qualifier(i)
+    }
+
+    /// Resolve a `velocity` qualifier to its slot index.
+    fn velocity_slot(&self, qualifier: &str) -> Option<usize> {
+        self.embedding_slot(qualifier)
     }
 
     /// Resolve a `basic` qualifier to its slot; table hit first, parse as
@@ -127,7 +142,7 @@ fn qual_table() -> &'static QualTable {
 
 /// Per-user serving payload: what the offline stage uploads and the MS
 /// fetches per transfer party.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct UserFeatures {
     /// Payer-side features (profile + outgoing aggregates).
     pub payer_side: Vec<f32>,
@@ -135,6 +150,10 @@ pub struct UserFeatures {
     pub receiver_side: Vec<f32>,
     /// Node embedding (possibly empty for users outside the network).
     pub embedding: Vec<f32>,
+    /// Streaming velocity slots (windowed counts / amounts / distinct
+    /// counterparties). Empty for users the streaming tier has not
+    /// touched; individual missing slots decode as zero.
+    pub velocity: Vec<f32>,
 }
 
 /// A partial per-user feature update: `(index, value)` pairs per block.
@@ -153,12 +172,15 @@ pub struct FeatureDelta {
     pub receiver: Vec<(usize, f32)>,
     /// Embedding-dimension updates as `(dimension, new value)`.
     pub embedding: Vec<(usize, f32)>,
+    /// Velocity-slot updates as `(slot index, new value)` — the unit the
+    /// streaming aggregator emits on every tick advance.
+    pub velocity: Vec<(usize, f32)>,
 }
 
 impl FeatureDelta {
     /// Number of cells this delta writes.
     pub fn len(&self) -> usize {
-        self.payer.len() + self.receiver.len() + self.embedding.len()
+        self.payer.len() + self.receiver.len() + self.embedding.len() + self.velocity.len()
     }
 
     /// True when the delta patches nothing.
@@ -174,6 +196,9 @@ pub struct FeatureCodec {
     /// Widths of the two basic-feature sides.
     pub payer_width: usize,
     pub receiver_width: usize,
+    /// Streaming velocity slots per user; `0` disables the block entirely
+    /// (no extra cells written, none expected at decode).
+    pub velocity_width: usize,
 }
 
 impl FeatureCodec {
@@ -233,6 +258,17 @@ impl FeatureCodec {
                 Some(Bytes::copy_from_slice(&v.to_le_bytes())),
             ));
         }
+        for (i, v) in features.velocity.iter().enumerate() {
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.velocity_family.clone(),
+                    qualifier: quals.velocity_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
         cells
     }
 
@@ -287,6 +323,21 @@ impl FeatureCodec {
                     row: row.clone(),
                     family: quals.embedding_family.clone(),
                     qualifier: quals.embedding_qualifier(i),
+                },
+                version,
+                Some(Bytes::copy_from_slice(&v.to_le_bytes())),
+            ));
+        }
+        for &(i, v) in &delta.velocity {
+            assert!(
+                i < self.velocity_width,
+                "velocity delta index {i} out of layout"
+            );
+            cells.push((
+                CellKey {
+                    row: row.clone(),
+                    family: quals.velocity_family.clone(),
+                    qualifier: quals.velocity_qualifier(i),
                 },
                 version,
                 Some(Bytes::copy_from_slice(&v.to_le_bytes())),
@@ -380,6 +431,7 @@ impl FeatureCodec {
         let mut payer_side = vec![None; self.payer_width];
         let mut receiver_side = vec![None; self.receiver_width];
         let mut embedding = vec![None; self.embedding_dim];
+        let mut velocity = vec![None; self.velocity_width];
         for (key, bytes) in cells {
             let slot = match key.family.0.as_str() {
                 "basic" => match quals.basic_slot(&key.qualifier.0) {
@@ -390,6 +442,9 @@ impl FeatureCodec {
                 "embedding" => quals
                     .embedding_slot(&key.qualifier.0)
                     .and_then(|i| embedding.get_mut(i)),
+                "velocity" => quals
+                    .velocity_slot(&key.qualifier.0)
+                    .and_then(|i| velocity.get_mut(i)),
                 _ => None,
             };
             // Unknown families/qualifiers and out-of-range indices are
@@ -421,10 +476,15 @@ impl FeatureCodec {
         } else {
             vec![0.0; self.embedding_dim]
         };
+        // Velocity slots are independent counters patched one at a time by
+        // streaming deltas, so — unlike the all-or-nothing embedding — each
+        // missing slot individually decodes as zero ("no activity seen").
+        let velocity = velocity.into_iter().map(|v| v.unwrap_or(0.0)).collect();
         Ok(Some(UserFeatures {
             payer_side: payer_side.into_iter().flatten().collect(),
             receiver_side: receiver_side.into_iter().flatten().collect(),
             embedding,
+            velocity,
         }))
     }
 }
@@ -439,6 +499,7 @@ mod tests {
             embedding_dim: 4,
             payer_width: 3,
             receiver_width: 2,
+            velocity_width: 0,
         }
     }
 
@@ -451,6 +512,7 @@ mod tests {
             payer_side: vec![x, x + 1.0, x + 2.0],
             receiver_side: vec![x * 10.0, x * 20.0],
             embedding: vec![x; 4],
+            velocity: Vec::new(),
         }
     }
 
@@ -690,6 +752,7 @@ mod tests {
             payer: vec![(1, 99.0)],
             receiver: vec![(0, -5.0)],
             embedding: vec![(2, 0.25)],
+            velocity: Vec::new(),
         };
         t.put_rows(c.encode_delta(&delta, 2)).unwrap();
         let got = c.get_user(&t, 42, u64::MAX).unwrap().unwrap();
@@ -698,6 +761,67 @@ mod tests {
         assert_eq!(got.embedding, vec![1.0, 1.0, 0.25, 1.0]);
         // The pre-delta snapshot is still intact at its version.
         assert_eq!(c.get_user(&t, 42, 1).unwrap().unwrap(), features(1.0));
+    }
+
+    fn velocity_codec() -> FeatureCodec {
+        FeatureCodec {
+            velocity_width: 3,
+            ..codec()
+        }
+    }
+
+    #[test]
+    fn velocity_round_trips_and_missing_slots_decode_as_zero() {
+        let t = table();
+        let c = velocity_codec();
+        let mut f = features(1.0);
+        f.velocity = vec![2.0, 350.0, 1.0];
+        c.put_user(&t, 42, &f, 1).unwrap();
+        assert_eq!(c.get_user(&t, 42, u64::MAX).unwrap().unwrap(), f);
+        // A row the streaming tier never touched serves an all-zero block —
+        // no torn-row error, no cold-start special case.
+        c.put_user(&t, 7, &features(2.0), 1).unwrap();
+        let got = c.get_user(&t, 7, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.velocity, vec![0.0; 3]);
+        // And a codec with the block disabled ignores velocity cells.
+        let narrow = codec();
+        let got = narrow.get_user(&t, 42, u64::MAX).unwrap().unwrap();
+        assert!(got.velocity.is_empty());
+        assert_eq!(got.payer_side, f.payer_side);
+    }
+
+    #[test]
+    fn velocity_deltas_patch_single_slots() {
+        let t = table();
+        let c = velocity_codec();
+        c.put_user(&t, 5, &features(1.0), 1).unwrap();
+        // Stream one slot at a time: untouched slots stay at their previous
+        // value (zero when never written), per-slot merge semantics.
+        t.put_rows(c.encode_delta(
+            &FeatureDelta {
+                user: 5,
+                velocity: vec![(1, 4.0)],
+                ..FeatureDelta::default()
+            },
+            2,
+        ))
+        .unwrap();
+        let got = c.get_user(&t, 5, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.velocity, vec![0.0, 4.0, 0.0]);
+        t.put_rows(c.encode_delta(
+            &FeatureDelta {
+                user: 5,
+                velocity: vec![(0, 1.0), (1, 5.0)],
+                ..FeatureDelta::default()
+            },
+            3,
+        ))
+        .unwrap();
+        let got = c.get_user(&t, 5, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.velocity, vec![1.0, 5.0, 0.0]);
+        // The pre-patch snapshot stays readable at its version.
+        let old = c.get_user(&t, 5, 2).unwrap().unwrap();
+        assert_eq!(old.velocity, vec![0.0, 4.0, 0.0]);
     }
 
     #[test]

@@ -279,6 +279,7 @@ mod tests {
             payer_side: vec![x],
             receiver_side: vec![x * 2.0],
             embedding: vec![x; 2],
+            velocity: Vec::new(),
         })
     }
 

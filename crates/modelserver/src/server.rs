@@ -95,12 +95,17 @@ pub struct FeatureLayout {
     pub context_slots: Vec<usize>,
     /// Embedding dims appended per party (0 = model without embeddings).
     pub embedding_dim: usize,
+    /// Streaming velocity slots appended per party after the embeddings
+    /// (0 = model without streaming features). Populated by the windowed
+    /// aggregator in `titant-stream` via `ingest_update`.
+    pub velocity_width: usize,
 }
 
 impl FeatureLayout {
-    /// Total model input width.
+    /// Total model input width: the basic block, then per-party embedding
+    /// blocks, then per-party velocity blocks.
     pub fn width(&self) -> usize {
-        self.n_basic + 2 * self.embedding_dim
+        self.n_basic + 2 * self.embedding_dim + 2 * self.velocity_width
     }
 
     /// Check slot coverage: payer + receiver + context slots must cover the
@@ -204,6 +209,7 @@ impl ModelServer {
             embedding_dim: layout.embedding_dim,
             payer_width: layout.payer_slots.len(),
             receiver_width: layout.receiver_slots.len(),
+            velocity_width: layout.velocity_width,
         };
         Ok(Self {
             inner: Arc::new(Inner {
@@ -324,6 +330,7 @@ impl ModelServer {
                 ("payer", &d.payer, codec.payer_width),
                 ("receiver", &d.receiver, codec.receiver_width),
                 ("embedding", &d.embedding, codec.embedding_dim),
+                ("velocity", &d.velocity, codec.velocity_width),
             ];
             for (block, updates, width) in checks {
                 if let Some(&(index, _)) = updates.iter().find(|&&(i, _)| i >= width) {
@@ -367,7 +374,8 @@ impl ModelServer {
                     tick: opts.tick,
                     attempt,
                 };
-                match inner.table.try_put_rows(cells.clone(), wopts) {
+                // The batch was encoded once above; every attempt borrows it.
+                match inner.table.try_put_rows(&cells, wopts) {
                     Ok(waited) => break waited,
                     Err(fault) => {
                         deadline.charge(fault.waited);
@@ -385,6 +393,14 @@ impl ModelServer {
                         }
                         let pause = inner.slo.retry.backoff(prev, &mut rng);
                         prev = pause;
+                        // Never pause past the budget (same cap as the read
+                        // path): an uncapped backoff could charge the
+                        // deadline far beyond its budget before the next
+                        // attempt even runs.
+                        let pause = match deadline.remaining() {
+                            Some(left) => pause.min(left),
+                            None => pause,
+                        };
                         deadline.charge(pause);
                         std::thread::sleep(pause);
                         inner.resilience.record_write_retry();
@@ -893,6 +909,21 @@ fn assemble_features(
             *f = *v;
         }
     }
+    // Per-party velocity blocks follow the embedding blocks; a party the
+    // streaming tier has not touched keeps its zeros, same as a missing
+    // embedding.
+    let vbase = layout.n_basic + 2 * layout.embedding_dim;
+    if let Some(p) = payer {
+        for (f, v) in features[vbase..].iter_mut().zip(&p.velocity) {
+            *f = *v;
+        }
+    }
+    if let Some(r) = recv {
+        let base = vbase + layout.velocity_width;
+        for (f, v) in features[base..].iter_mut().zip(&r.velocity) {
+            *f = *v;
+        }
+    }
     for (slot, v) in layout.context_slots.iter().zip(context) {
         if let Some(f) = features.get_mut(*slot) {
             *f = *v;
@@ -1013,6 +1044,7 @@ mod tests {
             receiver_slots: vec![2, 3],
             context_slots: vec![4],
             embedding_dim: 2,
+            velocity_width: 0,
         }
     }
 
@@ -1055,6 +1087,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         for user in [1u64, 2] {
             codec
@@ -1065,6 +1098,7 @@ mod tests {
                         payer_side: vec![0.1, 0.2],
                         receiver_side: vec![0.3, 0.4],
                         embedding: vec![0.5, 0.6],
+                        velocity: Vec::new(),
                     },
                     20170410,
                 )
@@ -1099,6 +1133,110 @@ mod tests {
                 bytes::Bytes::from_static(b"bad"),
             )
             .unwrap();
+    }
+
+    #[test]
+    fn assemble_features_places_velocity_after_the_embeddings() {
+        let lay = FeatureLayout {
+            velocity_width: 3,
+            ..layout()
+        };
+        let payer = UserFeatures {
+            payer_side: vec![0.1, 0.2],
+            receiver_side: vec![-1.0, -1.0],
+            embedding: vec![0.5, 0.6],
+            velocity: vec![7.0, 8.0, 9.0],
+        };
+        let recv = UserFeatures {
+            payer_side: vec![-1.0, -1.0],
+            receiver_side: vec![0.3, 0.4],
+            embedding: vec![0.7, 0.8],
+            velocity: vec![1.0, 2.0, 3.0],
+        };
+        let f = assemble_features(&lay, Some(&payer), Some(&recv), &[0.9]);
+        assert_eq!(f.len(), 5 + 4 + 6);
+        assert_eq!(&f[..5], &[0.1, 0.2, 0.3, 0.4, 0.9][..]);
+        assert_eq!(&f[5..9], &[0.5, 0.6, 0.7, 0.8][..], "embedding blocks");
+        assert_eq!(&f[9..12], &[7.0, 8.0, 9.0][..], "payer velocity");
+        assert_eq!(&f[12..], &[1.0, 2.0, 3.0][..], "receiver velocity");
+        // An absent party leaves its velocity block at zero, like a missing
+        // embedding — and an all-velocity-free request matches the plain
+        // layout's assembly on the shared prefix.
+        let g = assemble_features(&lay, Some(&payer), None, &[0.9]);
+        assert_eq!(&g[12..], &[0.0; 3][..]);
+        let plain = assemble_features(&layout(), Some(&payer), Some(&recv), &[0.9]);
+        assert_eq!(&f[..9], &plain[..]);
+    }
+
+    /// Velocity deltas stream through `ingest_update` exactly like basic
+    /// and embedding deltas: validated against the layout width, written as
+    /// `velocity`-family cells, and served merged over the last upload.
+    #[test]
+    fn ingest_update_streams_velocity_deltas_end_to_end() {
+        let lay = FeatureLayout {
+            velocity_width: 2,
+            ..layout()
+        };
+        let table = Arc::new(RegionedTable::single(StoreConfig::default()).unwrap());
+        let mut m = model();
+        m.n_features = lay.width();
+        let ms = ModelServer::new(table.clone(), lay, m).unwrap();
+        let codec = FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+            velocity_width: 2,
+        };
+        codec
+            .put_user(
+                &table,
+                1,
+                &UserFeatures {
+                    payer_side: vec![0.1, 0.2],
+                    receiver_side: vec![0.3, 0.4],
+                    embedding: vec![0.5, 0.6],
+                    velocity: Vec::new(),
+                },
+                20170410,
+            )
+            .unwrap();
+        let report = ms
+            .ingest_update(
+                &[FeatureDelta {
+                    user: 1,
+                    velocity: vec![(0, 3.0), (1, 250.0)],
+                    ..FeatureDelta::default()
+                }],
+                20170411,
+            )
+            .unwrap();
+        assert_eq!((report.users, report.cells), (1, 2));
+        let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
+        assert_eq!(got.velocity, vec![3.0, 250.0]);
+        assert_eq!(got.payer_side, vec![0.1, 0.2], "upload untouched");
+        // Out-of-layout velocity indices are rejected before any write.
+        let err = ms
+            .ingest_update(
+                &[FeatureDelta {
+                    user: 1,
+                    velocity: vec![(2, 1.0)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::DeltaSlot {
+                    user: 1,
+                    block: "velocity",
+                    index: 2,
+                    width: 2
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -1282,6 +1420,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         for user in [1u64, 2] {
             codec
@@ -1292,6 +1431,7 @@ mod tests {
                         payer_side: vec![0.1, 0.2],
                         receiver_side: vec![0.3, 0.4],
                         embedding: vec![0.5, 0.6],
+                        velocity: Vec::new(),
                     },
                     20170410,
                 )
@@ -1562,6 +1702,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         for user in [1u64, 2] {
             codec
@@ -1572,6 +1713,7 @@ mod tests {
                         payer_side: vec![0.1, 0.2],
                         receiver_side: vec![0.3, 0.4],
                         embedding: vec![0.5, 0.6],
+                        velocity: Vec::new(),
                     },
                     20170410,
                 )
@@ -1643,6 +1785,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         codec
             .put_user(
@@ -1652,6 +1795,7 @@ mod tests {
                     payer_side: vec![0.9, 0.9],
                     receiver_side: vec![0.9, 0.9],
                     embedding: vec![0.9, 0.9],
+                    velocity: Vec::new(),
                 },
                 20170411,
             )
@@ -1701,6 +1845,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
         assert_eq!(got.payer_side, vec![0.7, 0.8]);
@@ -1732,7 +1877,7 @@ mod tests {
                     user: 1,
                     payer: vec![(0, 1.0)],
                     receiver: vec![(9, 1.0)],
-                    embedding: Vec::new(),
+                    ..FeatureDelta::default()
                 }],
                 20170412,
             )
@@ -1783,6 +1928,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         let got = codec.get_user(&table, 2, u64::MAX).unwrap().unwrap();
         assert_eq!(got.receiver_side, vec![0.3, -1.0]);
@@ -1791,6 +1937,76 @@ mod tests {
         let report = ms.ingest_update(&[], 20170413).unwrap();
         assert_eq!((report.users, report.cells), (0, 0));
         assert_eq!(table.write_stats().since(&before).batches, 0);
+    }
+
+    /// A batch of nothing but empty deltas writes no cells, charges no
+    /// retry budget, and invalidates nothing — but the maintenance tick
+    /// still runs: a pending group-commit WAL window left by an earlier
+    /// write is synced by the empty ingest.
+    #[test]
+    fn ingest_update_of_all_empty_deltas_still_ticks() {
+        let dir = std::env::temp_dir().join(format!("titant-ms-emptytick-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = StoreConfig {
+            dir: Some(dir.clone()),
+            sync: titant_alihbase::SyncPolicy::GroupCommit {
+                max_batch: 1024,
+                max_wait: Duration::from_millis(5),
+            },
+            ..StoreConfig::default()
+        };
+        let table = Arc::new(RegionedTable::single(cfg).unwrap());
+        let ms = ModelServer::new(table.clone(), layout(), model()).unwrap();
+        // A direct upload (no tick of its own) leaves its WAL frame pending
+        // in the group-commit window...
+        FeatureCodec {
+            embedding_dim: 2,
+            payer_width: 2,
+            receiver_width: 2,
+            velocity_width: 0,
+        }
+        .put_user(
+            &table,
+            1,
+            &UserFeatures {
+                payer_side: vec![0.1, 0.2],
+                receiver_side: vec![0.3, 0.4],
+                embedding: vec![0.5, 0.6],
+                velocity: Vec::new(),
+            },
+            20170412,
+        )
+        .unwrap();
+        let before = table.write_stats();
+        let report = ms
+            .ingest_update(
+                &[
+                    FeatureDelta::default(),
+                    FeatureDelta {
+                        user: 9,
+                        ..FeatureDelta::default()
+                    },
+                ],
+                20170413,
+            )
+            .unwrap();
+        assert_eq!((report.users, report.cells), (0, 0));
+        assert_eq!(report.write_retries, 0);
+        assert_eq!(report.invalidated_rows, 0);
+        assert_eq!(report.simulated_wait, Duration::ZERO);
+        let delta = table.write_stats().since(&before);
+        assert_eq!((delta.batches, delta.cells_written), (0, 0));
+        assert!(
+            delta.wal_syncs > 0,
+            "the tick must still run and flush the pending WAL window"
+        );
+        // A second empty ingest finds nothing pending and is a pure no-op.
+        let before = table.write_stats();
+        ms.ingest_update(&[], 20170414).unwrap();
+        assert_eq!(table.write_stats().since(&before).wal_syncs, 0);
+        drop(ms);
+        drop(table);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// A write-fault hook that plays a fixed script of actions in order,
@@ -1820,6 +2036,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         for user in [1u64, 2] {
             codec
@@ -1830,6 +2047,7 @@ mod tests {
                         payer_side: vec![0.1, 0.2],
                         receiver_side: vec![0.3, 0.4],
                         embedding: vec![0.5, 0.6],
+                        velocity: Vec::new(),
                     },
                     20170410,
                 )
@@ -1872,6 +2090,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
         assert_eq!(got.payer_side, vec![0.9, 0.2]);
@@ -1923,9 +2142,96 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         let got = codec.get_user(&table, 1, u64::MAX).unwrap().unwrap();
         assert_eq!(got.payer_side, vec![0.1, 0.2]);
+    }
+
+    /// Regression: the ingest retry loop used to charge (and sleep) the
+    /// full backoff pause even when it overshot the deadline budget,
+    /// unlike the read path's "never pause past the budget" cap. With a
+    /// backoff base larger than the whole budget, a single retry must now
+    /// charge at most the remaining budget.
+    #[test]
+    fn ingest_backoff_never_charges_past_the_deadline() {
+        let budget = Duration::from_micros(100);
+        let slo = SloConfig {
+            deadline: Some(budget),
+            retry: RetryPolicy {
+                max_retries: 4,
+                base: Duration::from_micros(500),
+                cap: Duration::from_millis(10),
+            },
+            ..SloConfig::default()
+        };
+        let (ms, table) = setup_with_slo(slo);
+        // One faulted attempt, then clean: the success report exposes the
+        // total simulated charge.
+        table.set_fault_hook(Some(Arc::new(ScriptedWrites::new(vec![
+            WriteFaultAction::AppendError,
+        ]))));
+        let report = ms
+            .ingest_update_opts(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 0.9)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+                IngestOptions { tick: 5 },
+            )
+            .unwrap();
+        assert_eq!(report.write_retries, 1);
+        assert!(
+            report.simulated_wait <= budget,
+            "charged {:?} past the {budget:?} budget",
+            report.simulated_wait
+        );
+    }
+
+    /// Under a write storm (every attempt faulted) the capped backoff
+    /// exhausts the deadline exactly at its budget: the loop stops on
+    /// `deadline.exceeded()` after one retry instead of burning the whole
+    /// retry allowance on pauses charged far beyond the budget.
+    #[test]
+    fn ingest_storm_stops_at_the_deadline_budget() {
+        let slo = SloConfig {
+            deadline: Some(Duration::from_micros(100)),
+            retry: RetryPolicy {
+                max_retries: 10,
+                base: Duration::from_micros(500),
+                cap: Duration::from_millis(10),
+            },
+            ..SloConfig::default()
+        };
+        let (ms, table) = setup_with_slo(slo);
+        table.set_fault_hook(Some(Arc::new(ScriptedWrites::new(vec![
+            WriteFaultAction::AppendError;
+            12
+        ]))));
+        let err = ms
+            .ingest_update_opts(
+                &[FeatureDelta {
+                    user: 1,
+                    payer: vec![(0, 0.9)],
+                    ..FeatureDelta::default()
+                }],
+                20170412,
+                IngestOptions { tick: 6 },
+            )
+            .unwrap_err();
+        match &err {
+            ServeError::IngestRetriesExhausted { attempts, .. } => {
+                // Attempt 0 faults; the retry pause is capped to the whole
+                // remaining budget, so attempt 1's fault finds the deadline
+                // exceeded and stops — eight retries still unspent.
+                assert_eq!(*attempts, 2, "deadline, not retry count, ended it");
+            }
+            other => panic!("expected IngestRetriesExhausted, got {other:?}"),
+        }
+        let r = ms.resilience();
+        assert_eq!((r.write_retried, r.write_retries_exhausted), (1, 1));
     }
 
     /// `recover_table` crash-restarts the store in place; acknowledged
@@ -1945,6 +2251,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         for user in [1u64, 2] {
             codec
@@ -1955,6 +2262,7 @@ mod tests {
                         payer_side: vec![0.1, 0.2],
                         receiver_side: vec![0.3, 0.4],
                         embedding: vec![0.5, 0.6],
+                        velocity: Vec::new(),
                     },
                     20170410,
                 )
@@ -2128,6 +2436,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         // Enough users (and enough per-cell write pressure) that the next
         // tick's window is far past the split threshold.
@@ -2140,6 +2449,7 @@ mod tests {
                         payer_side: vec![0.1, 0.2],
                         receiver_side: vec![0.3, 0.4],
                         embedding: vec![0.5, 0.6],
+                        velocity: Vec::new(),
                     },
                     20170410,
                 )
@@ -2184,6 +2494,7 @@ mod tests {
             embedding_dim: 2,
             payer_width: 2,
             receiver_width: 2,
+            velocity_width: 0,
         };
         // Pre-fix the table wrapped replica 3 % 1 onto the primary and the
         // read "succeeded", so a hedge the SLO layer recorded as landing on

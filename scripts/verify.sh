@@ -20,10 +20,13 @@
 #                                 # the distributed-SQL gate
 #                                 # (coordinator/worker byte-identity +
 #                                 # counted-work scaling; writes
-#                                 # BENCH_offline_sql.json), and the
+#                                 # BENCH_offline_sql.json), the
 #                                 # crash-replay gate (write-path fault
 #                                 # injection + crash-restart recovery;
-#                                 # writes BENCH_crash.json)
+#                                 # writes BENCH_crash.json), and the
+#                                 # stream-freshness gate (windowed
+#                                 # velocity features closing the T+1 gap;
+#                                 # writes BENCH_stream.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -79,6 +82,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> crash-replay gate (--quick)"
     cargo run --release -q -p titant-bench --bin crash_replay -- --quick
+
+    echo "==> stream-freshness gate (--quick)"
+    cargo run --release -q -p titant-bench --bin stream_freshness -- --quick
 fi
 
 echo "verify: all green"

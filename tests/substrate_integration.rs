@@ -60,11 +60,13 @@ fn feature_store_recovers_user_features_after_crash() {
         embedding_dim: 4,
         payer_width: 2,
         receiver_width: 2,
+        velocity_width: 0,
     };
     let features = UserFeatures {
         payer_side: vec![1.0, 2.0],
         receiver_side: vec![3.0, 4.0],
         embedding: vec![0.1, 0.2, 0.3, 0.4],
+        velocity: Vec::new(),
     };
     let cfg = StoreConfig {
         dir: Some(dir.clone()),
