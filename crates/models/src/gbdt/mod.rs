@@ -13,15 +13,18 @@
 //! `hist` mode, scaled down.
 
 pub mod binned;
+pub mod flat;
 pub mod tree;
 
 use crate::dataset::Dataset;
 use crate::traits::Classifier;
 use binned::BinnedMatrix;
+use flat::FlatForest;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 use titant_parallel::Pool;
 use tree::{RegTree, TreeParams};
 
@@ -88,8 +91,21 @@ impl Default for GbdtConfig {
     }
 }
 
+/// Which traversal serves predictions. The compiled flat engine is the
+/// default everywhere; the reference walk is retained so the
+/// `predict_latency` bench (and any doubter) can A/B the two end to end.
+/// The knob is never serialized — a loaded model always serves flat.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PredictEngine {
+    /// Compiled [`FlatForest`] kernels (single-row descent; blocked batch).
+    #[default]
+    Flat,
+    /// The original per-tree `RegNode` enum walk.
+    Reference,
+}
+
 /// A trained gradient-boosted ensemble.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Gbdt {
     trees: Vec<RegTree>,
     base_score: f64,
@@ -98,6 +114,50 @@ pub struct Gbdt {
     /// Batch-prediction worker count carried over from the training config
     /// (`0` = auto). Row-parallel scoring never changes the per-row result.
     threads: usize,
+    /// Serving engine selector; defaults to [`PredictEngine::Flat`] and is
+    /// deliberately not persisted.
+    engine: PredictEngine,
+    /// Compiled flat form, built once per model (at fit time, on first use
+    /// after deserialization, or eagerly via [`Gbdt::flat`]).
+    flat: OnceLock<FlatForest>,
+    /// Reusable batch-prediction worker pool, built on first batch call
+    /// instead of once per `predict_batch` invocation.
+    pool: OnceLock<Pool>,
+}
+
+/// Manual serde impls: the compiled flat form, the engine knob and the
+/// worker pool are serving-time state, not model state — only the five
+/// fields the derived impl used to emit are persisted, so the artifact
+/// format is unchanged and a loaded model recompiles (and always serves
+/// the flat engine) on its own.
+impl Serialize for Gbdt {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("trees".to_string(), self.trees.serialize()),
+            ("base_score".to_string(), self.base_score.serialize()),
+            ("objective".to_string(), self.objective.serialize()),
+            ("n_features".to_string(), self.n_features.serialize()),
+            ("threads".to_string(), self.threads.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Gbdt {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct `Gbdt`"))?;
+        Ok(Gbdt {
+            trees: Deserialize::deserialize(serde::field(entries, "trees")?)?,
+            base_score: Deserialize::deserialize(serde::field(entries, "base_score")?)?,
+            objective: Deserialize::deserialize(serde::field(entries, "objective")?)?,
+            n_features: Deserialize::deserialize(serde::field(entries, "n_features")?)?,
+            threads: Deserialize::deserialize(serde::field(entries, "threads")?)?,
+            engine: PredictEngine::default(),
+            flat: OnceLock::new(),
+            pool: OnceLock::new(),
+        })
+    }
 }
 
 impl GbdtConfig {
@@ -193,13 +253,20 @@ impl GbdtConfig {
             trees.push(tree);
         }
 
-        Gbdt {
+        let model = Gbdt {
             trees,
             base_score,
             objective: self.objective,
             n_features: n_feats,
             threads: self.threads,
-        }
+            engine: PredictEngine::default(),
+            flat: OnceLock::new(),
+            pool: OnceLock::new(),
+        };
+        // Compile the serving form while the trainer still owns the model,
+        // so the first request never pays the lowering cost.
+        model.flat();
+        model
     }
 }
 
@@ -213,14 +280,61 @@ impl Gbdt {
     /// count is a serving knob, not a model property: callers that resolve
     /// `threads: 0` before training use this to persist the *configured*
     /// value, keeping the serialized artifact independent of the training
-    /// machine's core count.
+    /// machine's core count. Drops any already-built pool so the next batch
+    /// call spawns with the new count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self.pool = OnceLock::new();
         self
     }
 
-    /// Raw additive score before the objective's output transform.
+    /// Select the serving engine (bench/debug knob; flat is the default).
+    pub fn with_engine(mut self, engine: PredictEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// The compiled flat form, lowering the ensemble on first call. Fit
+    /// builds it eagerly; deserialization paths call this once at load.
+    pub fn flat(&self) -> &FlatForest {
+        self.flat
+            .get_or_init(|| FlatForest::compile(&self.trees, self.base_score, self.n_features))
+    }
+
+    /// Whether the flat form has already been compiled (no compile work on
+    /// the request path once this returns true).
+    pub fn is_compiled(&self) -> bool {
+        self.flat.get().is_some()
+    }
+
+    /// The reusable batch-prediction pool, spawned lazily on first use.
+    fn pool(&self) -> &Pool {
+        self.pool.get_or_init(|| Pool::new(self.threads))
+    }
+
+    /// The objective's output map from raw additive score to probability.
+    #[inline]
+    fn transform(&self, s: f64) -> f32 {
+        match self.objective {
+            GbdtObjective::SquaredError => s.clamp(0.0, 1.0) as f32,
+            GbdtObjective::Logistic => (1.0 / (1.0 + (-s).exp())) as f32,
+        }
+    }
+
+    /// Raw additive score before the objective's output transform, served
+    /// by the engine selected via [`Gbdt::with_engine`].
     pub fn raw_score(&self, features: &[f32]) -> f64 {
+        match self.engine {
+            PredictEngine::Flat => self.flat().raw_score(features),
+            PredictEngine::Reference => self.raw_score_reference(features),
+        }
+    }
+
+    /// The original per-tree `RegNode` enum walk. Kept as the ground truth
+    /// the compiled engine is gated against (`predict_latency` bench, the
+    /// flat-equivalence property test); bit-identical to
+    /// [`FlatForest::raw_score`] by construction.
+    pub fn raw_score_reference(&self, features: &[f32]) -> f64 {
         debug_assert_eq!(features.len(), self.n_features);
         let mut s = self.base_score;
         for t in &self.trees {
@@ -241,19 +355,34 @@ impl Gbdt {
 
 impl Classifier for Gbdt {
     fn predict_proba(&self, features: &[f32]) -> f32 {
-        let s = self.raw_score(features);
-        match self.objective {
-            GbdtObjective::SquaredError => s.clamp(0.0, 1.0) as f32,
-            GbdtObjective::Logistic => (1.0 / (1.0 + (-s).exp())) as f32,
-        }
+        self.transform(self.raw_score(features))
     }
 
     /// Row-parallel batch scoring: rows are scored independently over
     /// contiguous chunks and concatenated in chunk order, so the output
-    /// equals the serial row-by-row map exactly.
+    /// equals the serial row-by-row map exactly. The flat engine scores
+    /// each chunk with the blocked tree-at-a-time kernel; raw sums keep
+    /// tree order, so every element still matches `predict_proba` of that
+    /// row bit for bit. The worker pool is built once and reused across
+    /// calls (a fresh scoped-pool spawn per batch used to sit on the
+    /// serving path).
     fn predict_batch(&self, data: &Dataset) -> Vec<f32> {
         let n = data.n_rows();
-        let pool = Pool::new(self.threads);
+        let pool = self.pool();
+        if let PredictEngine::Flat = self.engine {
+            let flat = self.flat();
+            if pool.threads() <= 1 || n < 1024 {
+                let mut out = vec![0f32; n];
+                flat.predict_blocked_into(data, 0..n, |s| self.transform(s), &mut out);
+                return out;
+            }
+            let chunks = pool.map_ranges(n, |_, r| {
+                let mut out = vec![0f32; r.len()];
+                flat.predict_blocked_into(data, r, |s| self.transform(s), &mut out);
+                out
+            });
+            return chunks.concat();
+        }
         if pool.threads() <= 1 || n < 1024 {
             return (0..n).map(|i| self.predict_proba(data.row(i))).collect();
         }
@@ -408,6 +537,72 @@ mod tests {
                 "threads={threads}: parallel training diverged from serial"
             );
         }
+    }
+
+    /// The tentpole's end-to-end contract: the compiled flat engine and the
+    /// retained reference walk serve the same bits, per row and per batch,
+    /// and `fit` compiles the flat form eagerly.
+    #[test]
+    fn flat_engine_matches_reference_engine_bitwise() {
+        let d = wide_nonlinear(2_000);
+        let m = GbdtConfig {
+            n_trees: 15,
+            subsample: 0.8,
+            colsample: 1.0,
+            ..Default::default()
+        }
+        .fit(&d);
+        assert!(m.is_compiled(), "fit should compile the flat form eagerly");
+        let reference = m.clone().with_engine(PredictEngine::Reference);
+        for i in 0..d.n_rows() {
+            let row = d.row(i);
+            assert_eq!(
+                m.raw_score(row).to_bits(),
+                reference.raw_score(row).to_bits(),
+                "row {i}"
+            );
+            assert_eq!(
+                m.predict_proba(row).to_bits(),
+                reference.predict_proba(row).to_bits()
+            );
+        }
+        let flat_batch: Vec<u32> = m.predict_batch(&d).iter().map(|p| p.to_bits()).collect();
+        let ref_batch: Vec<u32> = reference
+            .predict_batch(&d)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(flat_batch, ref_batch);
+    }
+
+    /// Satellite: the batch pool is built once and reused — repeated calls
+    /// return identical output and `with_threads` takes effect by dropping
+    /// the cached pool.
+    #[test]
+    fn predict_batch_pool_is_reused_and_resettable() {
+        let d = wide_nonlinear(3_000);
+        let m = GbdtConfig {
+            n_trees: 8,
+            subsample: 0.8,
+            colsample: 1.0,
+            threads: 3,
+            ..Default::default()
+        }
+        .fit(&d);
+        let first = m.predict_batch(&d);
+        let pool_ptr = std::ptr::from_ref(m.pool());
+        assert_eq!(m.predict_batch(&d), first, "second call diverged");
+        assert!(
+            std::ptr::eq(pool_ptr, std::ptr::from_ref(m.pool())),
+            "pool was rebuilt between calls"
+        );
+        let serial = m.with_threads(1);
+        assert_eq!(serial.pool().threads(), 1);
+        assert_eq!(
+            serial.predict_batch(&d),
+            first,
+            "thread count changed output"
+        );
     }
 
     #[test]

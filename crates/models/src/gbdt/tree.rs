@@ -34,7 +34,7 @@ const PAR_HIST_MIN_CELLS: usize = 16 * 1024;
 const PAR_PARTITION_MIN_ROWS: usize = 8 * 1024;
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
-enum RegNode {
+pub(crate) enum RegNode {
     Split {
         feature: u32,
         /// Serving predicate: `value < threshold` goes left.
@@ -161,6 +161,14 @@ impl RegTree {
     /// Node count (diagnostics).
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The raw node storage, exposed to the crate so the compiled
+    /// [`super::flat::FlatForest`] can lower the tree without re-walking it
+    /// through the enum match. Nodes are in preorder (root first, each left
+    /// subtree before its right sibling) — the order `grow` emits.
+    pub(crate) fn nodes(&self) -> &[RegNode] {
+        &self.nodes
     }
 }
 

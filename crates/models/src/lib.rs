@@ -25,7 +25,8 @@ pub mod tree;
 
 pub use dataset::Dataset;
 pub use discretize::{BinningStrategy, Discretizer};
-pub use gbdt::{Gbdt, GbdtConfig, GbdtObjective};
+pub use gbdt::flat::{FlatForest, TraversalCounts, BLOCK_ROWS};
+pub use gbdt::{Gbdt, GbdtConfig, GbdtObjective, PredictEngine};
 pub use iforest::{IsolationForest, IsolationForestConfig};
 pub use linear::{LogisticRegression, LogisticRegressionConfig};
 pub use traits::Classifier;

@@ -1,0 +1,117 @@
+//! Property test: the compiled flat engine is invisible to callers.
+//!
+//! Random GBDT configurations — including depth-limit stumps and
+//! `min_samples_leaf` floors large enough to force single-leaf trees — are
+//! fitted on random datasets, then probed with random rows including NaN
+//! features in arbitrary positions. Every raw score from the
+//! [`FlatForest`] descent must match the `RegNode` reference walk bit for
+//! bit, and the blocked batch kernel must match the single-row descent bit
+//! for bit across block boundaries.
+
+use proptest::prelude::*;
+use titant_models::{Dataset, FlatForest, GbdtConfig, GbdtObjective};
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f32(state: &mut u64) -> f32 {
+    (splitmix64(state) >> 40) as f32 / (1u64 << 24) as f32
+}
+
+fn random_dataset(n_rows: usize, n_cols: usize, seed: u64) -> Dataset {
+    let mut d = Dataset::new(n_cols);
+    let mut state = seed;
+    for _ in 0..n_rows {
+        let row: Vec<f32> = (0..n_cols).map(|_| unit_f32(&mut state)).collect();
+        let label = ((row[0] > 0.5) != (row[n_cols - 1] > 0.4)) as u8 as f32;
+        d.push_row(&row, label);
+    }
+    d
+}
+
+/// A probe row decoded from `(seed, nan_mask)`: random unit values with
+/// NaN substituted wherever the mask bit for that column is set.
+fn probe_row(n_cols: usize, seed: u64, nan_mask: u8) -> Vec<f32> {
+    let mut state = seed ^ 0xabcd_ef01;
+    (0..n_cols)
+        .map(|c| {
+            if nan_mask & (1 << (c % 8)) != 0 {
+                f32::NAN
+            } else {
+                unit_f32(&mut state)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn flat_engine_bit_identical_to_reference_walk(
+        n_cols in 2usize..6,
+        n_trees in 1usize..12,
+        max_depth in 1usize..5,
+        // 0 → normal leaves; 1 → floor of 25 (shallow trees); 2 → floor far
+        // above the row count, forcing every tree to a single leaf.
+        leaf_mode in 0u8..3,
+        objective_sel in 0u8..2,
+        data_seed in 0u64..1_000,
+        probes in prop::collection::vec((0u64..u64::MAX, 0u8..=255), 1..25),
+    ) {
+        let n_rows = 180;
+        let data = random_dataset(n_rows, n_cols, data_seed);
+        let model = GbdtConfig {
+            n_trees,
+            max_depth,
+            subsample: 0.7,
+            colsample: 0.8,
+            min_samples_leaf: match leaf_mode {
+                0 => 4,
+                1 => 25,
+                _ => 10 * n_rows,
+            },
+            objective: if objective_sel == 0 {
+                GbdtObjective::SquaredError
+            } else {
+                GbdtObjective::Logistic
+            },
+            seed: data_seed ^ 0x51,
+            ..Default::default()
+        }
+        .fit(&data);
+        let flat: &FlatForest = model.flat();
+        prop_assert_eq!(flat.n_trees(), n_trees);
+        if leaf_mode == 2 {
+            prop_assert_eq!(flat.n_internal_nodes(), 0);
+        }
+
+        // Training rows and random probes (with NaN features) through the
+        // single-row descent vs the reference enum walk.
+        for i in 0..data.n_rows() {
+            let row = data.row(i);
+            prop_assert_eq!(
+                flat.raw_score(row).to_bits(),
+                model.raw_score_reference(row).to_bits()
+            );
+        }
+        let mut probe_data = Dataset::new(n_cols);
+        for (seed, nan_mask) in &probes {
+            let row = probe_row(n_cols, *seed, *nan_mask);
+            prop_assert_eq!(
+                flat.raw_score(&row).to_bits(),
+                model.raw_score_reference(&row).to_bits()
+            );
+            probe_data.push_row(&row, 0.0);
+        }
+
+        // Blocked batch kernel vs single-row descent, NaN rows included.
+        let blocked = flat.raw_scores_blocked(&probe_data, 0..probe_data.n_rows());
+        for (i, b) in blocked.iter().enumerate() {
+            prop_assert_eq!(b.to_bits(), flat.raw_score(probe_data.row(i)).to_bits());
+        }
+    }
+}

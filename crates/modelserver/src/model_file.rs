@@ -12,6 +12,17 @@ pub enum ServableModel {
     IsolationForest(IsolationForest),
 }
 
+impl ServableModel {
+    /// Build any engine-specific compiled form eagerly. The GBDT lowers its
+    /// trees into the [`titant_models::FlatForest`] here, so the work
+    /// happens at load time rather than on the first scored request.
+    pub fn precompile(&self) {
+        if let ServableModel::Gbdt(m) = self {
+            m.flat();
+        }
+    }
+}
+
 impl Classifier for ServableModel {
     fn predict_proba(&self, features: &[f32]) -> f32 {
         match self {
@@ -59,9 +70,13 @@ impl ModelFile {
         serde_json::to_vec(self)
     }
 
-    /// Parse from bytes.
+    /// Parse from bytes. The contained model is precompiled before it is
+    /// returned, so deployment (not the first transaction) pays the
+    /// flat-form lowering cost.
     pub fn from_bytes(data: &[u8]) -> Result<Self, serde_json::Error> {
-        serde_json::from_slice(data)
+        let mf: Self = serde_json::from_slice(data)?;
+        mf.model.precompile();
+        Ok(mf)
     }
 }
 
@@ -102,6 +117,56 @@ mod tests {
         let p1 = mf.model.predict_proba(&[0.9, 0.1]);
         let p2 = loaded.model.predict_proba(&[0.9, 0.1]);
         assert_eq!(p1, p2);
+    }
+
+    /// Satellite: a deserialized model file carries a *compiled* flat
+    /// forest (no lowering on the request path), and its scores match the
+    /// pre-serialization model bit for bit — including NaN feature rows,
+    /// where routing must stay NaN-left.
+    #[test]
+    fn loaded_model_is_precompiled_and_bit_identical() {
+        let mf = toy_model();
+        let bytes = mf.to_bytes().unwrap();
+        let loaded = ModelFile::from_bytes(&bytes).unwrap();
+        let ServableModel::Gbdt(loaded_gbdt) = &loaded.model else {
+            panic!("round trip changed the model variant");
+        };
+        assert!(
+            loaded_gbdt.is_compiled(),
+            "from_bytes must precompile the flat forest"
+        );
+        let probes: [[f32; 2]; 6] = [
+            [0.9, 0.1],
+            [0.1, 0.9],
+            [0.5, 0.5],
+            [f32::NAN, 0.3],
+            [0.7, f32::NAN],
+            [f32::NAN, f32::NAN],
+        ];
+        for row in &probes {
+            assert_eq!(
+                mf.model.predict_proba(row).to_bits(),
+                loaded.model.predict_proba(row).to_bits(),
+                "row {row:?} diverged across the serialization round trip"
+            );
+        }
+        let mut batch = Dataset::new(2);
+        for row in &probes {
+            batch.push_row(row, 0.0);
+        }
+        let before: Vec<u32> = mf
+            .model
+            .predict_batch(&batch)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        let after: Vec<u32> = loaded
+            .model
+            .predict_batch(&batch)
+            .iter()
+            .map(|p| p.to_bits())
+            .collect();
+        assert_eq!(before, after);
     }
 
     #[test]

@@ -17,11 +17,17 @@
 //! Sharding bounds lock contention: each shard is an independent
 //! `Mutex<HashMap + FIFO queue>`, and batch lookups take each shard's lock
 //! at most once.
+//!
+//! Payloads are `Arc<UserFeatures>`: a hit hands back a pointer clone, not
+//! a deep copy of the embedding/velocity vectors, so the per-request cost
+//! of a hot user is a refcount bump regardless of feature width. Entries
+//! are immutable once inserted (first write wins), so sharing is safe.
 
 use crate::feature_codec::UserFeatures;
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Cache geometry.
 #[derive(Debug, Clone)]
@@ -70,7 +76,7 @@ type Key = (u64, u64);
 struct Shard {
     /// `None` caches a confirmed-absent user (a clean read of an empty
     /// row), distinct from "not cached".
-    map: HashMap<Key, Option<UserFeatures>>,
+    map: HashMap<Key, Option<Arc<UserFeatures>>>,
     /// FIFO insertion order for eviction.
     order: VecDeque<Key>,
 }
@@ -122,7 +128,7 @@ impl RowCache {
 
     /// Look up one `(user, as_of)` entry. Outer `None` = miss; inner
     /// `Option` is the cached decode (`None` = user confirmed absent).
-    pub fn get(&self, user: u64, as_of: u64) -> Option<Option<UserFeatures>> {
+    pub fn get(&self, user: u64, as_of: u64) -> Option<Option<Arc<UserFeatures>>> {
         let shard = self.shards[self.shard_of(user)].lock();
         match shard.map.get(&(user, as_of)) {
             Some(cached) => {
@@ -139,7 +145,7 @@ impl RowCache {
     /// Insert a *clean* decode. First write wins: a concurrent duplicate
     /// insert is dropped, so cached contents never flap. Callers must not
     /// insert results of degraded (torn/faulted) reads.
-    pub fn insert(&self, user: u64, as_of: u64, features: Option<UserFeatures>) {
+    pub fn insert(&self, user: u64, as_of: u64, features: Option<Arc<UserFeatures>>) {
         if self.per_shard_cap == 0 {
             return;
         }
@@ -147,7 +153,7 @@ impl RowCache {
         self.insert_locked(&mut shard, (user, as_of), features);
     }
 
-    fn insert_locked(&self, shard: &mut Shard, key: Key, features: Option<UserFeatures>) {
+    fn insert_locked(&self, shard: &mut Shard, key: Key, features: Option<Arc<UserFeatures>>) {
         if shard.map.contains_key(&key) {
             return;
         }
@@ -167,8 +173,8 @@ impl RowCache {
 
     /// Batched lookup: group users by shard and take each shard lock once.
     /// Result slots mirror `users` (outer `None` = miss).
-    pub fn get_batch(&self, users: &[u64], as_of: u64) -> Vec<Option<Option<UserFeatures>>> {
-        let mut out: Vec<Option<Option<UserFeatures>>> = vec![None; users.len()];
+    pub fn get_batch(&self, users: &[u64], as_of: u64) -> Vec<Option<Option<Arc<UserFeatures>>>> {
+        let mut out: Vec<Option<Option<Arc<UserFeatures>>>> = vec![None; users.len()];
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for (i, &user) in users.iter().enumerate() {
             by_shard[self.shard_of(user)].push(i);
@@ -196,11 +202,11 @@ impl RowCache {
     }
 
     /// Batched insert of clean decodes, one lock acquisition per shard.
-    pub fn insert_batch(&self, entries: Vec<(u64, u64, Option<UserFeatures>)>) {
+    pub fn insert_batch(&self, entries: Vec<(u64, u64, Option<Arc<UserFeatures>>)>) {
         if self.per_shard_cap == 0 {
             return;
         }
-        let mut by_shard: Vec<Vec<(Key, Option<UserFeatures>)>> =
+        let mut by_shard: Vec<Vec<(Key, Option<Arc<UserFeatures>>)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (user, as_of, features) in entries {
             by_shard[self.shard_of(user)].push(((user, as_of), features));
@@ -274,13 +280,13 @@ impl RowCache {
 mod tests {
     use super::*;
 
-    fn feats(x: f32) -> Option<UserFeatures> {
-        Some(UserFeatures {
+    fn feats(x: f32) -> Option<Arc<UserFeatures>> {
+        Some(Arc::new(UserFeatures {
             payer_side: vec![x],
             receiver_side: vec![x * 2.0],
             embedding: vec![x; 2],
             velocity: Vec::new(),
-        })
+        }))
     }
 
     #[test]

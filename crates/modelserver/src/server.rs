@@ -478,7 +478,7 @@ impl ModelServer {
         deadline: &mut Deadline,
         rng: &mut ReqRng,
         degraded: &mut bool,
-    ) -> Result<Option<UserFeatures>, ServeError> {
+    ) -> Result<Option<Arc<UserFeatures>>, ServeError> {
         let inner = &self.inner;
         if let Some(cache) = &inner.cache {
             if let Some(cached) = cache.get(user, u64::MAX) {
@@ -525,6 +525,9 @@ impl ModelServer {
                     // Only this path caches: the read completed and decoded
                     // cleanly. Torn, faulted, and degraded outcomes below
                     // must be re-observed on every request, never cached.
+                    // The decode moves into an `Arc` once; the cache keeps a
+                    // pointer clone, so later hits never deep-copy it.
+                    let found = found.map(Arc::new);
                     if let Some(cache) = &inner.cache {
                         cache.insert(user, u64::MAX, found.clone());
                     }
@@ -645,7 +648,7 @@ impl ModelServer {
         };
         let fetched = Instant::now();
 
-        let features = assemble_features(layout, payer.as_ref(), recv.as_ref(), &req.context);
+        let features = assemble_features(layout, payer.as_deref(), recv.as_deref(), &req.context);
         let assembled = Instant::now();
 
         let probability = model.model.predict_proba(&features);
@@ -712,7 +715,9 @@ impl ModelServer {
         let users: Vec<u64> = wanted.into_keys().collect();
 
         // Resolve each user: cache hit, clean fetch, or degraded decode.
-        let mut fetched: BTreeMap<u64, (Option<UserFeatures>, bool)> = BTreeMap::new();
+        // Payloads are shared `Arc`s — a cache hit costs a refcount bump,
+        // not a deep copy of the embedding/velocity vectors.
+        let mut fetched: BTreeMap<u64, (Option<Arc<UserFeatures>>, bool)> = BTreeMap::new();
         let mut fatal: BTreeMap<u64, ServeError> = BTreeMap::new();
         let cached = inner.cache.as_ref().map(|c| c.get_batch(&users, u64::MAX));
         let mut misses: Vec<u64> = Vec::new();
@@ -726,10 +731,11 @@ impl ModelServer {
         }
         if !misses.is_empty() {
             let looked_up = inner.codec.get_users(&inner.table, &misses, u64::MAX);
-            let mut clean: Vec<(u64, u64, Option<UserFeatures>)> = Vec::new();
+            let mut clean: Vec<(u64, u64, Option<Arc<UserFeatures>>)> = Vec::new();
             for (&user, res) in misses.iter().zip(looked_up) {
                 match res {
                     Ok(found) => {
+                        let found = found.map(Arc::new);
                         clean.push((user, u64::MAX, found.clone()));
                         fetched.insert(user, (found, false));
                     }
@@ -767,7 +773,8 @@ impl ModelServer {
             let (payer, payer_degraded) = fetched.get(&req.transferor).unwrap_or(&absent);
             let (recv, recv_degraded) = fetched.get(&req.transferee).unwrap_or(&absent);
             let degraded = *payer_degraded || *recv_degraded;
-            let features = assemble_features(layout, payer.as_ref(), recv.as_ref(), &req.context);
+            let features =
+                assemble_features(layout, payer.as_deref(), recv.as_deref(), &req.context);
             dataset.push_row(&features, 0.0);
             scored.push((i, degraded));
         }

@@ -23,10 +23,14 @@
 #                                 # BENCH_offline_sql.json), the
 #                                 # crash-replay gate (write-path fault
 #                                 # injection + crash-restart recovery;
-#                                 # writes BENCH_crash.json), and the
+#                                 # writes BENCH_crash.json), the
 #                                 # stream-freshness gate (windowed
 #                                 # velocity features closing the T+1 gap;
-#                                 # writes BENCH_stream.json)
+#                                 # writes BENCH_stream.json), and the
+#                                 # predict-latency gate (flat-ensemble
+#                                 # inference bit-identity + counted
+#                                 # traversal-cache model; writes
+#                                 # BENCH_predict.json)
 #
 # The clippy gate runs with -D warnings across every target (libs, tests,
 # benches, examples); crates/modelserver additionally denies unwrap/expect
@@ -85,6 +89,9 @@ if [[ $QUICK -eq 1 ]]; then
 
     echo "==> stream-freshness gate (--quick)"
     cargo run --release -q -p titant-bench --bin stream_freshness -- --quick
+
+    echo "==> predict-latency gate (--quick)"
+    cargo run --release -q -p titant-bench --bin predict_latency -- --quick
 fi
 
 echo "verify: all green"
